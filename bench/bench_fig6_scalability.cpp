@@ -1,0 +1,162 @@
+// Reproduces Fig. 6: execution time of MCDC and representative counterparts
+// on the synthetic datasets, sweeping (a) n on Syn_n, (b) the sought k on
+// Syn_n, and (c) d on Syn_d.
+//
+//   bench_fig6_scalability [--sweep n|k|d|all] [--paper] [--repeats R]
+//
+// The default sweep is scaled down so the whole figure regenerates in
+// minutes; --paper uses the paper's full ranges (n up to 200000, k up to
+// 5000, d up to 1000 — expect a long run). Shapes, not absolute times, are
+// the reproduction target: every curve should look linear.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/fkmawcw.h"
+#include "baselines/kmodes.h"
+#include "baselines/wocil.h"
+#include "common/cli.h"
+#include "common/timer.h"
+#include "core/mcdc.h"
+#include "data/synthetic.h"
+#include "stats/summary.h"
+
+namespace {
+
+using namespace mcdc;
+
+double time_mcdc(const data::Dataset& ds, int k, int repeats,
+                 bool pin_k0_to_sqrt_n = false) {
+  core::McdcConfig config;
+  // The paper's Fig. 6(b) times Alg. 2 with varying sought k while the
+  // analysis granularity stays at the paper's k0 = sqrt(n); pinning k0
+  // disables the pipeline's k0-escalation (which would otherwise re-run
+  // MGCPL from 2k seeds once k exceeds sqrt(n), timing a different
+  // experiment).
+  if (pin_k0_to_sqrt_n) {
+    config.mgcpl.k0 = core::default_k0(ds.num_objects());
+  }
+  stats::RunningStats t;
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    core::Mcdc(config).cluster(ds, k, static_cast<std::uint64_t>(r) + 1);
+    t.add(timer.elapsed_seconds());
+  }
+  return t.mean();
+}
+
+double time_method(const baselines::Clusterer& method, const data::Dataset& ds,
+                   int k, int repeats) {
+  stats::RunningStats t;
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    method.cluster(ds, k, static_cast<std::uint64_t>(r) + 1);
+    t.add(timer.elapsed_seconds());
+  }
+  return t.mean();
+}
+
+void print_header(const char* third) {
+  std::printf("%-10s %-10s %-10s %-10s\n", "x", "MCDC(s)", "K-MODES(s)", third);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::string sweep = cli.get("sweep", "all");
+  const bool paper = cli.has("paper");
+  const int repeats = static_cast<int>(cli.get_int("repeats", paper ? 10 : 3));
+
+  // Iteration counts are capped at a fixed 10 sweeps for the counterparts so
+  // the curves show the per-iteration cost growth (the complexity claim under
+  // test); uncapped runs converge after data-dependent iteration counts,
+  // which adds noise unrelated to the O(dnk) shape.
+  baselines::KModes kmodes(baselines::KModesConfig{.max_iterations = 10});
+  baselines::Fkmawcw fkmawcw([] {
+    baselines::FkmawcwConfig c;
+    c.max_iterations = 10;
+    return c;
+  }());
+  baselines::Wocil wocil(baselines::WocilConfig{.max_iterations = 10});
+
+  if (sweep == "n" || sweep == "all") {
+    std::printf("== Fig. 6(a): time vs n on Syn_n (d=10, k*=3, %d repeats) ==\n",
+                repeats);
+    print_header("FKMAWCW(s)");
+    std::vector<std::size_t> ns;
+    if (paper) {
+      for (std::size_t n = 20000; n <= 200000; n += 20000) ns.push_back(n);
+    } else {
+      for (std::size_t n = 5000; n <= 40000; n += 5000) ns.push_back(n);
+    }
+    for (std::size_t n : ns) {
+      const auto ds = data::syn_n(n);
+      std::printf("%-10zu %-10.3f %-10.3f %-10.3f\n", n,
+                  time_mcdc(ds, 3, repeats), time_method(kmodes, ds, 3, repeats),
+                  time_method(fkmawcw, ds, 3, repeats));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  if (sweep == "k" || sweep == "all") {
+    // k here is the sought number of clusters handed to the aggregation
+    // stage (Alg. 2), as in the paper's Fig. 6(b).
+    const std::size_t n = paper ? 200000 : 20000;
+    // WOCIL stands in for FKMAWCW here: FKMAWCW's fuzzy-membership
+    // normalisation is quadratic in k, which makes the paper's k = 5000
+    // endpoint intractable; WOCIL is linear in k and deterministic.
+    std::printf("== Fig. 6(b): time vs sought k on Syn_n (n=%zu, %d repeats) ==\n",
+                n, repeats);
+    print_header("WOCIL(s)");
+    const auto ds = data::syn_n(n);
+    std::vector<int> ks;
+    if (paper) {
+      for (int k = 500; k <= 5000; k += 500) ks.push_back(k);
+    } else {
+      for (int k = 50; k <= 400; k += 50) ks.push_back(k);
+    }
+    for (int k : ks) {
+      std::printf("%-10d %-10.3f %-10.3f %-10.3f\n", k,
+                  time_mcdc(ds, k, repeats, /*pin_k0_to_sqrt_n=*/true),
+                  time_method(kmodes, ds, k, repeats),
+                  time_method(wocil, ds, k, repeats));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  if (sweep == "d" || sweep == "all") {
+    std::printf("== Fig. 6(c): time vs d on Syn_d (k*=3, %d repeats) ==\n",
+                repeats);
+    print_header("FKMAWCW(s)");
+    std::vector<std::size_t> dims;
+    if (paper) {
+      for (std::size_t d = 100; d <= 1000; d += 100) dims.push_back(d);
+    } else {
+      for (std::size_t d = 50; d <= 400; d += 50) dims.push_back(d);
+    }
+    for (std::size_t d : dims) {
+      // Paper's Syn_d fixes n = 20000; the quick sweep shrinks n too.
+      data::WellSeparatedConfig config;
+      config.num_objects = paper ? 20000 : 5000;
+      config.num_features = d;
+      config.num_clusters = 3;
+      config.cardinality = 4;
+      config.purity = 0.9;
+      config.seed = 7;
+      const auto ds = data::well_separated(config);
+      std::printf("%-10zu %-10.3f %-10.3f %-10.3f\n", d,
+                  time_mcdc(ds, 3, repeats), time_method(kmodes, ds, 3, repeats),
+                  time_method(fkmawcw, ds, 3, repeats));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "expected shape (paper): every series grows linearly in the swept "
+      "variable,\nconfirming the O(dnk) complexity analysis of Sec. III-C.\n");
+  return 0;
+}

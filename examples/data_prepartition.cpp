@@ -1,0 +1,79 @@
+// Distributed data pre-partitioning — Sec. III-D claim 1.
+//
+// A large categorical dataset must be spread over compute nodes without
+// destroying local correlation: objects that belong to the same compact
+// micro-cluster should land on the same shard, or every distributed
+// algorithm downstream pays communication for them.
+//
+// The example compares MGCPL-guided sharding against round-robin on a
+// dataset with nested cluster structure, then schedules both shardings on
+// a heterogeneous simulated cluster.
+#include <cstdio>
+#include <vector>
+
+#include "core/mgcpl.h"
+#include "data/synthetic.h"
+#include "dist/prepartition.h"
+#include "dist/sim_cluster.h"
+
+int main() {
+  using namespace mcdc;
+
+  // Data with nested multi-granular structure (fine clusters inside coarse
+  // ones) — the regime the paper argues is ubiquitous in categorical data.
+  data::NestedConfig config;
+  config.num_objects = 6000;
+  config.num_coarse = 4;
+  config.fine_per_coarse = 3;
+  config.cardinality = 12;
+  const auto nd = data::nested(config);
+  std::printf("Dataset: %zu objects, %zu features, %d fine / %d coarse clusters\n",
+              nd.dataset.num_objects(), nd.dataset.num_features(),
+              config.num_coarse * config.fine_per_coarse, config.num_coarse);
+
+  // 1. Multi-granular analysis.
+  const auto analysis = core::Mgcpl().run(nd.dataset, /*seed=*/3);
+  std::printf("MGCPL found granularities:");
+  for (int k : analysis.kappa) std::printf(" %d", k);
+  std::printf("\n\n");
+
+  // 2. Cut shards along micro-cluster boundaries.
+  dist::PrepartitionConfig pc;
+  pc.num_shards = 5;
+  const auto guided = dist::MicroClusterPartitioner(pc).partition(analysis);
+  const auto rr =
+      dist::round_robin_shards(nd.dataset.num_objects(), pc.num_shards);
+
+  const auto& micro = analysis.partitions.front();
+  std::printf("%-22s %-18s %-18s %s\n", "sharding", "micro-locality",
+              "comm. volume", "balance");
+  std::printf("%-22s %-18.3f %-18zu %.3f\n", "MGCPL-guided",
+              guided.micro_locality,
+              dist::communication_volume(guided.shard, micro), guided.balance);
+  std::printf("%-22s %-18.3f %-18zu %.3f\n", "round-robin",
+              dist::locality_of(rr, micro),
+              dist::communication_volume(rr, micro), 1.0);
+
+  // 3. Feed the shards to a heterogeneous simulated cluster.
+  dist::SimCluster cluster({{"big-0", 2.0},
+                            {"big-1", 2.0},
+                            {"med-0", 1.0},
+                            {"med-1", 1.0},
+                            {"small-0", 0.5},
+                            {"small-1", 0.5}});
+  const auto schedule = cluster.schedule(guided.shard_sizes);
+  std::printf("\nSchedule on heterogeneous cluster (LPT):\n");
+  for (std::size_t s = 0; s < guided.shard_sizes.size(); ++s) {
+    std::printf("  shard %zu (%5zu objects) -> %s\n", s,
+                guided.shard_sizes[s],
+                cluster.nodes()[static_cast<std::size_t>(schedule.shard_to_node[s])]
+                    .name.c_str());
+  }
+  std::printf("makespan %.1f, utilization %.0f%%\n", schedule.makespan,
+              schedule.utilization * 100.0);
+  std::printf(
+      "\nMGCPL-guided shards keep every micro-cluster whole (zero intra-"
+      "micro-cluster\ncommunication), while round-robin scatters them across "
+      "all shards.\n");
+  return 0;
+}

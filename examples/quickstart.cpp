@@ -1,0 +1,51 @@
+// Quickstart: cluster a categorical dataset with MCDC in ~20 lines.
+//
+//   ./quickstart [path/to/data.csv]
+//
+// Without an argument, a built-in benchmark dataset (Congressional voting
+// records) is used. With a CSV path, the file is read with the class label
+// expected in the last column ('?' marks missing values).
+#include <cstdio>
+#include <string>
+
+#include "core/mcdc.h"
+#include "data/csv.h"
+#include "data/registry.h"
+#include "metrics/indices.h"
+
+int main(int argc, char** argv) {
+  using namespace mcdc;
+
+  // 1. Load data.
+  const data::Dataset ds = argc > 1 ? data::read_csv_file(argv[1])
+                                    : data::load("Con.");
+  std::printf("Loaded %zu objects x %zu categorical features\n",
+              ds.num_objects(), ds.num_features());
+
+  // 2. Cluster. MCDC first learns the nested multi-granular structure
+  //    (MGCPL), then aggregates it into k clusters (CAME).
+  const int k = ds.has_labels() ? ds.num_classes() : 0;
+  core::Mcdc mcdc;
+  const core::McdcOutput out = mcdc.cluster(ds, k > 0 ? k : 2, /*seed=*/42);
+
+  // 3. Inspect the multi-granular analysis ...
+  std::printf("MGCPL granularities (k0 = %d):", out.mgcpl.k0);
+  for (int kj : out.mgcpl.kappa) std::printf(" %d", kj);
+  std::printf("  -> estimated k* = %d\n", out.mgcpl.final_k());
+
+  // ... and the granularity importances CAME learned.
+  std::printf("CAME granularity weights:");
+  for (double theta : out.came.theta) std::printf(" %.3f", theta);
+  std::printf("\n");
+
+  // 4. Evaluate against ground truth when available.
+  if (ds.has_labels()) {
+    const metrics::Scores s = metrics::score_all(out.labels, ds.labels());
+    std::printf("ACC = %.3f  ARI = %.3f  AMI = %.3f  FM = %.3f\n", s.acc,
+                s.ari, s.ami, s.fm);
+  } else {
+    std::printf("Clustered into %d groups (no ground truth provided).\n",
+                out.mgcpl.final_k());
+  }
+  return 0;
+}

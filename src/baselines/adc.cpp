@@ -1,0 +1,100 @@
+#include "baselines/adc.h"
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/krepresentatives.h"
+
+namespace mcdc::baselines {
+
+namespace {
+
+using detail::ValueDistances;
+
+ValueDistances learn_distances(const data::Dataset& ds) {
+  const std::size_t d = ds.num_features();
+
+  ValueDistances distances;
+  distances.matrices.resize(d);
+  for (std::size_t r = 0; r < d; ++r) {
+    const int m_r = ds.cardinality(r);
+    auto& matrix = distances.matrices[r];
+    matrix.assign(static_cast<std::size_t>(m_r) * static_cast<std::size_t>(m_r), 0.0);
+    if (m_r <= 1) continue;
+
+    // Connection profile of each value: concatenated conditional
+    // distributions over every other attribute.
+    std::vector<std::vector<double>> profile(static_cast<std::size_t>(m_r));
+    for (std::size_t rp = 0; rp < d; ++rp) {
+      if (rp == r) continue;
+      const int m_rp = ds.cardinality(rp);
+      const auto cond = detail::conditional_distribution(ds, r, rp);
+      for (int v = 0; v < m_r; ++v) {
+        auto& p = profile[static_cast<std::size_t>(v)];
+        const auto begin = cond.begin() + static_cast<std::ptrdiff_t>(
+                                              static_cast<std::size_t>(v) *
+                                              static_cast<std::size_t>(m_rp));
+        p.insert(p.end(), begin, begin + m_rp);
+      }
+    }
+
+    if (profile.front().empty()) {
+      // Single-attribute dataset: no context graph, use Hamming.
+      for (int v1 = 0; v1 < m_r; ++v1) {
+        for (int v2 = 0; v2 < m_r; ++v2) {
+          matrix[static_cast<std::size_t>(v1) * static_cast<std::size_t>(m_r) +
+                 static_cast<std::size_t>(v2)] = v1 == v2 ? 0.0 : 1.0;
+        }
+      }
+      continue;
+    }
+
+    auto cosine_dissim = [](const std::vector<double>& a,
+                            const std::vector<double>& b) {
+      double dot = 0.0;
+      double na = 0.0;
+      double nb = 0.0;
+      for (std::size_t t = 0; t < a.size(); ++t) {
+        dot += a[t] * b[t];
+        na += a[t] * a[t];
+        nb += b[t] * b[t];
+      }
+      if (na == 0.0 || nb == 0.0) return 1.0;
+      const double cos = dot / std::sqrt(na * nb);
+      return 0.5 * (1.0 - std::min(1.0, cos)) * 2.0;  // clamp into [0, 1]
+    };
+
+    // Blend the graph aspect with the basic value-matching indicator so
+    // that distinct values never become indistinguishable, even when their
+    // connection profiles coincide (independent attributes, e.g. the full
+    // factorial grids of Car/Nursery).
+    constexpr double kIdentityWeight = 0.3;
+    for (int v1 = 0; v1 < m_r; ++v1) {
+      for (int v2 = v1 + 1; v2 < m_r; ++v2) {
+        const double dist =
+            (1.0 - kIdentityWeight) *
+                cosine_dissim(profile[static_cast<std::size_t>(v1)],
+                              profile[static_cast<std::size_t>(v2)]) +
+            kIdentityWeight;
+        matrix[static_cast<std::size_t>(v1) * static_cast<std::size_t>(m_r) +
+               static_cast<std::size_t>(v2)] = dist;
+        matrix[static_cast<std::size_t>(v2) * static_cast<std::size_t>(m_r) +
+               static_cast<std::size_t>(v1)] = dist;
+      }
+    }
+  }
+  return distances;
+}
+
+}  // namespace
+
+ClusterResult Adc::cluster(const data::Dataset& ds, int k,
+                           std::uint64_t seed) const {
+  const ValueDistances distances = learn_distances(ds);
+  detail::KRepConfig config;
+  config.density_init = true;  // deterministic, like the source method
+  config.max_iterations = config_.max_iterations;
+  return detail::krepresentatives(ds, k, distances, config, seed);
+}
+
+}  // namespace mcdc::baselines

@@ -1,0 +1,14 @@
+#include "baselines/clusterer.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mcdc::baselines {
+
+void finalize_result(ClusterResult& result, int requested_k) {
+  std::set<int> distinct(result.labels.begin(), result.labels.end());
+  result.clusters_found = static_cast<int>(distinct.size());
+  if (result.clusters_found != requested_k) result.failed = true;
+}
+
+}  // namespace mcdc::baselines

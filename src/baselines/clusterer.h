@@ -1,0 +1,40 @@
+// Uniform interface for every clustering method in the comparative study
+// (Table III): the six baselines, MCDC, and the MCDC+X boosted variants all
+// implement Clusterer, so the bench harnesses treat them identically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace mcdc::baselines {
+
+struct ClusterResult {
+  // Dense labels in [0, clusters_found); size = number of objects.
+  std::vector<int> labels;
+  int clusters_found = 0;
+  // The paper marks methods that "cannot obtain the pre-set number of
+  // clusters" as failed and scores them 0.000; harnesses honour this flag.
+  bool failed = false;
+};
+
+class Clusterer {
+ public:
+  virtual ~Clusterer() = default;
+
+  virtual std::string name() const = 0;
+
+  // Partitions ds into (up to) k clusters. Implementations must be
+  // deterministic given (ds, k, seed).
+  virtual ClusterResult cluster(const data::Dataset& ds, int k,
+                                std::uint64_t seed) const = 0;
+};
+
+// Recomputes clusters_found from the labels and flags failure when it does
+// not match the requested k. Helper shared by implementations.
+void finalize_result(ClusterResult& result, int requested_k);
+
+}  // namespace mcdc::baselines

@@ -1,0 +1,109 @@
+#include "baselines/gudmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baselines/krepresentatives.h"
+
+namespace mcdc::baselines {
+
+namespace {
+
+using detail::ValueDistances;
+
+// Normalised MI in [0, 1]: MI / min(H_a, H_b); 0 when either is constant.
+double nmi(const data::Dataset& ds, std::size_t a, std::size_t b,
+           const std::vector<double>& entropies) {
+  const double h = std::min(entropies[a], entropies[b]);
+  if (h <= 0.0) return 0.0;
+  return std::min(1.0, detail::attribute_mutual_information(ds, a, b) / h);
+}
+
+ValueDistances learn_distances(const data::Dataset& ds) {
+  const std::size_t d = ds.num_features();
+
+  // Attribute entropies for the NMI normalisation.
+  std::vector<double> entropies(d, 0.0);
+  const auto counts = ds.value_counts();
+  for (std::size_t r = 0; r < d; ++r) {
+    double total = 0.0;
+    for (int c : counts[r]) total += c;
+    if (total == 0.0) continue;
+    for (int c : counts[r]) {
+      if (c == 0) continue;
+      const double p = c / total;
+      entropies[r] -= p * std::log(p);
+    }
+  }
+
+  ValueDistances distances;
+  distances.matrices.resize(d);
+  for (std::size_t r = 0; r < d; ++r) {
+    const int m_r = ds.cardinality(r);
+    auto& matrix = distances.matrices[r];
+    matrix.assign(static_cast<std::size_t>(m_r) * static_cast<std::size_t>(m_r), 0.0);
+    if (m_r <= 1) continue;
+
+    double weight_total = 0.0;
+    for (std::size_t rp = 0; rp < d; ++rp) {
+      if (rp == r) continue;
+      const double w = nmi(ds, r, rp, entropies);
+      if (w <= 0.0) continue;
+      weight_total += w;
+      const int m_rp = ds.cardinality(rp);
+      const auto cond = detail::conditional_distribution(ds, r, rp);
+      for (int v1 = 0; v1 < m_r; ++v1) {
+        for (int v2 = v1 + 1; v2 < m_r; ++v2) {
+          double tv = 0.0;
+          for (int w2 = 0; w2 < m_rp; ++w2) {
+            tv += std::abs(
+                cond[static_cast<std::size_t>(v1) * static_cast<std::size_t>(m_rp) +
+                     static_cast<std::size_t>(w2)] -
+                cond[static_cast<std::size_t>(v2) * static_cast<std::size_t>(m_rp) +
+                     static_cast<std::size_t>(w2)]);
+          }
+          tv *= 0.5 * w;
+          matrix[static_cast<std::size_t>(v1) * static_cast<std::size_t>(m_r) +
+                 static_cast<std::size_t>(v2)] += tv;
+          matrix[static_cast<std::size_t>(v2) * static_cast<std::size_t>(m_r) +
+                 static_cast<std::size_t>(v1)] += tv;
+        }
+      }
+    }
+
+    if (weight_total > 0.0) {
+      for (double& x : matrix) x /= weight_total;
+    }
+    // Blend in the basic value-matching aspect. Pure context metrics are
+    // blind on independent attributes (e.g. the full factorial grids of
+    // Car/Nursery, where every conditional distribution coincides); the
+    // identity term keeps distinct values distinguishable there.
+    constexpr double kIdentityWeight = 0.3;
+    for (int v1 = 0; v1 < m_r; ++v1) {
+      for (int v2 = 0; v2 < m_r; ++v2) {
+        const auto idx = static_cast<std::size_t>(v1) * static_cast<std::size_t>(m_r) +
+                         static_cast<std::size_t>(v2);
+        const double hamming = v1 == v2 ? 0.0 : 1.0;
+        matrix[idx] = weight_total > 0.0
+                          ? (1.0 - kIdentityWeight) * matrix[idx] +
+                                kIdentityWeight * hamming
+                          : hamming;
+      }
+    }
+  }
+  return distances;
+}
+
+}  // namespace
+
+ClusterResult Gudmm::cluster(const data::Dataset& ds, int k,
+                             std::uint64_t seed) const {
+  const ValueDistances distances = learn_distances(ds);
+  detail::KRepConfig config;
+  config.density_init = false;
+  config.max_iterations = config_.max_iterations;
+  return detail::krepresentatives(ds, k, distances, config, seed);
+}
+
+}  // namespace mcdc::baselines

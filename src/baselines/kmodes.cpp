@@ -1,0 +1,126 @@
+#include "baselines/kmodes.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace mcdc::baselines {
+
+namespace {
+
+using data::Dataset;
+using data::Value;
+
+// Hamming distance to a mode; a missing cell always counts as a mismatch,
+// matching the treatment in Huang's formulation.
+int distance(const Dataset& ds, std::size_t i, const std::vector<Value>& z) {
+  const Value* row = ds.row(i);
+  int dist = 0;
+  for (std::size_t r = 0; r < z.size(); ++r) {
+    if (row[r] == data::kMissing || row[r] != z[r]) ++dist;
+  }
+  return dist;
+}
+
+}  // namespace
+
+ClusterResult KModes::cluster(const data::Dataset& ds, int k,
+                              std::uint64_t seed) const {
+  const std::size_t n = ds.num_objects();
+  const std::size_t d = ds.num_features();
+  if (n == 0) throw std::invalid_argument("KModes: empty dataset");
+  if (k < 1 || static_cast<std::size_t>(k) > n) {
+    throw std::invalid_argument("KModes: invalid k");
+  }
+
+  Rng rng(seed);
+  std::vector<std::vector<Value>> modes;
+  modes.reserve(static_cast<std::size_t>(k));
+  for (std::size_t i :
+       rng.sample_without_replacement(n, static_cast<std::size_t>(k))) {
+    modes.emplace_back(ds.row(i), ds.row(i) + d);
+  }
+
+  std::vector<int> labels(n, -1);
+  auto assign = [&](std::vector<int>& out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      int best_dist = std::numeric_limits<int>::max();
+      for (int l = 0; l < k; ++l) {
+        const int dist = distance(ds, i, modes[static_cast<std::size_t>(l)]);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = l;
+        }
+      }
+      out[i] = best;
+    }
+  };
+
+  assign(labels);
+  std::vector<int> next(n, -1);
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    // Recompute modes from the current partition.
+    std::vector<std::vector<std::vector<int>>> hist(static_cast<std::size_t>(k));
+    std::vector<int> sizes(static_cast<std::size_t>(k), 0);
+    for (int l = 0; l < k; ++l) {
+      hist[static_cast<std::size_t>(l)].resize(d);
+      for (std::size_t r = 0; r < d; ++r) {
+        hist[static_cast<std::size_t>(l)][r].assign(
+            static_cast<std::size_t>(ds.cardinality(r)), 0);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto l = static_cast<std::size_t>(labels[i]);
+      ++sizes[l];
+      const Value* row = ds.row(i);
+      for (std::size_t r = 0; r < d; ++r) {
+        if (row[r] != data::kMissing) {
+          ++hist[l][r][static_cast<std::size_t>(row[r])];
+        }
+      }
+    }
+    for (int l = 0; l < k; ++l) {
+      if (sizes[static_cast<std::size_t>(l)] == 0) {
+        // Re-seed the empty cluster with the worst-fitting object.
+        std::size_t farthest = 0;
+        int worst = -1;
+        for (std::size_t i = 0; i < n; ++i) {
+          const int dist = distance(
+              ds, i, modes[static_cast<std::size_t>(labels[i])]);
+          if (dist > worst) {
+            worst = dist;
+            farthest = i;
+          }
+        }
+        modes[static_cast<std::size_t>(l)].assign(ds.row(farthest),
+                                                  ds.row(farthest) + d);
+        continue;
+      }
+      for (std::size_t r = 0; r < d; ++r) {
+        const auto& counts = hist[static_cast<std::size_t>(l)][r];
+        int best_count = -1;
+        Value best_value = 0;
+        for (std::size_t v = 0; v < counts.size(); ++v) {
+          if (counts[v] > best_count) {
+            best_count = counts[v];
+            best_value = static_cast<Value>(v);
+          }
+        }
+        modes[static_cast<std::size_t>(l)][r] = best_value;
+      }
+    }
+
+    assign(next);
+    if (next == labels) break;
+    std::swap(labels, next);
+  }
+
+  ClusterResult result;
+  result.labels = std::move(labels);
+  finalize_result(result, k);
+  return result;
+}
+
+}  // namespace mcdc::baselines

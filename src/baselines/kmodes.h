@@ -1,0 +1,30 @@
+// k-modes (Huang, 1997) — the canonical partitional clusterer for
+// categorical data and the paper's first baseline.
+//
+// Lloyd-style alternation: objects are assigned to the nearest mode under
+// Hamming distance; modes are recomputed as per-feature majority values.
+// Random distinct-row initialisation (Huang's original scheme); empty
+// clusters are re-seeded with the object farthest from its mode.
+#pragma once
+
+#include "baselines/clusterer.h"
+
+namespace mcdc::baselines {
+
+struct KModesConfig {
+  int max_iterations = 100;
+};
+
+class KModes : public Clusterer {
+ public:
+  explicit KModes(const KModesConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "K-MODES"; }
+  ClusterResult cluster(const data::Dataset& ds, int k,
+                        std::uint64_t seed) const override;
+
+ private:
+  KModesConfig config_;
+};
+
+}  // namespace mcdc::baselines

@@ -1,0 +1,276 @@
+#include "baselines/krepresentatives.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace mcdc::baselines::detail {
+
+namespace {
+
+using data::Dataset;
+using data::Value;
+
+}  // namespace
+
+std::vector<int> joint_counts(const Dataset& ds, std::size_t a,
+                              std::size_t b) {
+  const int ma = ds.cardinality(a);
+  const int mb = ds.cardinality(b);
+  std::vector<int> counts(static_cast<std::size_t>(ma) * static_cast<std::size_t>(mb), 0);
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    const Value va = ds.at(i, a);
+    const Value vb = ds.at(i, b);
+    if (va == data::kMissing || vb == data::kMissing) continue;
+    ++counts[static_cast<std::size_t>(va) * static_cast<std::size_t>(mb) +
+             static_cast<std::size_t>(vb)];
+  }
+  return counts;
+}
+
+double attribute_mutual_information(const Dataset& ds, std::size_t a,
+                                    std::size_t b) {
+  const int ma = ds.cardinality(a);
+  const int mb = ds.cardinality(b);
+  const auto joint = joint_counts(ds, a, b);
+  std::vector<double> pa(static_cast<std::size_t>(ma), 0.0);
+  std::vector<double> pb(static_cast<std::size_t>(mb), 0.0);
+  double total = 0.0;
+  for (int va = 0; va < ma; ++va) {
+    for (int vb = 0; vb < mb; ++vb) {
+      const double c = joint[static_cast<std::size_t>(va) * static_cast<std::size_t>(mb) +
+                             static_cast<std::size_t>(vb)];
+      pa[static_cast<std::size_t>(va)] += c;
+      pb[static_cast<std::size_t>(vb)] += c;
+      total += c;
+    }
+  }
+  if (total == 0.0) return 0.0;
+  double mi = 0.0;
+  for (int va = 0; va < ma; ++va) {
+    for (int vb = 0; vb < mb; ++vb) {
+      const double c = joint[static_cast<std::size_t>(va) * static_cast<std::size_t>(mb) +
+                             static_cast<std::size_t>(vb)];
+      if (c == 0.0) continue;
+      mi += c / total *
+            std::log(c * total /
+                     (pa[static_cast<std::size_t>(va)] * pb[static_cast<std::size_t>(vb)]));
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+std::vector<double> conditional_distribution(const Dataset& ds, std::size_t a,
+                                             std::size_t b) {
+  const int ma = ds.cardinality(a);
+  const int mb = ds.cardinality(b);
+  const auto joint = joint_counts(ds, a, b);
+  std::vector<double> cond(static_cast<std::size_t>(ma) * static_cast<std::size_t>(mb), 0.0);
+  for (int va = 0; va < ma; ++va) {
+    double row_total = 0.0;
+    for (int vb = 0; vb < mb; ++vb) {
+      row_total += joint[static_cast<std::size_t>(va) * static_cast<std::size_t>(mb) +
+                         static_cast<std::size_t>(vb)];
+    }
+    for (int vb = 0; vb < mb; ++vb) {
+      const auto idx = static_cast<std::size_t>(va) * static_cast<std::size_t>(mb) +
+                       static_cast<std::size_t>(vb);
+      cond[idx] = row_total > 0.0 ? joint[idx] / row_total
+                                  : 1.0 / static_cast<double>(mb);
+    }
+  }
+  return cond;
+}
+
+ClusterResult krepresentatives(const Dataset& ds, int k,
+                               const ValueDistances& distances,
+                               const KRepConfig& config, std::uint64_t seed) {
+  const std::size_t n = ds.num_objects();
+  const std::size_t d = ds.num_features();
+  if (n == 0) throw std::invalid_argument("krepresentatives: empty dataset");
+  if (k < 1 || static_cast<std::size_t>(k) > n) {
+    throw std::invalid_argument("krepresentatives: invalid k");
+  }
+  const auto ku = static_cast<std::size_t>(k);
+
+  // Mean dissimilarity per attribute — the neutral contribution of a
+  // missing cell.
+  std::vector<double> neutral(d, 0.0);
+  for (std::size_t r = 0; r < d; ++r) {
+    const auto& m = distances.matrices[r];
+    if (!m.empty()) {
+      neutral[r] = std::accumulate(m.begin(), m.end(), 0.0) /
+                   static_cast<double>(m.size());
+    }
+  }
+
+  // Representative = per-attribute value distribution of the cluster.
+  struct Representative {
+    std::vector<std::vector<double>> dist;  // [attribute][value]
+  };
+  auto make_representative_from_row = [&](std::size_t i) {
+    Representative rep;
+    rep.dist.resize(d);
+    for (std::size_t r = 0; r < d; ++r) {
+      rep.dist[r].assign(static_cast<std::size_t>(ds.cardinality(r)), 0.0);
+      const Value v = ds.at(i, r);
+      if (v != data::kMissing) {
+        rep.dist[r][static_cast<std::size_t>(v)] = 1.0;
+      }
+    }
+    return rep;
+  };
+
+  // Object-representative distance: expected value dissimilarity.
+  auto object_distance = [&](std::size_t i, const Representative& rep) {
+    const Value* row = ds.row(i);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < d; ++r) {
+      if (row[r] == data::kMissing) {
+        sum += neutral[r];
+        continue;
+      }
+      const int m_r = ds.cardinality(r);
+      double expectation = 0.0;
+      for (int v = 0; v < m_r; ++v) {
+        const double p = rep.dist[r][static_cast<std::size_t>(v)];
+        if (p > 0.0) {
+          expectation += p * distances.at(r, row[r], static_cast<Value>(v), m_r);
+        }
+      }
+      sum += expectation;
+    }
+    return sum / static_cast<double>(d);
+  };
+
+  // Seeding.
+  std::vector<Representative> reps;
+  reps.reserve(ku);
+  if (config.density_init) {
+    const auto counts = ds.value_counts();
+    std::vector<double> density(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Value* row = ds.row(i);
+      for (std::size_t r = 0; r < d; ++r) {
+        if (row[r] != data::kMissing) {
+          density[i] += counts[r][static_cast<std::size_t>(row[r])];
+        }
+      }
+    }
+    auto hamming = [&](std::size_t a, std::size_t b) {
+      int dist = 0;
+      for (std::size_t r = 0; r < d; ++r) {
+        if (ds.at(a, r) != ds.at(b, r)) ++dist;
+      }
+      return dist;
+    };
+    std::vector<std::size_t> chosen;
+    std::size_t first = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (density[i] > density[first]) first = i;
+    }
+    chosen.push_back(first);
+    std::vector<int> nearest(n);
+    for (std::size_t i = 0; i < n; ++i) nearest[i] = hamming(i, first);
+    while (chosen.size() < ku) {
+      std::size_t best = 0;
+      double best_score = -1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double score = static_cast<double>(nearest[i]) * density[i];
+        if (score > best_score) {
+          best_score = score;
+          best = i;
+        }
+      }
+      chosen.push_back(best);
+      for (std::size_t i = 0; i < n; ++i) {
+        nearest[i] = std::min(nearest[i], hamming(i, best));
+      }
+    }
+    for (std::size_t c : chosen) reps.push_back(make_representative_from_row(c));
+  } else {
+    Rng rng(seed);
+    for (std::size_t i : rng.sample_without_replacement(n, ku)) {
+      reps.push_back(make_representative_from_row(i));
+    }
+  }
+
+  std::vector<int> labels(n, -1);
+  auto assign = [&](std::vector<int>& out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (std::size_t l = 0; l < ku; ++l) {
+        const double dist = object_distance(i, reps[l]);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = static_cast<int>(l);
+        }
+      }
+      out[i] = best;
+    }
+  };
+
+  assign(labels);
+  std::vector<int> next(n, -1);
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    // Update representatives to member value distributions.
+    std::vector<int> sizes(ku, 0);
+    std::vector<Representative> fresh(ku);
+    for (std::size_t l = 0; l < ku; ++l) {
+      fresh[l].dist.resize(d);
+      for (std::size_t r = 0; r < d; ++r) {
+        fresh[l].dist[r].assign(static_cast<std::size_t>(ds.cardinality(r)), 0.0);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto l = static_cast<std::size_t>(labels[i]);
+      ++sizes[l];
+      const Value* row = ds.row(i);
+      for (std::size_t r = 0; r < d; ++r) {
+        if (row[r] != data::kMissing) {
+          fresh[l].dist[r][static_cast<std::size_t>(row[r])] += 1.0;
+        }
+      }
+    }
+    for (std::size_t l = 0; l < ku; ++l) {
+      if (sizes[l] == 0) {
+        // Re-seed an empty cluster with the worst-fitting object.
+        std::size_t farthest = 0;
+        double worst = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double dist =
+              object_distance(i, reps[static_cast<std::size_t>(labels[i])]);
+          if (dist > worst) {
+            worst = dist;
+            farthest = i;
+          }
+        }
+        fresh[l] = make_representative_from_row(farthest);
+        continue;
+      }
+      for (std::size_t r = 0; r < d; ++r) {
+        double total = 0.0;
+        for (double& x : fresh[l].dist[r]) total += x;
+        if (total > 0.0) {
+          for (double& x : fresh[l].dist[r]) x /= total;
+        }
+      }
+    }
+    reps = std::move(fresh);
+
+    assign(next);
+    if (next == labels) break;
+    std::swap(labels, next);
+  }
+
+  ClusterResult result;
+  result.labels = std::move(labels);
+  finalize_result(result, k);
+  return result;
+}
+
+}  // namespace mcdc::baselines::detail

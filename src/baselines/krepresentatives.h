@@ -1,0 +1,56 @@
+// Shared machinery for baselines built on *learned value-level distances*
+// (GUDMM, ADC): pairwise attribute statistics and a k-representatives
+// clustering loop.
+//
+// A "representative" generalises the k-modes mode: per attribute it stores
+// the value distribution of the cluster's members, and the object-cluster
+// distance is the expected value-value dissimilarity under that
+// distribution — the standard Ahmad-Dey-style formulation both source
+// papers build on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/clusterer.h"
+#include "data/dataset.h"
+
+namespace mcdc::baselines::detail {
+
+// Per-attribute square matrix D_r of value-value dissimilarities;
+// matrix(v1, v2) laid out row-major with side = cardinality(r).
+struct ValueDistances {
+  std::vector<std::vector<double>> matrices;  // [attribute][v1 * m_r + v2]
+
+  double at(std::size_t r, data::Value v1, data::Value v2, int m_r) const {
+    return matrices[r][static_cast<std::size_t>(v1) * static_cast<std::size_t>(m_r) +
+                       static_cast<std::size_t>(v2)];
+  }
+};
+
+// Joint count table between attributes a and b: counts[va * m_b + vb].
+std::vector<int> joint_counts(const data::Dataset& ds, std::size_t a,
+                              std::size_t b);
+
+// Mutual information between attributes a and b (nats), computed over rows
+// where both are present.
+double attribute_mutual_information(const data::Dataset& ds, std::size_t a,
+                                    std::size_t b);
+
+// Conditional distribution P(F_b | F_a = v) for all v: rows of the returned
+// matrix (row-major, m_a x m_b). Rows for unseen values are uniform.
+std::vector<double> conditional_distribution(const data::Dataset& ds,
+                                             std::size_t a, std::size_t b);
+
+struct KRepConfig {
+  bool density_init = false;  // false -> random distinct rows
+  int max_iterations = 100;
+};
+
+// k-representatives clustering under the given value distances. Missing
+// cells contribute the attribute's mean dissimilarity (a neutral vote).
+ClusterResult krepresentatives(const data::Dataset& ds, int k,
+                               const ValueDistances& distances,
+                               const KRepConfig& config, std::uint64_t seed);
+
+}  // namespace mcdc::baselines::detail

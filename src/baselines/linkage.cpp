@@ -1,0 +1,156 @@
+#include "baselines/linkage.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mcdc::baselines {
+
+namespace {
+
+using data::Dataset;
+using data::Value;
+
+double hamming(const Dataset& ds, std::size_t a, std::size_t b) {
+  const Value* ra = ds.row(a);
+  const Value* rb = ds.row(b);
+  int dist = 0;
+  for (std::size_t r = 0; r < ds.num_features(); ++r) {
+    // Missing values mismatch everything, including another missing value
+    // (two unknown votes are not evidence of agreement).
+    if (ra[r] == data::kMissing || rb[r] == data::kMissing || ra[r] != rb[r]) {
+      ++dist;
+    }
+  }
+  return static_cast<double>(dist);
+}
+
+}  // namespace
+
+std::string Linkage::name() const {
+  switch (config_.kind) {
+    case LinkageKind::single:
+      return "SINGLE-LINK";
+    case LinkageKind::complete:
+      return "COMPLETE-LINK";
+    case LinkageKind::average:
+      return "AVERAGE-LINK";
+  }
+  return "LINKAGE";
+}
+
+ClusterResult Linkage::cluster(const data::Dataset& ds, int k,
+                               std::uint64_t seed) const {
+  const std::size_t n = ds.num_objects();
+  if (n == 0) throw std::invalid_argument("Linkage: empty dataset");
+  if (k < 1) throw std::invalid_argument("Linkage: invalid k");
+
+  Rng rng(seed);
+  std::vector<std::size_t> sample(n);
+  std::iota(sample.begin(), sample.end(), std::size_t{0});
+  if (n > config_.max_sample) {
+    sample = rng.sample_without_replacement(n, config_.max_sample);
+    std::sort(sample.begin(), sample.end());
+  }
+  const std::size_t m = sample.size();
+
+  // Pairwise distance matrix over the sample.
+  std::vector<std::vector<double>> dist(m, std::vector<double>(m, 0.0));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      dist[i][j] = dist[j][i] = hamming(ds, sample[i], sample[j]);
+    }
+  }
+
+  // Lance-Williams agglomeration with explicit cluster sizes.
+  std::vector<bool> alive(m, true);
+  std::vector<double> size(m, 1.0);
+  std::vector<int> member_of(m);
+  std::iota(member_of.begin(), member_of.end(), 0);
+  std::size_t clusters = m;
+
+  while (clusters > static_cast<std::size_t>(std::min<std::size_t>(
+                        static_cast<std::size_t>(k), m))) {
+    // Closest live pair.
+    std::size_t ba = 0;
+    std::size_t bb = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < m; ++a) {
+      if (!alive[a]) continue;
+      for (std::size_t b = a + 1; b < m; ++b) {
+        if (!alive[b]) continue;
+        if (dist[a][b] < best) {
+          best = dist[a][b];
+          ba = a;
+          bb = b;
+        }
+      }
+    }
+
+    // Merge bb into ba, updating distances by the linkage rule.
+    for (std::size_t c = 0; c < m; ++c) {
+      if (!alive[c] || c == ba || c == bb) continue;
+      double updated = 0.0;
+      switch (config_.kind) {
+        case LinkageKind::single:
+          updated = std::min(dist[ba][c], dist[bb][c]);
+          break;
+        case LinkageKind::complete:
+          updated = std::max(dist[ba][c], dist[bb][c]);
+          break;
+        case LinkageKind::average:
+          updated = (size[ba] * dist[ba][c] + size[bb] * dist[bb][c]) /
+                    (size[ba] + size[bb]);
+          break;
+      }
+      dist[ba][c] = dist[c][ba] = updated;
+    }
+    size[ba] += size[bb];
+    alive[bb] = false;
+    for (std::size_t p = 0; p < m; ++p) {
+      if (member_of[p] == static_cast<int>(bb)) {
+        member_of[p] = static_cast<int>(ba);
+      }
+    }
+    --clusters;
+  }
+
+  // Dense ids over the sample.
+  std::vector<int> dense(m, -1);
+  int next_id = 0;
+  std::vector<int> sample_label(m);
+  for (std::size_t p = 0; p < m; ++p) {
+    const auto root = static_cast<std::size_t>(member_of[p]);
+    if (dense[root] < 0) dense[root] = next_id++;
+    sample_label[p] = dense[root];
+  }
+
+  ClusterResult result;
+  result.labels.assign(n, -1);
+  for (std::size_t p = 0; p < m; ++p) {
+    result.labels[sample[p]] = sample_label[p];
+  }
+  // Outside points join their nearest sampled neighbour's cluster.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.labels[i] >= 0) continue;
+    std::size_t nearest = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p < m; ++p) {
+      const double dd = hamming(ds, i, sample[p]);
+      if (dd < best) {
+        best = dd;
+        nearest = p;
+      }
+    }
+    result.labels[i] = sample_label[nearest];
+  }
+
+  finalize_result(result, k);
+  return result;
+}
+
+}  // namespace mcdc::baselines

@@ -1,0 +1,35 @@
+// Agglomerative hierarchical clustering with classic linkage strategies
+// (single / complete / average) over Hamming distance — the conventional
+// hierarchical methods the paper contrasts MGCPL against (Sec. I, ref [17]).
+//
+// Included both as an additional baseline and as the reference point for
+// the "MGCPL as an efficient alternative to hierarchical clustering" claim:
+// Lance-Williams agglomeration is O(n^2 log n) time / O(n^2) memory, so
+// large inputs are clustered on a sample (like ROCK) and remaining points
+// join the cluster of their nearest sampled neighbour.
+#pragma once
+
+#include "baselines/clusterer.h"
+
+namespace mcdc::baselines {
+
+enum class LinkageKind { single, complete, average };
+
+struct LinkageConfig {
+  LinkageKind kind = LinkageKind::average;
+  std::size_t max_sample = 1500;
+};
+
+class Linkage : public Clusterer {
+ public:
+  explicit Linkage(const LinkageConfig& config = {}) : config_(config) {}
+
+  std::string name() const override;
+  ClusterResult cluster(const data::Dataset& ds, int k,
+                        std::uint64_t seed) const override;
+
+ private:
+  LinkageConfig config_;
+};
+
+}  // namespace mcdc::baselines

@@ -1,0 +1,176 @@
+#include "baselines/rock.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mcdc::baselines {
+
+namespace {
+
+using data::Dataset;
+using data::Value;
+
+// Jaccard similarity over the sets of (attribute, value) pairs; missing
+// cells belong to neither set.
+double jaccard(const Dataset& ds, std::size_t a, std::size_t b) {
+  const Value* ra = ds.row(a);
+  const Value* rb = ds.row(b);
+  int matches = 0;
+  int present_a = 0;
+  int present_b = 0;
+  for (std::size_t r = 0; r < ds.num_features(); ++r) {
+    if (ra[r] != data::kMissing) ++present_a;
+    if (rb[r] != data::kMissing) ++present_b;
+    if (ra[r] != data::kMissing && ra[r] == rb[r]) ++matches;
+  }
+  const int uni = present_a + present_b - matches;
+  return uni == 0 ? 0.0 : static_cast<double>(matches) / uni;
+}
+
+}  // namespace
+
+ClusterResult Rock::cluster(const data::Dataset& ds, int k,
+                            std::uint64_t seed) const {
+  const std::size_t n = ds.num_objects();
+  if (n == 0) throw std::invalid_argument("Rock: empty dataset");
+  if (k < 1) throw std::invalid_argument("Rock: invalid k");
+
+  Rng rng(seed);
+  std::vector<std::size_t> sample(n);
+  std::iota(sample.begin(), sample.end(), std::size_t{0});
+  if (n > config_.max_sample) {
+    sample = rng.sample_without_replacement(n, config_.max_sample);
+    std::sort(sample.begin(), sample.end());
+  }
+  const std::size_t m = sample.size();
+
+  // Neighbour lists on the sample.
+  std::vector<std::vector<int>> neighbours(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      if (jaccard(ds, sample[i], sample[j]) >= config_.theta) {
+        neighbours[i].push_back(static_cast<int>(j));
+        neighbours[j].push_back(static_cast<int>(i));
+      }
+    }
+  }
+
+  // links[a][b] = number of common neighbours between (the members of)
+  // clusters a and b; clusters start as singletons.
+  std::vector<std::vector<int>> links(m, std::vector<int>(m, 0));
+  for (std::size_t p = 0; p < m; ++p) {
+    const auto& nb = neighbours[p];
+    for (std::size_t x = 0; x < nb.size(); ++x) {
+      for (std::size_t y = x + 1; y < nb.size(); ++y) {
+        ++links[static_cast<std::size_t>(nb[x])][static_cast<std::size_t>(nb[y])];
+        ++links[static_cast<std::size_t>(nb[y])][static_cast<std::size_t>(nb[x])];
+      }
+    }
+  }
+
+  const double f = (1.0 - config_.theta) / (1.0 + config_.theta);
+  const double expo = 1.0 + 2.0 * f;
+  auto pw = [expo](double x) { return std::pow(x, expo); };
+
+  std::vector<int> size(m, 1);
+  std::vector<bool> alive(m, true);
+  std::vector<int> member_of(m);  // point -> current cluster id
+  std::iota(member_of.begin(), member_of.end(), 0);
+  std::size_t num_clusters = m;
+
+  // Greedy agglomeration by the ROCK goodness measure until k clusters
+  // remain; stops early (-> failed) when no linked pair is left.
+  while (num_clusters > static_cast<std::size_t>(k)) {
+    double best = 0.0;
+    std::size_t ba = m;
+    std::size_t bb = m;
+    for (std::size_t a = 0; a < m; ++a) {
+      if (!alive[a]) continue;
+      for (std::size_t b = a + 1; b < m; ++b) {
+        if (!alive[b] || links[a][b] == 0) continue;
+        const double denom = pw(size[a] + size[b]) - pw(size[a]) - pw(size[b]);
+        const double g = denom <= 0.0 ? 0.0 : links[a][b] / denom;
+        if (g > best) {
+          best = g;
+          ba = a;
+          bb = b;
+        }
+      }
+    }
+    if (ba == m) break;
+
+    for (std::size_t c = 0; c < m; ++c) {
+      if (!alive[c] || c == ba || c == bb) continue;
+      links[ba][c] += links[bb][c];
+      links[c][ba] = links[ba][c];
+    }
+    size[ba] += size[bb];
+    alive[bb] = false;
+    for (std::size_t p = 0; p < m; ++p) {
+      if (member_of[p] == static_cast<int>(bb)) {
+        member_of[p] = static_cast<int>(ba);
+      }
+    }
+    --num_clusters;
+  }
+
+  // Dense cluster ids over the sample.
+  std::vector<int> dense(m, -1);
+  int next_id = 0;
+  std::vector<int> sample_label(m);
+  for (std::size_t p = 0; p < m; ++p) {
+    const auto root = static_cast<std::size_t>(member_of[p]);
+    if (dense[root] < 0) dense[root] = next_id++;
+    sample_label[p] = dense[root];
+  }
+
+  // Labelling phase: sample members keep their cluster; outside points go
+  // to the cluster with the best normalised neighbour count (ROCK Sec. 4.5),
+  // falling back to the most similar sample point when isolated.
+  ClusterResult result;
+  result.labels.assign(n, -1);
+  std::vector<int> cluster_sizes(static_cast<std::size_t>(next_id), 0);
+  for (std::size_t p = 0; p < m; ++p) {
+    result.labels[sample[p]] = sample_label[p];
+    ++cluster_sizes[static_cast<std::size_t>(sample_label[p])];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.labels[i] >= 0) continue;
+    std::vector<int> votes(static_cast<std::size_t>(next_id), 0);
+    double best_sim = -1.0;
+    int nearest = 0;
+    for (std::size_t p = 0; p < m; ++p) {
+      const double sim = jaccard(ds, i, sample[p]);
+      if (sim >= config_.theta) {
+        ++votes[static_cast<std::size_t>(sample_label[p])];
+      }
+      if (sim > best_sim) {
+        best_sim = sim;
+        nearest = sample_label[p];
+      }
+    }
+    int best_cluster = -1;
+    double best_score = 0.0;
+    for (int c = 0; c < next_id; ++c) {
+      const double nc = cluster_sizes[static_cast<std::size_t>(c)];
+      const double denom = std::pow(nc + 1.0, expo) - std::pow(nc, expo);
+      const double score =
+          denom <= 0.0 ? 0.0 : votes[static_cast<std::size_t>(c)] / denom;
+      if (score > best_score) {
+        best_score = score;
+        best_cluster = c;
+      }
+    }
+    result.labels[i] = best_cluster >= 0 ? best_cluster : nearest;
+  }
+
+  finalize_result(result, k);
+  return result;
+}
+
+}  // namespace mcdc::baselines

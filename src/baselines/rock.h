@@ -1,0 +1,42 @@
+// ROCK (Guha, Rastogi & Shim, 2000) — robust hierarchical clustering for
+// categorical attributes, the paper's hierarchical baseline.
+//
+// Objects are neighbours when their Jaccard similarity over attribute-value
+// pairs reaches theta; link(p, q) = number of common neighbours; clusters
+// merge greedily by the goodness measure
+//
+//   g(Ci, Cj) = cross_links / ((ni+nj)^(1+2f) - ni^(1+2f) - nj^(1+2f)),
+//   f(theta) = (1 - theta) / (1 + theta),
+//
+// until k clusters remain. As in the original system, large inputs are
+// clustered on a random sample and remaining points are assigned to the
+// cluster with the best normalised neighbour count. Deterministic given the
+// seed (and fully deterministic at or below the sample size), which is why
+// the paper reports +/-0.00 deviations for ROCK.
+#pragma once
+
+#include "baselines/clusterer.h"
+
+namespace mcdc::baselines {
+
+struct RockConfig {
+  double theta = 0.5;
+  // Points above this budget are assigned after clustering a sample. The
+  // greedy agglomeration scans all cluster pairs per merge (O(sample^3)
+  // worst case), so this budget dominates ROCK's runtime.
+  std::size_t max_sample = 800;
+};
+
+class Rock : public Clusterer {
+ public:
+  explicit Rock(const RockConfig& config = {}) : config_(config) {}
+
+  std::string name() const override { return "ROCK"; }
+  ClusterResult cluster(const data::Dataset& ds, int k,
+                        std::uint64_t seed) const override;
+
+ private:
+  RockConfig config_;
+};
+
+}  // namespace mcdc::baselines

@@ -1,0 +1,160 @@
+#include "baselines/wocil.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/similarity.h"
+
+namespace mcdc::baselines {
+
+namespace {
+
+using core::ClusterProfile;
+using data::Dataset;
+using data::Value;
+
+// Deterministic seeding: densest object first, then objects maximising
+// (Hamming distance to nearest chosen seed) * density — the stable
+// initialisation WOCIL is known for.
+std::vector<std::size_t> stable_seeds(const Dataset& ds, int k) {
+  const std::size_t n = ds.num_objects();
+  const std::size_t d = ds.num_features();
+  const auto counts = ds.value_counts();
+
+  std::vector<double> density(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Value* row = ds.row(i);
+    for (std::size_t r = 0; r < d; ++r) {
+      if (row[r] != data::kMissing) {
+        density[i] += counts[r][static_cast<std::size_t>(row[r])];
+      }
+    }
+  }
+
+  auto hamming = [&](std::size_t a, std::size_t b) {
+    const Value* ra = ds.row(a);
+    const Value* rb = ds.row(b);
+    int dist = 0;
+    for (std::size_t r = 0; r < d; ++r) {
+      if (ra[r] != rb[r]) ++dist;
+    }
+    return dist;
+  };
+
+  std::vector<std::size_t> seeds;
+  std::size_t first = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (density[i] > density[first]) first = i;
+  }
+  seeds.push_back(first);
+  std::vector<int> nearest(n);
+  for (std::size_t i = 0; i < n; ++i) nearest[i] = hamming(i, first);
+  while (seeds.size() < static_cast<std::size_t>(k)) {
+    std::size_t best = 0;
+    double best_score = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double score = static_cast<double>(nearest[i]) * density[i];
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    seeds.push_back(best);
+    for (std::size_t i = 0; i < n; ++i) {
+      nearest[i] = std::min(nearest[i], hamming(i, best));
+    }
+  }
+  return seeds;
+}
+
+// Subspace weights of one cluster: concentration (1 - normalised entropy)
+// per attribute, normalised to sum 1.
+std::vector<double> subspace_weights(const ClusterProfile& profile,
+                                     const Dataset& ds) {
+  const std::size_t d = ds.num_features();
+  std::vector<double> w(d, 0.0);
+  double total = 0.0;
+  for (std::size_t r = 0; r < d; ++r) {
+    const int m_r = ds.cardinality(r);
+    const int denom = profile.non_null_count(r);
+    if (m_r <= 1 || denom == 0) {
+      w[r] = 0.0;  // a single-valued attribute separates nothing
+      continue;
+    }
+    double h = 0.0;
+    for (int v = 0; v < m_r; ++v) {
+      const int c = profile.value_count(r, v);
+      if (c == 0) continue;
+      const double p = static_cast<double>(c) / denom;
+      h -= p * std::log(p);
+    }
+    w[r] = 1.0 - h / std::log(static_cast<double>(m_r));
+    total += w[r];
+  }
+  if (total <= 0.0) {
+    return std::vector<double>(d, 1.0 / static_cast<double>(d));
+  }
+  for (double& x : w) x /= total;
+  return w;
+}
+
+}  // namespace
+
+ClusterResult Wocil::cluster(const data::Dataset& ds, int k,
+                             std::uint64_t /*seed*/) const {
+  const std::size_t n = ds.num_objects();
+  if (n == 0) throw std::invalid_argument("Wocil: empty dataset");
+  if (k < 1 || static_cast<std::size_t>(k) > n) {
+    throw std::invalid_argument("Wocil: invalid k");
+  }
+
+  std::vector<int> labels(n, -1);
+  std::vector<ClusterProfile> profiles(
+      static_cast<std::size_t>(k), ClusterProfile(ds.cardinalities()));
+  const auto seeds = stable_seeds(ds, k);
+  for (std::size_t l = 0; l < seeds.size(); ++l) {
+    profiles[l].add(ds, seeds[l]);
+    labels[seeds[l]] = static_cast<int>(l);
+  }
+  std::vector<std::vector<double>> weights(
+      static_cast<std::size_t>(k),
+      std::vector<double>(ds.num_features(), 1.0 / static_cast<double>(ds.num_features())));
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_sim = -std::numeric_limits<double>::infinity();
+      for (int l = 0; l < k; ++l) {
+        const auto lu = static_cast<std::size_t>(l);
+        const double s = profiles[lu].weighted_similarity(ds, i, weights[lu]);
+        if (s > best_sim) {
+          best_sim = s;
+          best = l;
+        }
+      }
+      if (labels[i] != best) {
+        if (labels[i] >= 0) {
+          profiles[static_cast<std::size_t>(labels[i])].remove(ds, i);
+        }
+        profiles[static_cast<std::size_t>(best)].add(ds, i);
+        labels[i] = best;
+        changed = true;
+      }
+    }
+    for (int l = 0; l < k; ++l) {
+      const auto lu = static_cast<std::size_t>(l);
+      weights[lu] = subspace_weights(profiles[lu], ds);
+    }
+    if (!changed) break;
+  }
+
+  ClusterResult result;
+  result.labels = std::move(labels);
+  finalize_result(result, k);
+  return result;
+}
+
+}  // namespace mcdc::baselines

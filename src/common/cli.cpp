@@ -1,0 +1,52 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mcdc {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not itself a flag; bare "--flag"
+    // otherwise.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key,
+                     const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long Cli::get_int(const std::string& key, long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace mcdc

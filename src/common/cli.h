@@ -1,0 +1,31 @@
+// Tiny flag parser shared by the bench binaries and examples.
+//
+// Supports "--flag", "--key value" and "--key=value" forms; anything else is
+// kept as a positional argument.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcdc {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mcdc

@@ -1,0 +1,35 @@
+// Fixed-width ASCII table printing for the benchmark harnesses.
+//
+// Every bench binary reproduces a paper table/figure as rows on stdout; this
+// helper keeps their layout consistent and readable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcdc {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends one row; the row must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  // Renders with column widths fitted to content.
+  void print(std::ostream& os) const;
+
+  // "0.372+/-0.00" style cell used throughout Table III.
+  static std::string mean_std_cell(double mean, double stddev,
+                                   int mean_digits = 3, int std_digits = 2);
+
+  // Fixed-precision numeric cell.
+  static std::string num_cell(double value, int digits = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcdc

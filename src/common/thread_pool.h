@@ -1,0 +1,64 @@
+// Minimal fixed-size thread pool with a parallel_for convenience wrapper.
+//
+// Used to parallelise embarrassingly parallel inner loops (per-object
+// distance computation in the benchmark harnesses, repeated experiment
+// runs). Clustering algorithms themselves are sequential where the paper's
+// update order matters (online competitive learning), so the pool is applied
+// at the experiment level, never inside MGCPL's per-object update loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mcdc {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueue an arbitrary task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopped_) throw std::runtime_error("ThreadPool: submit after stop");
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  // Blocks until body(i) has run for every i in [begin, end). Chunks the
+  // range so each worker receives a contiguous block.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+};
+
+// Shared process-wide pool sized to the hardware.
+ThreadPool& global_pool();
+
+}  // namespace mcdc

@@ -1,0 +1,50 @@
+// Micro-cluster anomaly scoring — the paper's first motivating application
+// ("Clustering can be utilized as a learner for recognition tasks, including
+// anomaly detection", Sec. I), realised on MGCPL's analysis.
+//
+// Two complementary signals, both read straight off the multi-granular
+// result (no extra learning):
+//
+//   - rarity: an object whose finest micro-cluster holds a tiny fraction of
+//     the data is structurally isolated (rarity = -log(size / n),
+//     normalised to [0, 1] over the dataset);
+//   - eccentricity: 1 - s(x_i, C_own) with the Sec. II-A similarity at the
+//     finest granularity — the object disagrees with its own micro-cluster's
+//     value profile.
+//
+// The blended score ranks objects; callers either take the top-q fraction
+// or threshold on the score.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mgcpl.h"
+#include "data/dataset.h"
+
+namespace mcdc::core {
+
+struct AnomalyConfig {
+  // Blend weight on rarity (1 - weight goes to eccentricity).
+  double rarity_weight = 0.5;
+  // Granularity to score against: 0 = finest recorded stage (default);
+  // negative values index from the coarse end (-1 = coarsest).
+  int stage = 0;
+};
+
+struct AnomalyResult {
+  // Per-object score in [0, 1]; higher = more anomalous.
+  std::vector<double> scores;
+  // Object indices sorted by descending score (ties by index).
+  std::vector<std::size_t> ranking;
+
+  // The top ceil(fraction * n) indices from the ranking.
+  std::vector<std::size_t> top_fraction(double fraction) const;
+};
+
+// Scores all objects of a completed MGCPL analysis.
+AnomalyResult score_anomalies(const data::Dataset& ds,
+                              const MgcplResult& mgcpl,
+                              const AnomalyConfig& config = {});
+
+}  // namespace mcdc::core

@@ -1,0 +1,207 @@
+#include "core/came.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "data/seeding.h"
+
+namespace mcdc::core {
+
+namespace {
+
+using data::Dataset;
+using data::Value;
+
+// Weighted Hamming distance of row i to mode z (Eq. 20's inner sum).
+double weighted_distance(const Dataset& ds, std::size_t i,
+                         const std::vector<Value>& z,
+                         const std::vector<double>& theta) {
+  const Value* row = ds.row(i);
+  double dist = 0.0;
+  for (std::size_t r = 0; r < z.size(); ++r) {
+    if (row[r] != z[r]) dist += theta[r];
+  }
+  return dist;
+}
+
+std::vector<std::vector<Value>> random_init(const Dataset& ds, int k,
+                                            Rng& rng) {
+  const std::size_t d = ds.num_features();
+  std::vector<std::vector<Value>> modes;
+  modes.reserve(static_cast<std::size_t>(k));
+  for (std::size_t i :
+       rng.sample_without_replacement(ds.num_objects(), static_cast<std::size_t>(k))) {
+    modes.emplace_back(ds.row(i), ds.row(i) + d);
+  }
+  return modes;
+}
+
+}  // namespace
+
+CameResult Came::run(const data::Dataset& embedding, int k,
+                     std::uint64_t seed) const {
+  const std::size_t n = embedding.num_objects();
+  const std::size_t sigma = embedding.num_features();
+  if (n == 0) throw std::invalid_argument("Came::run: empty embedding");
+  if (k < 1) throw std::invalid_argument("Came::run: k must be >= 1");
+  if (static_cast<std::size_t>(k) > n) {
+    throw std::invalid_argument("Came::run: k exceeds number of objects");
+  }
+
+  Rng rng(seed);
+  std::vector<std::vector<Value>> modes =
+      config_.init == CameConfig::Init::density ? data::density_seed_modes(embedding, k)
+                                                : random_init(embedding, k, rng);
+  std::vector<double> theta(sigma, 1.0 / static_cast<double>(sigma));
+
+  CameResult result;
+  result.labels.assign(n, -1);
+
+  auto assign = [&](std::vector<int>& labels) {
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (int l = 0; l < k; ++l) {
+        const double dist =
+            weighted_distance(embedding, i, modes[static_cast<std::size_t>(l)], theta);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = l;
+        }
+      }
+      labels[i] = best;
+    }
+  };
+
+  auto update_modes = [&](const std::vector<int>& labels) {
+    // Per-cluster value histograms -> per-feature argmax.
+    std::vector<std::vector<std::vector<int>>> hist(
+        static_cast<std::size_t>(k));
+    for (int l = 0; l < k; ++l) {
+      hist[static_cast<std::size_t>(l)].resize(sigma);
+      for (std::size_t r = 0; r < sigma; ++r) {
+        hist[static_cast<std::size_t>(l)][r].assign(
+            static_cast<std::size_t>(embedding.cardinality(r)), 0);
+      }
+    }
+    std::vector<int> sizes(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto l = static_cast<std::size_t>(labels[i]);
+      ++sizes[l];
+      const Value* row = embedding.row(i);
+      for (std::size_t r = 0; r < sigma; ++r) {
+        if (row[r] != data::kMissing) {
+          ++hist[l][r][static_cast<std::size_t>(row[r])];
+        }
+      }
+    }
+    // Empty clusters are re-seeded with the object farthest from its mode,
+    // keeping k alive (k-modes standard remedy).
+    for (int l = 0; l < k; ++l) {
+      if (sizes[static_cast<std::size_t>(l)] > 0) continue;
+      std::size_t farthest = 0;
+      double worst = -1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double dist = weighted_distance(
+            embedding, i, modes[static_cast<std::size_t>(labels[i])], theta);
+        if (dist > worst) {
+          worst = dist;
+          farthest = i;
+        }
+      }
+      modes[static_cast<std::size_t>(l)].assign(
+          embedding.row(farthest), embedding.row(farthest) + sigma);
+    }
+    for (int l = 0; l < k; ++l) {
+      if (sizes[static_cast<std::size_t>(l)] == 0) continue;
+      for (std::size_t r = 0; r < sigma; ++r) {
+        const auto& counts = hist[static_cast<std::size_t>(l)][r];
+        int best_count = -1;
+        Value best_value = 0;
+        for (std::size_t v = 0; v < counts.size(); ++v) {
+          if (counts[v] > best_count) {
+            best_count = counts[v];
+            best_value = static_cast<Value>(v);
+          }
+        }
+        modes[static_cast<std::size_t>(l)][r] = best_value;
+      }
+    }
+  };
+
+  auto update_theta = [&](const std::vector<int>& labels) {
+    switch (config_.weight_update) {
+      case CameConfig::WeightUpdate::fixed:
+        return;  // MCDC4 ablation: identical weights throughout
+      case CameConfig::WeightUpdate::paper: {
+        // Eq. (22): intra-cluster match mass per granularity.
+        std::vector<double> intra(sigma, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+          const Value* row = embedding.row(i);
+          const auto& z = modes[static_cast<std::size_t>(labels[i])];
+          for (std::size_t r = 0; r < sigma; ++r) {
+            if (row[r] == z[r]) intra[r] += 1.0;
+          }
+        }
+        double total = 0.0;
+        for (double v : intra) total += v;
+        if (total <= 0.0) return;
+        for (std::size_t r = 0; r < sigma; ++r) theta[r] = intra[r] / total;
+        return;
+      }
+      case CameConfig::WeightUpdate::lagrange: {
+        // Huang et al. [21]: theta_r = 1 / sum_t (D_r / D_t)^(1/(beta-1))
+        // with D_r the mismatch mass of granularity r.
+        std::vector<double> mismatch(sigma, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+          const Value* row = embedding.row(i);
+          const auto& z = modes[static_cast<std::size_t>(labels[i])];
+          for (std::size_t r = 0; r < sigma; ++r) {
+            if (row[r] != z[r]) mismatch[r] += 1.0;
+          }
+        }
+        const double exponent = 1.0 / (config_.beta - 1.0);
+        constexpr double kEps = 1e-12;
+        for (std::size_t r = 0; r < sigma; ++r) {
+          double denom = 0.0;
+          for (std::size_t t = 0; t < sigma; ++t) {
+            denom += std::pow((mismatch[r] + kEps) / (mismatch[t] + kEps),
+                              exponent);
+          }
+          theta[r] = 1.0 / denom;
+        }
+        return;
+      }
+    }
+  };
+
+  // Alg. 2 line 2: initial partition from the seeded modes.
+  std::vector<int> q(n, -1);
+  assign(q);
+
+  std::vector<int> q_next(n, -1);
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    ++result.iterations;
+    update_modes(q);
+    update_theta(q);
+    assign(q_next);
+    if (q_next == q) {
+      result.converged = true;
+      break;
+    }
+    std::swap(q, q_next);
+  }
+
+  result.labels = std::move(q);
+  result.theta = theta;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.objective += weighted_distance(
+        embedding, i, modes[static_cast<std::size_t>(result.labels[i])], theta);
+  }
+  return result;
+}
+
+}  // namespace mcdc::core

@@ -1,0 +1,195 @@
+#include "core/competitive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mcdc::core {
+
+double cluster_weight_sigmoid(double delta) {
+  return 1.0 / (1.0 + std::exp(-10.0 * delta + 5.0));
+}
+
+CompetitiveStage::CompetitiveStage(const data::Dataset& ds,
+                                   const std::vector<std::size_t>& seeds,
+                                   const StageConfig& config)
+    : ds_(ds), config_(config), global_(ds) {
+  if (seeds.empty()) {
+    throw std::invalid_argument("CompetitiveStage: need at least one seed");
+  }
+  if (ds.num_objects() == 0) {
+    throw std::invalid_argument("CompetitiveStage: empty dataset");
+  }
+  const std::size_t k = seeds.size();
+  profiles_.assign(k, ClusterProfile(ds.cardinalities()));
+  assignment_.assign(ds.num_objects(), -1);
+  for (std::size_t l = 0; l < k; ++l) {
+    const std::size_t i = seeds[l];
+    if (i >= ds.num_objects()) {
+      throw std::invalid_argument("CompetitiveStage: seed out of range");
+    }
+    if (assignment_[i] != -1) {
+      throw std::invalid_argument("CompetitiveStage: duplicate seed row");
+    }
+    profiles_[l].add(ds, i);
+    assignment_[i] = static_cast<int>(l);
+  }
+  omega_.assign(k, std::vector<double>(ds.num_features(),
+                                       1.0 / static_cast<double>(ds.num_features())));
+  g_prev_.assign(k, 0.0);
+  g_cur_.assign(k, 0.0);
+  delta_.assign(k, config.initial_delta);
+  u_.assign(k, config.update == WeightUpdate::sigmoid_rival
+                   ? cluster_weight_sigmoid(config.initial_delta)
+                   : 1.0);
+}
+
+double CompetitiveStage::score(std::size_t i, std::size_t l,
+                               double g_total) const {
+  // Eq. (7); under cumulative_rho g_prev_ mirrors the stage-cumulative
+  // counts, otherwise it holds the previous sweep's frozen counts.
+  const double rho = g_total > 0.0 ? g_prev_[l] / g_total : 0.0;
+  return (1.0 - rho) * u_[l] *
+         profiles_[l].weighted_similarity(ds_, i, omega_[l]);
+}
+
+int CompetitiveStage::run() {
+  const std::size_t n = ds_.num_objects();
+  int passes = 0;
+  const std::size_t k_start = profiles_.size();
+  // Elimination quota that ends the stage (0 = no quota).
+  std::size_t quota = 0;
+  if (config_.stage_drop_fraction > 0.0) {
+    quota = static_cast<std::size_t>(
+        std::ceil(config_.stage_drop_fraction * static_cast<double>(k_start)));
+    quota = std::max<std::size_t>(quota, 1);
+  }
+
+  while (passes < config_.max_passes) {
+    ++passes;
+    bool changed = false;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t k = profiles_.size();
+      if (k == 1) {
+        // A lone cluster trivially wins every object.
+        if (assignment_[i] != 0) {
+          if (assignment_[i] >= 0) {
+            profiles_[static_cast<std::size_t>(assignment_[i])].remove(ds_, i);
+          }
+          profiles_[0].add(ds_, i);
+          assignment_[i] = 0;
+          changed = true;
+        }
+        g_cur_[0] += 1.0;
+        if (config_.cumulative_rho) g_prev_[0] += 1.0;
+        continue;
+      }
+
+      double g_total = 0.0;
+      for (double g : g_prev_) g_total += g;
+
+      // Winner (Eq. 6) and rival (Eq. 9) in one scan; ties resolve to the
+      // lowest cluster id, making runs reproducible.
+      std::size_t v = 0;
+      std::size_t h = 1;
+      double best = -1.0;
+      double second = -1.0;
+      for (std::size_t l = 0; l < k; ++l) {
+        const double s = score(i, l, g_total);
+        if (s > best) {
+          second = best;
+          h = v;
+          best = s;
+          v = l;
+        } else if (s > second) {
+          second = s;
+          h = l;
+        }
+      }
+
+      // Assign x_i to the winner (Eq. 4 row update).
+      const int old = assignment_[i];
+      if (old != static_cast<int>(v)) {
+        if (old >= 0) profiles_[static_cast<std::size_t>(old)].remove(ds_, i);
+        profiles_[v].add(ds_, i);
+        assignment_[i] = static_cast<int>(v);
+        changed = true;
+      }
+      g_cur_[v] += 1.0;  // Eq. (10)
+      if (config_.cumulative_rho) g_prev_[v] += 1.0;
+
+      if (config_.update == WeightUpdate::sigmoid_rival) {
+        delta_[v] += config_.eta;  // Eq. (12)
+        // Eq. (13): rival pushed away proportionally to closeness.
+        const double penalty_sim =
+            config_.penalty_uses_winner_similarity
+                ? profiles_[v].weighted_similarity(ds_, i, omega_[v])
+                : profiles_[h].weighted_similarity(ds_, i, omega_[h]);
+        delta_[h] -= config_.eta * penalty_sim;
+        u_[v] = cluster_weight_sigmoid(delta_[v]);
+        u_[h] = cluster_weight_sigmoid(delta_[h]);
+      } else {
+        u_[v] += config_.eta;  // Eq. (8), winner-only reward
+      }
+    }
+
+    prune_empty_clusters();
+    if (config_.feature_weighting) refresh_feature_weights();
+    if (!config_.cumulative_rho) {
+      g_prev_ = g_cur_;
+      std::fill(g_cur_.begin(), g_cur_.end(), 0.0);
+    }
+    if (!changed) break;  // Q_new == Q_old (Alg. 1 lines 8-10)
+    if (quota > 0 && k_start - profiles_.size() >= quota) break;
+  }
+  return passes;
+}
+
+void CompetitiveStage::reset_learning_state() {
+  const std::size_t k = profiles_.size();
+  g_prev_.assign(k, 0.0);
+  g_cur_.assign(k, 0.0);
+  delta_.assign(k, config_.initial_delta);
+  u_.assign(k, config_.update == WeightUpdate::sigmoid_rival
+                   ? cluster_weight_sigmoid(config_.initial_delta)
+                   : 1.0);
+}
+
+void CompetitiveStage::refresh_feature_weights() {
+  for (std::size_t l = 0; l < profiles_.size(); ++l) {
+    omega_[l] = feature_weights(global_, profiles_[l]);
+  }
+}
+
+void CompetitiveStage::prune_empty_clusters() {
+  const std::size_t k = profiles_.size();
+  std::vector<int> remap(k, -1);
+  std::size_t live = 0;
+  for (std::size_t l = 0; l < k; ++l) {
+    if (!profiles_[l].empty()) {
+      remap[l] = static_cast<int>(live);
+      if (live != l) {
+        profiles_[live] = std::move(profiles_[l]);
+        omega_[live] = std::move(omega_[l]);
+        g_prev_[live] = g_prev_[l];
+        g_cur_[live] = g_cur_[l];
+        delta_[live] = delta_[l];
+        u_[live] = u_[l];
+      }
+      ++live;
+    }
+  }
+  if (live == k) return;
+  profiles_.resize(live);
+  omega_.resize(live);
+  g_prev_.resize(live);
+  g_cur_.resize(live);
+  delta_.resize(live);
+  u_.resize(live);
+  for (auto& a : assignment_) {
+    if (a >= 0) a = remap[static_cast<std::size_t>(a)];
+  }
+}
+
+}  // namespace mcdc::core

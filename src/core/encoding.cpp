@@ -1,0 +1,39 @@
+#include "core/encoding.h"
+
+#include <stdexcept>
+
+namespace mcdc::core {
+
+namespace {
+
+data::Dataset build(const MgcplResult& mgcpl, std::vector<int> labels) {
+  if (mgcpl.partitions.empty()) {
+    throw std::invalid_argument("encode_gamma: empty MGCPL result");
+  }
+  const std::size_t n = mgcpl.partitions.front().size();
+  const std::size_t sigma = mgcpl.partitions.size();
+
+  std::vector<data::Value> cells(n * sigma);
+  for (std::size_t j = 0; j < sigma; ++j) {
+    if (mgcpl.partitions[j].size() != n) {
+      throw std::invalid_argument("encode_gamma: ragged partitions");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      cells[i * sigma + j] = static_cast<data::Value>(mgcpl.partitions[j][i]);
+    }
+  }
+  std::vector<int> cardinalities(mgcpl.kappa.begin(), mgcpl.kappa.end());
+  return data::Dataset(n, sigma, std::move(cells), std::move(cardinalities),
+                       std::move(labels));
+}
+
+}  // namespace
+
+data::Dataset encode_gamma(const MgcplResult& mgcpl,
+                           const data::Dataset& source) {
+  return build(mgcpl, source.labels());
+}
+
+data::Dataset encode_gamma(const MgcplResult& mgcpl) { return build(mgcpl, {}); }
+
+}  // namespace mcdc::core

@@ -1,0 +1,22 @@
+// MGCPL encoding (the "E" in CAME): the multi-granular partitions Gamma are
+// re-interpreted as a categorical dataset with sigma features — feature j of
+// object i is i's cluster id at granularity j. Any categorical clusterer can
+// then run on the embedding; that is how MCDC+GUDMM / MCDC+FKMAWCW are
+// formed in the paper's Table III.
+#pragma once
+
+#include "core/mgcpl.h"
+#include "data/dataset.h"
+
+namespace mcdc::core {
+
+// Builds the n x sigma embedding dataset from MGCPL's result. Ground-truth
+// labels of the source dataset (when present) are carried over so validity
+// indices can be computed on clusterings of the embedding.
+data::Dataset encode_gamma(const MgcplResult& mgcpl,
+                           const data::Dataset& source);
+
+// Embedding without label carry-over (for unlabeled pipelines).
+data::Dataset encode_gamma(const MgcplResult& mgcpl);
+
+}  // namespace mcdc::core

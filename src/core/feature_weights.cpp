@@ -1,0 +1,64 @@
+#include "core/feature_weights.h"
+
+#include <cmath>
+
+namespace mcdc::core {
+
+GlobalCounts::GlobalCounts(const data::Dataset& ds)
+    : counts(ds.value_counts()), non_null(ds.num_features(), 0) {
+  for (std::size_t r = 0; r < ds.num_features(); ++r) {
+    for (int c : counts[r]) non_null[r] += c;
+  }
+}
+
+double inter_cluster_difference(const GlobalCounts& global,
+                                const ClusterProfile& cluster, std::size_t r) {
+  const int in_denom = cluster.non_null_count(r);
+  const int out_denom = global.non_null[r] - in_denom;
+  double sum_sq = 0.0;
+  for (std::size_t v = 0; v < global.counts[r].size(); ++v) {
+    const int in_count = cluster.value_count(r, static_cast<data::Value>(v));
+    const int out_count = global.counts[r][v] - in_count;
+    const double p_in =
+        in_denom > 0 ? static_cast<double>(in_count) / in_denom : 0.0;
+    const double p_out =
+        out_denom > 0 ? static_cast<double>(out_count) / out_denom : 0.0;
+    const double diff = p_in - p_out;
+    sum_sq += diff * diff;
+  }
+  return std::sqrt(sum_sq) / std::sqrt(2.0);
+}
+
+double intra_cluster_similarity(const ClusterProfile& cluster, std::size_t r) {
+  // (1/n_l) * sum_{x in C_l} Psi_{Fr=x_r}/Psi_{Fr!=NULL}
+  //   = sum_v count_v^2 / (n_l * Psi_{Fr!=NULL})  — members with a missing
+  // value on F_r contribute zero, exactly as in the similarity measure.
+  const int n_l = cluster.size();
+  const int denom = cluster.non_null_count(r);
+  if (n_l == 0 || denom == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t v = 0; v < cluster.counts()[r].size(); ++v) {
+    const double c = cluster.counts()[r][v];
+    sum += c * c;
+  }
+  return sum / (static_cast<double>(n_l) * static_cast<double>(denom));
+}
+
+std::vector<double> feature_weights(const GlobalCounts& global,
+                                    const ClusterProfile& cluster) {
+  const std::size_t d = global.counts.size();
+  std::vector<double> h(d);
+  double total = 0.0;
+  for (std::size_t r = 0; r < d; ++r) {
+    h[r] = inter_cluster_difference(global, cluster, r) *
+           intra_cluster_similarity(cluster, r);
+    total += h[r];
+  }
+  if (total <= 0.0) {
+    return std::vector<double>(d, 1.0 / static_cast<double>(d));
+  }
+  for (double& w : h) w /= total;
+  return h;
+}
+
+}  // namespace mcdc::core

@@ -1,0 +1,181 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/competitive.h"
+
+namespace mcdc::core {
+
+StreamingMgcpl::StreamingMgcpl(std::vector<int> cardinalities,
+                               const StreamingConfig& config)
+    : cardinalities_(std::move(cardinalities)), config_(config) {
+  if (cardinalities_.empty()) {
+    throw std::invalid_argument("StreamingMgcpl: empty schema");
+  }
+  if (config_.decay <= 0.0 || config_.decay > 1.0) {
+    throw std::invalid_argument("StreamingMgcpl: decay must be in (0, 1]");
+  }
+  if (config_.max_clusters == 0) {
+    throw std::invalid_argument("StreamingMgcpl: max_clusters must be >= 1");
+  }
+}
+
+double StreamingMgcpl::similarity(const StreamCluster& cluster,
+                                  const data::Value* row) const {
+  const std::size_t d = cardinalities_.size();
+  double sum = 0.0;
+  for (std::size_t r = 0; r < d; ++r) {
+    const data::Value v = row[r];
+    if (v == data::kMissing || cluster.non_null[r] <= 0.0) continue;
+    sum += cluster.counts[r][static_cast<std::size_t>(v)] / cluster.non_null[r];
+  }
+  return sum / static_cast<double>(d);
+}
+
+int StreamingMgcpl::strongest(const data::Value* row, int exclude,
+                              double win_total) const {
+  int best = -1;
+  double best_score = -1.0;
+  for (std::size_t l = 0; l < clusters_.size(); ++l) {
+    if (static_cast<int>(l) == exclude) continue;
+    const auto& c = clusters_[l];
+    const double rho = win_total > 0.0 ? c.wins / win_total : 0.0;
+    const double score =
+        (1.0 - rho) * cluster_weight_sigmoid(c.delta) * similarity(c, row);
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(l);
+    }
+  }
+  return best;
+}
+
+void StreamingMgcpl::spawn(const data::Value* row) {
+  if (clusters_.size() >= config_.max_clusters) {
+    // Drop the weakest cluster (lowest mass) to stay within budget.
+    std::size_t weakest = 0;
+    for (std::size_t l = 1; l < clusters_.size(); ++l) {
+      if (clusters_[l].mass < clusters_[weakest].mass) weakest = l;
+    }
+    clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(weakest));
+  }
+  StreamCluster cluster;
+  cluster.counts.resize(cardinalities_.size());
+  cluster.non_null.assign(cardinalities_.size(), 0.0);
+  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
+    cluster.counts[r].assign(static_cast<std::size_t>(cardinalities_[r]), 0.0);
+    const data::Value v = row[r];
+    if (v != data::kMissing) {
+      cluster.counts[r][static_cast<std::size_t>(v)] = 1.0;
+      cluster.non_null[r] = 1.0;
+    }
+  }
+  cluster.mass = 1.0;
+  cluster.delta = config_.initial_delta;
+  clusters_.push_back(std::move(cluster));
+}
+
+int StreamingMgcpl::observe(const data::Value* row) {
+  double win_total = 0.0;
+  for (const auto& c : clusters_) win_total += c.wins;
+
+  const int v = strongest(row, -1, win_total);
+  const double win_sim =
+      v >= 0 ? similarity(clusters_[static_cast<std::size_t>(v)], row) : 0.0;
+  if (v < 0 || win_sim < config_.novelty_threshold) {
+    spawn(row);
+    return static_cast<int>(clusters_.size()) - 1;
+  }
+
+  // Winner absorbs the object (Eqs. 10-12).
+  auto& winner = clusters_[static_cast<std::size_t>(v)];
+  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
+    const data::Value val = row[r];
+    if (val == data::kMissing) continue;
+    winner.counts[r][static_cast<std::size_t>(val)] += 1.0;
+    winner.non_null[r] += 1.0;
+  }
+  winner.mass += 1.0;
+  winner.wins += 1.0;
+  winner.delta += config_.eta;
+
+  // Rival penalization (Eqs. 9, 13).
+  const int h = strongest(row, v, win_total);
+  if (h >= 0) {
+    auto& rival = clusters_[static_cast<std::size_t>(h)];
+    rival.delta -= config_.eta * similarity(rival, row);
+  }
+  return v;
+}
+
+std::vector<int> StreamingMgcpl::observe_chunk(const data::Dataset& chunk) {
+  if (chunk.num_features() != cardinalities_.size()) {
+    throw std::invalid_argument("StreamingMgcpl: chunk schema mismatch");
+  }
+  std::vector<int> assigned(chunk.num_objects());
+  for (std::size_t i = 0; i < chunk.num_objects(); ++i) {
+    assigned[i] = observe(chunk.row(i));
+  }
+  consolidate();
+  return assigned;
+}
+
+std::vector<int> StreamingMgcpl::classify(const data::Dataset& ds) const {
+  if (ds.num_features() != cardinalities_.size()) {
+    throw std::invalid_argument("StreamingMgcpl: dataset schema mismatch");
+  }
+  std::vector<int> labels(ds.num_objects(), -1);
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    int best = 0;
+    double best_sim = -1.0;
+    for (std::size_t l = 0; l < clusters_.size(); ++l) {
+      const double s = similarity(clusters_[l], ds.row(i));
+      if (s > best_sim) {
+        best_sim = s;
+        best = static_cast<int>(l);
+      }
+    }
+    labels[i] = best;
+  }
+  return labels;
+}
+
+double StreamingMgcpl::total_mass() const {
+  double total = 0.0;
+  for (const auto& c : clusters_) total += c.mass;
+  return total;
+}
+
+void StreamingMgcpl::consolidate() {
+  // Exponential forgetting.
+  if (config_.decay < 1.0) {
+    for (auto& c : clusters_) {
+      for (std::size_t r = 0; r < c.counts.size(); ++r) {
+        for (double& x : c.counts[r]) x *= config_.decay;
+        c.non_null[r] *= config_.decay;
+      }
+      c.mass *= config_.decay;
+    }
+  }
+  // Prune starved clusters: mass below ~one standing object (noise hits
+  // alone cannot sustain a cluster against decay), or u driven to zero by
+  // rival penalization.
+  clusters_.erase(
+      std::remove_if(clusters_.begin(), clusters_.end(),
+                     [](const StreamCluster& c) {
+                       return c.mass < 1.5 ||
+                              cluster_weight_sigmoid(c.delta) < 1e-3;
+                     }),
+      clusters_.end());
+  // Reset the per-chunk competition state (the streaming analogue of
+  // Alg. 1 line 13).
+  for (auto& c : clusters_) {
+    c.wins = 0.0;
+    c.delta = std::max(c.delta, config_.initial_delta);
+  }
+  k_history_.push_back(static_cast<int>(clusters_.size()));
+}
+
+}  // namespace mcdc::core

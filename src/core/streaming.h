@@ -1,0 +1,90 @@
+// Streaming MGCPL — the paper's future-work direction 2 ("extending the
+// whole MCDC to process streaming and dynamic data"), implemented as an
+// online variant of the competitive penalization learner.
+//
+// Objects arrive one at a time (or in chunks). Each arrival runs one
+// winner/rival update against the live cluster set (Eqs. 6-13, with the
+// same NULL-aware similarity); cluster histograms optionally decay between
+// chunks so stale structure fades (exponential forgetting), which lets the
+// clustering track concept drift. After every chunk the learner prunes
+// starved clusters and spawns clusters for poorly-explained objects, so k
+// follows the stream.
+//
+// The streaming learner trades the multi-stage granularity analysis for
+// bounded memory: it maintains a single granularity (the "live" clusters),
+// and its k estimate corresponds to MGCPL's finest stable granularity.
+// Run the batch Mgcpl on a window snapshot when the full kappa series is
+// needed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/similarity.h"
+#include "data/dataset.h"
+
+namespace mcdc::core {
+
+struct StreamingConfig {
+  double eta = 0.03;
+  // delta at spawn/reset (see StageConfig::initial_delta).
+  double initial_delta = 0.5;
+  // Multiplies every histogram count between chunks; 1.0 = no forgetting,
+  // values < 1 make the model track drift.
+  double decay = 1.0;
+  // An object whose winning similarity falls below this spawns a new
+  // cluster (it is not explained by any live cluster).
+  double novelty_threshold = 0.15;
+  // Hard cap on live clusters; the weakest cluster is dropped first.
+  std::size_t max_clusters = 256;
+};
+
+// One live cluster of the streaming learner.
+struct StreamCluster {
+  // Per-feature value-frequency histogram (decayed, hence fractional).
+  std::vector<std::vector<double>> counts;  // [feature][value]
+  std::vector<double> non_null;             // [feature]
+  double mass = 0.0;                        // decayed member count
+  double delta = 0.5;
+  double wins = 0.0;
+};
+
+class StreamingMgcpl {
+ public:
+  // The schema (cardinalities) must be fixed up front, as is standard for
+  // streaming learners.
+  StreamingMgcpl(std::vector<int> cardinalities,
+                 const StreamingConfig& config = {});
+
+  // Processes one object; returns the id of the cluster it joined (ids are
+  // stable until the owning cluster is pruned).
+  int observe(const data::Value* row);
+
+  // Processes every row of a chunk and then consolidates: decay, prune,
+  // win-count reset. Returns the per-row cluster ids.
+  std::vector<int> observe_chunk(const data::Dataset& chunk);
+
+  // Assigns rows of a dataset to the current clusters without learning
+  // (e.g. to label a validation window).
+  std::vector<int> classify(const data::Dataset& ds) const;
+
+  std::size_t num_clusters() const { return clusters_.size(); }
+  // Total (decayed) mass across clusters.
+  double total_mass() const;
+  // History of cluster counts recorded at each consolidation.
+  const std::vector<int>& k_history() const { return k_history_; }
+
+ private:
+  double similarity(const StreamCluster& cluster, const data::Value* row) const;
+  int strongest(const data::Value* row, int exclude, double win_total) const;
+  void spawn(const data::Value* row);
+  void consolidate();
+
+  std::vector<int> cardinalities_;
+  StreamingConfig config_;
+  std::vector<StreamCluster> clusters_;
+  std::vector<int> k_history_;
+};
+
+}  // namespace mcdc::core

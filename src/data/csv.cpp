@@ -1,0 +1,114 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mcdc::data {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line, char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, delimiter)) {
+    // Trim surrounding whitespace; categorical tokens never contain spaces
+    // in the datasets we target.
+    const auto first = field.find_first_not_of(" \t\r");
+    const auto last = field.find_last_not_of(" \t\r");
+    fields.push_back(first == std::string::npos
+                         ? std::string{}
+                         : field.substr(first, last - first + 1));
+  }
+  if (!line.empty() && line.back() == delimiter) fields.emplace_back();
+  return fields;
+}
+
+}  // namespace
+
+Dataset read_csv(std::istream& in, const CsvOptions& options) {
+  std::string line;
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header;
+  bool saw_header = false;
+
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = split_line(line, options.delimiter);
+    if (options.has_header && !saw_header) {
+      header = std::move(fields);
+      saw_header = true;
+      continue;
+    }
+    rows.push_back(std::move(fields));
+  }
+  if (rows.empty()) throw std::runtime_error("read_csv: no data rows");
+
+  const std::size_t arity = rows.front().size();
+  for (const auto& row : rows) {
+    if (row.size() != arity) {
+      throw std::runtime_error("read_csv: inconsistent row arity");
+    }
+  }
+
+  int label_col = options.label_column;
+  if (label_col == -1) label_col = static_cast<int>(arity) - 1;
+  const bool has_label = label_col >= 0;
+  if (has_label && static_cast<std::size_t>(label_col) >= arity) {
+    throw std::runtime_error("read_csv: label column out of range");
+  }
+
+  std::vector<std::string> feature_names;
+  for (std::size_t c = 0; c < arity; ++c) {
+    if (has_label && static_cast<int>(c) == label_col) continue;
+    if (!header.empty()) {
+      feature_names.push_back(header[c]);
+    } else {
+      feature_names.push_back("F" + std::to_string(feature_names.size() + 1));
+    }
+  }
+
+  DatasetBuilder builder(std::move(feature_names));
+  std::vector<std::string> values;
+  for (const auto& row : rows) {
+    values.clear();
+    std::string label;
+    for (std::size_t c = 0; c < arity; ++c) {
+      if (has_label && static_cast<int>(c) == label_col) {
+        label = row[c];
+      } else {
+        values.push_back(row[c]);
+      }
+    }
+    builder.add_row(values, label);
+  }
+  return std::move(builder).build();
+}
+
+Dataset read_csv_file(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
+  return read_csv(in, options);
+}
+
+void write_csv(const Dataset& ds, std::ostream& out, char delimiter) {
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    for (std::size_t r = 0; r < ds.num_features(); ++r) {
+      if (r > 0) out << delimiter;
+      out << ds.value_name(r, ds.at(i, r));
+    }
+    if (ds.has_labels()) {
+      const int y = ds.labels()[i];
+      out << delimiter
+          << (y >= 0 && static_cast<std::size_t>(y) < ds.label_names().size()
+                  ? ds.label_names()[static_cast<std::size_t>(y)]
+                  : std::to_string(y));
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace mcdc::data

@@ -1,0 +1,31 @@
+// CSV import/export for categorical datasets.
+//
+// Matches the UCI file layout the paper consumes: one object per line,
+// comma-separated categorical values, class label in a designated column,
+// '?' for missing values.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace mcdc::data {
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = false;
+  // Column carrying the class label; -1 = last column, -2 = no label column.
+  int label_column = -1;
+};
+
+// Parses a stream of CSV rows into a Dataset.
+Dataset read_csv(std::istream& in, const CsvOptions& options = {});
+
+// Opens and parses a file; throws std::runtime_error when unreadable.
+Dataset read_csv_file(const std::string& path, const CsvOptions& options = {});
+
+// Writes values (and the label as the last column when present).
+void write_csv(const Dataset& ds, std::ostream& out, char delimiter = ',');
+
+}  // namespace mcdc::data

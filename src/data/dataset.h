@@ -1,0 +1,117 @@
+// Categorical data table: the substrate every algorithm in this library
+// consumes.
+//
+// A Dataset is an immutable n x d table of dictionary-encoded categorical
+// values. Each feature F_r has a domain dom(F_r) = {f_r1, ..., f_rm_r}; cell
+// values are stored as dense integer codes in [0, m_r) with kMissing for
+// absent entries ('?' in the UCI files the paper uses). Ground-truth class
+// labels, when known, ride along for evaluation only — no algorithm reads
+// them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcdc::data {
+
+using Value = std::int32_t;
+
+// Code stored for a missing ('?') cell.
+inline constexpr Value kMissing = -1;
+
+class Dataset;
+
+// Incrementally assembles a Dataset from string-valued rows. Dictionaries
+// are built in first-seen order, so generation order fully determines the
+// encoding (reproducibility).
+class DatasetBuilder {
+ public:
+  // feature_names defines d; every added row must match its arity.
+  explicit DatasetBuilder(std::vector<std::string> feature_names);
+
+  // Adds one object. Use "?" (or empty string) for a missing value.
+  // label may be empty when ground truth is unknown.
+  void add_row(const std::vector<std::string>& values,
+               const std::string& label = "");
+
+  Dataset build() &&;
+
+ private:
+  friend class Dataset;
+  std::vector<std::string> feature_names_;
+  std::vector<std::vector<std::string>> value_names_;  // per feature
+  std::vector<Value> cells_;                           // row-major
+  std::vector<int> labels_;
+  std::vector<std::string> label_names_;
+  bool has_labels_ = false;
+  std::size_t n_ = 0;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // Direct construction from pre-encoded cells (row-major, n x d).
+  // cardinalities[r] = m_r; every non-missing cell must satisfy
+  // 0 <= value < m_r. labels may be empty.
+  Dataset(std::size_t n, std::size_t d, std::vector<Value> cells,
+          std::vector<int> cardinalities, std::vector<int> labels = {});
+
+  std::size_t num_objects() const { return n_; }
+  std::size_t num_features() const { return d_; }
+
+  // m_r: number of possible values of feature r.
+  int cardinality(std::size_t r) const { return cardinalities_[r]; }
+  const std::vector<int>& cardinalities() const { return cardinalities_; }
+
+  // Largest cardinality over all features.
+  int max_cardinality() const;
+
+  Value at(std::size_t i, std::size_t r) const { return cells_[i * d_ + r]; }
+  bool is_missing(std::size_t i, std::size_t r) const {
+    return at(i, r) == kMissing;
+  }
+
+  // Pointer to row i's d contiguous values.
+  const Value* row(std::size_t i) const { return cells_.data() + i * d_; }
+
+  bool has_labels() const { return !labels_.empty(); }
+  const std::vector<int>& labels() const { return labels_; }
+  int num_classes() const;
+
+  // Human-readable names; empty when constructed from codes directly.
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  const std::vector<std::string>& label_names() const { return label_names_; }
+  // Name of value code v of feature r ("v<code>" when no dictionary).
+  std::string value_name(std::size_t r, Value v) const;
+
+  // True if any cell is missing.
+  bool has_missing() const;
+
+  // Copy with every row containing a missing value removed (the paper's
+  // preprocessing: "data objects with missing values are omitted").
+  Dataset drop_missing_rows() const;
+
+  // Copy containing only the given rows (in the given order).
+  Dataset subset(const std::vector<std::size_t>& rows) const;
+
+  // Per-feature value-frequency table: counts[r][v] = |{i : x_ir = v}|.
+  std::vector<std::vector<int>> value_counts() const;
+
+ private:
+  friend class DatasetBuilder;
+
+  std::size_t n_ = 0;
+  std::size_t d_ = 0;
+  std::vector<Value> cells_;
+  std::vector<int> cardinalities_;
+  std::vector<int> labels_;
+  std::vector<std::string> feature_names_;
+  std::vector<std::vector<std::string>> value_names_;
+  std::vector<std::string> label_names_;
+};
+
+}  // namespace mcdc::data

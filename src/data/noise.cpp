@@ -1,0 +1,88 @@
+#include "data/noise.h"
+
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace mcdc::data {
+
+namespace {
+
+void check_probability(double p, const char* what) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string(what) + ": probability outside [0, 1]");
+  }
+}
+
+std::vector<Value> copy_cells(const Dataset& ds) {
+  const std::size_t n = ds.num_objects();
+  const std::size_t d = ds.num_features();
+  std::vector<Value> cells;
+  cells.reserve(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Value* row = ds.row(i);
+    cells.insert(cells.end(), row, row + d);
+  }
+  return cells;
+}
+
+}  // namespace
+
+Dataset with_value_noise(const Dataset& ds, double probability,
+                         std::uint64_t seed) {
+  check_probability(probability, "with_value_noise");
+  const std::size_t n = ds.num_objects();
+  const std::size_t d = ds.num_features();
+  Rng rng(seed);
+  auto cells = copy_cells(ds);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < d; ++r) {
+      Value& cell = cells[i * d + r];
+      if (cell == kMissing) continue;
+      const int m = ds.cardinality(r);
+      if (m > 1 && rng.bernoulli(probability)) {
+        cell = static_cast<Value>(rng.below(static_cast<std::uint64_t>(m)));
+      }
+    }
+  }
+  return Dataset(n, d, std::move(cells), ds.cardinalities(), ds.labels());
+}
+
+Dataset with_missing_cells(const Dataset& ds, double probability,
+                           std::uint64_t seed) {
+  check_probability(probability, "with_missing_cells");
+  const std::size_t n = ds.num_objects();
+  const std::size_t d = ds.num_features();
+  Rng rng(seed);
+  auto cells = copy_cells(ds);
+  for (Value& cell : cells) {
+    if (rng.bernoulli(probability)) cell = kMissing;
+  }
+  return Dataset(n, d, std::move(cells), ds.cardinalities(), ds.labels());
+}
+
+Dataset with_distractor_features(const Dataset& ds, std::size_t extra,
+                                 int cardinality, std::uint64_t seed) {
+  if (cardinality < 1) {
+    throw std::invalid_argument("with_distractor_features: cardinality < 1");
+  }
+  const std::size_t n = ds.num_objects();
+  const std::size_t d = ds.num_features();
+  Rng rng(seed);
+  std::vector<Value> cells;
+  cells.reserve(n * (d + extra));
+  for (std::size_t i = 0; i < n; ++i) {
+    const Value* row = ds.row(i);
+    cells.insert(cells.end(), row, row + d);
+    for (std::size_t e = 0; e < extra; ++e) {
+      cells.push_back(
+          static_cast<Value>(rng.below(static_cast<std::uint64_t>(cardinality))));
+    }
+  }
+  auto cardinalities = ds.cardinalities();
+  cardinalities.insert(cardinalities.end(), extra, cardinality);
+  return Dataset(n, d + extra, std::move(cells), std::move(cardinalities),
+                 ds.labels());
+}
+
+}  // namespace mcdc::data

@@ -1,0 +1,37 @@
+// Controlled corruption of categorical datasets — the substrate of the
+// robustness benches. The paper claims MCDC is "highly robust to categorical
+// data sets from various domains"; these transforms let us test robustness
+// *within* a domain by degrading one dataset along three independent axes:
+//
+//   - value noise: each cell is replaced by a uniform random value of its
+//     feature's domain with probability p (label-free attribute noise);
+//   - missingness: cells are blanked to '?' with probability p, exercising
+//     the NULL-aware similarity path (Sec. II-A);
+//   - distractor features: d_extra pure-noise features are appended, testing
+//     the feature-weighting mechanism of Eqs. (14)-(18).
+//
+// All transforms are deterministic given the seed and never touch the
+// ground-truth labels.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace mcdc::data {
+
+// Replaces each non-missing cell with a uniform draw from its feature's
+// domain with probability `probability` (the draw may repeat the original
+// value, so the effective flip rate is p * (m-1)/m).
+Dataset with_value_noise(const Dataset& ds, double probability,
+                         std::uint64_t seed);
+
+// Blanks each cell with probability `probability`.
+Dataset with_missing_cells(const Dataset& ds, double probability,
+                           std::uint64_t seed);
+
+// Appends `extra` features of pure uniform noise with the given cardinality.
+Dataset with_distractor_features(const Dataset& ds, std::size_t extra,
+                                 int cardinality, std::uint64_t seed);
+
+}  // namespace mcdc::data

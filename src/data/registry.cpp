@@ -1,0 +1,49 @@
+#include "data/registry.h"
+
+#include <stdexcept>
+
+#include "data/uci_like.h"
+
+namespace mcdc::data {
+
+const std::vector<DatasetInfo>& benchmark_roster() {
+  static const std::vector<DatasetInfo> roster = {
+      {"Car Evaluation", "Car.", 6, 1728, 4, Fidelity::rule_model},
+      {"Congressional", "Con.", 16, 435, 2, Fidelity::simulated},
+      {"Chess", "Che.", 36, 3196, 2, Fidelity::simulated},
+      {"Mushroom", "Mus.", 22, 8124, 2, Fidelity::simulated},
+      {"Tic Tac Toe", "Tic.", 9, 958, 2, Fidelity::exact},
+      {"Vote", "Vot.", 16, 232, 2, Fidelity::simulated},
+      {"Balance", "Bal.", 4, 625, 3, Fidelity::exact},
+      {"Nursery", "Nur.", 8, 12960, 5, Fidelity::rule_model},
+  };
+  return roster;
+}
+
+Dataset load(const std::string& abbrev) {
+  if (abbrev == "Car.") return car();
+  if (abbrev == "Con.") return congressional();
+  if (abbrev == "Che.") return chess();
+  if (abbrev == "Mus.") return mushroom();
+  if (abbrev == "Tic.") return tic_tac_toe();
+  if (abbrev == "Vot.") return vote();
+  if (abbrev == "Bal.") return balance();
+  if (abbrev == "Nur.") return nursery();
+  throw std::invalid_argument("data::load: unknown dataset " + abbrev);
+}
+
+std::string to_string(Fidelity fidelity) {
+  switch (fidelity) {
+    case Fidelity::exact:
+      return "exact";
+    case Fidelity::rule_model:
+      return "rule-model";
+    case Fidelity::simulated:
+      return "simulated";
+    case Fidelity::synthetic:
+      return "synthetic";
+  }
+  return "unknown";
+}
+
+}  // namespace mcdc::data

@@ -1,0 +1,80 @@
+#include "data/seeding.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcdc::data {
+
+namespace {
+
+int hamming(const Dataset& ds, std::size_t a, std::size_t b) {
+  const Value* ra = ds.row(a);
+  const Value* rb = ds.row(b);
+  int dist = 0;
+  for (std::size_t r = 0; r < ds.num_features(); ++r) {
+    if (ra[r] != rb[r]) ++dist;
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::size_t> density_seed_rows(const Dataset& ds, int k) {
+  const std::size_t n = ds.num_objects();
+  const std::size_t d = ds.num_features();
+  if (k < 1 || static_cast<std::size_t>(k) > n) {
+    throw std::invalid_argument("density_seed_rows: invalid k");
+  }
+  const auto counts = ds.value_counts();
+
+  std::vector<double> density(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Value* row = ds.row(i);
+    double sum = 0.0;
+    for (std::size_t r = 0; r < d; ++r) {
+      if (row[r] != kMissing) {
+        sum += static_cast<double>(counts[r][static_cast<std::size_t>(row[r])]);
+      }
+    }
+    density[i] = sum / (static_cast<double>(n) * static_cast<double>(d));
+  }
+
+  std::vector<std::size_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(k));
+  std::size_t first = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (density[i] > density[first]) first = i;
+  }
+  seeds.push_back(first);
+
+  std::vector<int> nearest(n, 0);
+  for (std::size_t i = 0; i < n; ++i) nearest[i] = hamming(ds, i, first);
+
+  while (seeds.size() < static_cast<std::size_t>(k)) {
+    std::size_t best = 0;
+    double best_score = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double score = static_cast<double>(nearest[i]) * density[i];
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    seeds.push_back(best);
+    for (std::size_t i = 0; i < n; ++i) {
+      nearest[i] = std::min(nearest[i], hamming(ds, i, best));
+    }
+  }
+  return seeds;
+}
+
+std::vector<std::vector<Value>> density_seed_modes(const Dataset& ds, int k) {
+  std::vector<std::vector<Value>> modes;
+  modes.reserve(static_cast<std::size_t>(k));
+  for (std::size_t row : density_seed_rows(ds, k)) {
+    modes.emplace_back(ds.row(row), ds.row(row) + ds.num_features());
+  }
+  return modes;
+}
+
+}  // namespace mcdc::data

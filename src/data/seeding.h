@@ -1,0 +1,25 @@
+// Deterministic density-based seed selection (Cao et al. 2009 style),
+// shared by CAME and the k-modes-family baselines.
+//
+// The densest object (highest mean value frequency over its features) seeds
+// the first cluster; every further seed maximises
+// (Hamming distance to the nearest chosen seed) * density, which spreads
+// the seeds across dense, mutually distant regions. Being deterministic, it
+// is the source of the +/-0.00 standard deviations the paper reports for
+// MCDC and its boosted variants.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace mcdc::data {
+
+// Row indices of k density-spread seeds. Requires 1 <= k <= n.
+std::vector<std::size_t> density_seed_rows(const Dataset& ds, int k);
+
+// The same seeds materialised as mode vectors (row copies).
+std::vector<std::vector<Value>> density_seed_modes(const Dataset& ds, int k);
+
+}  // namespace mcdc::data

@@ -1,0 +1,160 @@
+#include "data/uci_extra.h"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mcdc::data {
+
+namespace {
+
+using Row = std::vector<std::string>;
+
+// Shared archetype machinery: each class has a prototype value per feature;
+// objects inherit the prototype with probability `fidelity` and mutate
+// uniformly otherwise. High fidelity = near-deterministic signatures
+// (Soybean), lower = overlapping classes (Lymphography).
+struct ArchetypeSpec {
+  std::vector<int> cardinalities;
+  std::vector<std::vector<Value>> prototypes;  // [class][feature]
+  std::vector<std::size_t> class_sizes;
+  double fidelity = 0.9;
+};
+
+Dataset generate_archetypes(const ArchetypeSpec& spec,
+                            std::vector<std::string> feature_names,
+                            const std::vector<std::string>& class_names,
+                            Rng& rng) {
+  DatasetBuilder builder(std::move(feature_names));
+  Row row(spec.cardinalities.size());
+  for (std::size_t c = 0; c < spec.class_sizes.size(); ++c) {
+    for (std::size_t obj = 0; obj < spec.class_sizes[c]; ++obj) {
+      for (std::size_t r = 0; r < spec.cardinalities.size(); ++r) {
+        const int m = spec.cardinalities[r];
+        Value v = spec.prototypes[c][r];
+        if (m > 1 && !rng.bernoulli(spec.fidelity)) {
+          v = static_cast<Value>(rng.below(static_cast<std::uint64_t>(m)));
+        }
+        row[r] = std::string(1, static_cast<char>('a' + v));
+      }
+      builder.add_row(row, class_names[c]);
+    }
+  }
+  return std::move(builder).build();
+}
+
+std::vector<std::vector<Value>> random_prototypes(
+    const std::vector<int>& cardinalities, std::size_t classes, Rng& rng,
+    double distinctness) {
+  // Class 0's prototype is random; later classes redraw each feature with
+  // probability `distinctness` (otherwise share class 0's value), which
+  // controls how separable the classes are.
+  std::vector<std::vector<Value>> prototypes(classes);
+  prototypes[0].resize(cardinalities.size());
+  for (std::size_t r = 0; r < cardinalities.size(); ++r) {
+    prototypes[0][r] = static_cast<Value>(
+        rng.below(static_cast<std::uint64_t>(cardinalities[r])));
+  }
+  for (std::size_t c = 1; c < classes; ++c) {
+    prototypes[c] = prototypes[0];
+    for (std::size_t r = 0; r < cardinalities.size(); ++r) {
+      const int m = cardinalities[r];
+      if (m > 1 && rng.bernoulli(distinctness)) {
+        prototypes[c][r] = static_cast<Value>(
+            rng.below(static_cast<std::uint64_t>(m)));
+      }
+    }
+  }
+  return prototypes;
+}
+
+std::vector<std::string> numbered_features(const char* prefix, std::size_t d) {
+  std::vector<std::string> names;
+  names.reserve(d);
+  for (std::size_t r = 0; r < d; ++r) {
+    names.push_back(std::string(prefix) + std::to_string(r + 1));
+  }
+  return names;
+}
+
+}  // namespace
+
+Dataset zoo(std::uint64_t seed) {
+  Rng rng(seed);
+  ArchetypeSpec spec;
+  // 15 boolean traits (hair, feathers, eggs, milk, ...) + legs (6 values),
+  // matching the UCI schema once the animal-name identifier is dropped.
+  spec.cardinalities.assign(16, 2);
+  spec.cardinalities[12] = 6;  // legs in {0, 2, 4, 5, 6, 8}
+  // The seven UCI class sizes: mammal 41, bird 20, reptile 5, fish 13,
+  // amphibian 4, insect 8, invertebrate 10.
+  spec.class_sizes = {41, 20, 5, 13, 4, 8, 10};
+  spec.prototypes = random_prototypes(spec.cardinalities, 7, rng, 0.55);
+  // Taxonomy has crisp trait signatures (milk <=> mammal, feathers <=>
+  // bird); rows rarely deviate from the class prototype.
+  spec.fidelity = 0.93;
+  return generate_archetypes(
+      spec, numbered_features("trait", 16),
+      {"mammal", "bird", "reptile", "fish", "amphibian", "insect",
+       "invertebrate"},
+      rng);
+}
+
+Dataset soybean_small(std::uint64_t seed) {
+  Rng rng(seed);
+  ArchetypeSpec spec;
+  // 35 features, mostly low-arity (the UCI file codes each as 0..6).
+  spec.cardinalities.assign(35, 3);
+  for (std::size_t r = 0; r < 35; r += 5) spec.cardinalities[r] = 4;
+  for (std::size_t r = 2; r < 35; r += 7) spec.cardinalities[r] = 2;
+  // Diaporthe 10, charcoal rot 10, rhizoctonia 10, phytophthora 17.
+  spec.class_sizes = {10, 10, 10, 17};
+  spec.prototypes = random_prototypes(spec.cardinalities, 4, rng, 0.5);
+  // The real soybean-small clusters perfectly with most methods: disease
+  // signatures are near-deterministic.
+  spec.fidelity = 0.97;
+  return generate_archetypes(spec, numbered_features("symptom", 35),
+                             {"diaporthe", "charcoal", "rhizoctonia",
+                              "phytophthora"},
+                             rng);
+}
+
+Dataset lymphography(std::uint64_t seed) {
+  Rng rng(seed);
+  ArchetypeSpec spec;
+  // 18 findings: 9 boolean, 6 ternary, 3 wider (the UCI schema's mix).
+  spec.cardinalities.assign(18, 2);
+  for (std::size_t r = 9; r < 15; ++r) spec.cardinalities[r] = 3;
+  spec.cardinalities[15] = 4;
+  spec.cardinalities[16] = 8;  // "no. of nodes" binned
+  spec.cardinalities[17] = 4;
+  // normal 2, metastases 81, malign lymph 61, fibrosis 4.
+  spec.class_sizes = {2, 81, 61, 4};
+  spec.prototypes = random_prototypes(spec.cardinalities, 4, rng, 0.45);
+  // Medical findings overlap heavily between the two dominant classes.
+  spec.fidelity = 0.80;
+  return generate_archetypes(
+      spec, numbered_features("finding", 18),
+      {"normal", "metastases", "malign-lymph", "fibrosis"}, rng);
+}
+
+const std::vector<ExtraDatasetInfo>& extra_roster() {
+  static const std::vector<ExtraDatasetInfo> roster = {
+      {"Zoo", "Zoo.", 16, 101, 7},
+      {"Soybean-small", "Soy.", 35, 47, 4},
+      {"Lymphography", "Lym.", 18, 148, 4},
+  };
+  return roster;
+}
+
+Dataset load_extra(const std::string& abbrev, std::uint64_t seed) {
+  if (abbrev == "Zoo.") return zoo(seed);
+  if (abbrev == "Soy.") return soybean_small(seed);
+  if (abbrev == "Lym.") return lymphography(seed);
+  throw std::invalid_argument("load_extra: unknown dataset " + abbrev);
+}
+
+}  // namespace mcdc::data

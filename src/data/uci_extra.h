@@ -1,0 +1,44 @@
+// Extension benchmark datasets beyond the paper's Table II roster.
+//
+// Three further classic categorical UCI benchmarks, regenerated as
+// statistical simulations with the same approach (and caveats) as
+// DESIGN.md §4: sizes, arities and class structure match the published
+// statistics; absolute scores are not directly comparable to runs on the
+// real files, but method orderings transfer. They widen the robustness
+// evaluation (bench_ext_robustness) past the eight datasets the paper uses:
+//
+//   - Zoo (101 x 16, k* = 7): animals described by mostly boolean traits;
+//     tiny n, many classes, very uneven class sizes (4 .. 41);
+//   - Soybean-small (47 x 35, k* = 4): disease diagnoses; d towers over n,
+//     near-deterministic class signatures (real file clusters perfectly);
+//   - Lymphography (148 x 18, k* = 4): medical findings; two dominant
+//     classes plus two rare ones (2 and 4 objects) — a stress test for
+//     competitive starvation of small-but-real clusters.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace mcdc::data {
+
+Dataset zoo(std::uint64_t seed = 7);
+Dataset soybean_small(std::uint64_t seed = 7);
+Dataset lymphography(std::uint64_t seed = 7);
+
+// Roster of the three extension datasets (same shape as the Table II
+// registry entries): name, abbreviation, d, n, k*.
+struct ExtraDatasetInfo {
+  const char* name;
+  const char* abbrev;
+  std::size_t d;
+  std::size_t n;
+  int k_star;
+};
+
+const std::vector<ExtraDatasetInfo>& extra_roster();
+
+// Loads an extension dataset by abbreviation ("Zoo.", "Soy.", "Lym.").
+Dataset load_extra(const std::string& abbrev, std::uint64_t seed = 7);
+
+}  // namespace mcdc::data

@@ -1,0 +1,55 @@
+#include "metrics/contingency.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcdc::metrics {
+
+Contingency::Contingency(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.empty() || a.size() != b.size()) {
+    throw std::invalid_argument(
+        "Contingency: labelings must be equal-length and non-empty");
+  }
+  int max_a = 0;
+  int max_b = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < 0 || b[i] < 0) {
+      throw std::invalid_argument("Contingency: labels must be non-negative");
+    }
+    max_a = std::max(max_a, a[i]);
+    max_b = std::max(max_b, b[i]);
+  }
+  rows_ = static_cast<std::size_t>(max_a) + 1;
+  cols_ = static_cast<std::size_t>(max_b) + 1;
+  total_ = static_cast<std::int64_t>(a.size());
+  table_.assign(rows_ * cols_, 0);
+  row_sums_.assign(rows_, 0);
+  col_sums_.assign(cols_, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto r = static_cast<std::size_t>(a[i]);
+    const auto c = static_cast<std::size_t>(b[i]);
+    ++table_[r * cols_ + c];
+    ++row_sums_[r];
+    ++col_sums_[c];
+  }
+}
+
+std::int64_t Contingency::pairs_in_cells() const {
+  std::int64_t sum = 0;
+  for (std::int64_t v : table_) sum += choose2(v);
+  return sum;
+}
+
+std::int64_t Contingency::pairs_in_rows() const {
+  std::int64_t sum = 0;
+  for (std::int64_t v : row_sums_) sum += choose2(v);
+  return sum;
+}
+
+std::int64_t Contingency::pairs_in_cols() const {
+  std::int64_t sum = 0;
+  for (std::int64_t v : col_sums_) sum += choose2(v);
+  return sum;
+}
+
+}  // namespace mcdc::metrics

@@ -1,0 +1,46 @@
+// Contingency table between two labelings — the shared substrate of every
+// external validity index (ACC, ARI, AMI, NMI, FM).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcdc::metrics {
+
+class Contingency {
+ public:
+  // Builds the r x c table N with N[i][j] = |{objects with a-label i and
+  // b-label j}|. Labels must be dense non-negative ids; both vectors must
+  // have equal non-zero length.
+  Contingency(const std::vector<int>& a, const std::vector<int>& b);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::int64_t total() const { return total_; }
+
+  std::int64_t at(std::size_t i, std::size_t j) const {
+    return table_[i * cols_ + j];
+  }
+  const std::vector<std::int64_t>& row_sums() const { return row_sums_; }
+  const std::vector<std::int64_t>& col_sums() const { return col_sums_; }
+
+  // Sum over cells of C(n_ij, 2) — the pair-counting building block.
+  std::int64_t pairs_in_cells() const;
+  // Sum over rows of C(a_i, 2).
+  std::int64_t pairs_in_rows() const;
+  // Sum over cols of C(b_j, 2).
+  std::int64_t pairs_in_cols() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::int64_t total_ = 0;
+  std::vector<std::int64_t> table_;
+  std::vector<std::int64_t> row_sums_;
+  std::vector<std::int64_t> col_sums_;
+};
+
+// n*(n-1)/2 helper shared by pair-counting indices.
+inline std::int64_t choose2(std::int64_t n) { return n * (n - 1) / 2; }
+
+}  // namespace mcdc::metrics

@@ -1,0 +1,92 @@
+#include "metrics/external_extra.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "metrics/contingency.h"
+#include "metrics/indices.h"
+
+namespace mcdc::metrics {
+
+double purity(const std::vector<int>& predicted,
+              const std::vector<int>& truth) {
+  const Contingency table(predicted, truth);
+  if (table.total() == 0) return 0.0;
+  std::int64_t hits = 0;
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    std::int64_t best = 0;
+    for (std::size_t j = 0; j < table.cols(); ++j) {
+      best = std::max(best, table.at(i, j));
+    }
+    hits += best;
+  }
+  return static_cast<double>(hits) / static_cast<double>(table.total());
+}
+
+double inverse_purity(const std::vector<int>& predicted,
+                      const std::vector<int>& truth) {
+  return purity(truth, predicted);
+}
+
+double homogeneity(const std::vector<int>& predicted,
+                   const std::vector<int>& truth) {
+  const double h_truth = entropy(truth);
+  if (h_truth <= 0.0) return 1.0;  // a single class is trivially homogeneous
+  const double mi = mutual_information(predicted, truth);
+  // H(truth | predicted) = H(truth) - I(predicted; truth).
+  return mi / h_truth;
+}
+
+double completeness(const std::vector<int>& predicted,
+                    const std::vector<int>& truth) {
+  return homogeneity(truth, predicted);
+}
+
+double v_measure(const std::vector<int>& predicted,
+                 const std::vector<int>& truth) {
+  const double h = homogeneity(predicted, truth);
+  const double c = completeness(predicted, truth);
+  if (h + c <= 0.0) return 0.0;
+  return 2.0 * h * c / (h + c);
+}
+
+double PairCounts::precision() const {
+  return tp + fp == 0 ? 0.0
+                      : static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+
+double PairCounts::recall() const {
+  return tp + fn == 0 ? 0.0
+                      : static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+double PairCounts::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r <= 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double PairCounts::rand_index() const {
+  const long long all = tp + fp + fn + tn;
+  return all == 0 ? 0.0
+                  : static_cast<double>(tp + tn) / static_cast<double>(all);
+}
+
+double PairCounts::jaccard() const {
+  const long long denom = tp + fp + fn;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+PairCounts pair_counts(const std::vector<int>& predicted,
+                       const std::vector<int>& truth) {
+  const Contingency table(predicted, truth);
+  PairCounts out;
+  out.tp = table.pairs_in_cells();
+  out.fp = table.pairs_in_rows() - out.tp;  // same cluster, different class
+  out.fn = table.pairs_in_cols() - out.tp;  // same class, different cluster
+  out.tn = choose2(table.total()) - out.tp - out.fp - out.fn;
+  return out;
+}
+
+}  // namespace mcdc::metrics

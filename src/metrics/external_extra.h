@@ -1,0 +1,60 @@
+// Additional external validity indices beyond the paper's four (ACC, ARI,
+// AMI, FM): purity, the homogeneity / completeness / V-measure family, and
+// the pairwise precision / recall / F1 decomposition underlying FM.
+//
+// They are not reported in the paper's tables; the extended robustness bench
+// and the diagnostics in the examples use them to cross-check that method
+// orderings do not hinge on the choice of index.
+#pragma once
+
+#include <vector>
+
+namespace mcdc::metrics {
+
+// Purity: every predicted cluster is credited with its majority true class;
+// purity = (1/n) * sum_l max_c |C_l ∩ class_c|. Range (0, 1]; trivially 1
+// when every object is its own cluster (report alongside an adjusted index).
+double purity(const std::vector<int>& predicted, const std::vector<int>& truth);
+
+// Inverse purity (a.k.a. "coverage"): purity with the roles of prediction
+// and truth swapped — penalises splitting one class across many clusters.
+double inverse_purity(const std::vector<int>& predicted,
+                      const std::vector<int>& truth);
+
+// Homogeneity: 1 - H(truth | predicted) / H(truth). 1 iff every cluster
+// contains members of a single class. Range [0, 1].
+double homogeneity(const std::vector<int>& predicted,
+                   const std::vector<int>& truth);
+
+// Completeness: 1 - H(predicted | truth) / H(predicted). 1 iff all members
+// of a class land in the same cluster. Range [0, 1].
+double completeness(const std::vector<int>& predicted,
+                    const std::vector<int>& truth);
+
+// V-measure: harmonic mean of homogeneity and completeness (beta = 1).
+// Equivalent to NMI with arithmetic-mean normalisation.
+double v_measure(const std::vector<int>& predicted,
+                 const std::vector<int>& truth);
+
+struct PairCounts {
+  // Pairs of objects that are together in both / only predicted / only true
+  // / neither partition. tp + fp + fn + tn == n*(n-1)/2.
+  long long tp = 0;
+  long long fp = 0;
+  long long fn = 0;
+  long long tn = 0;
+
+  double precision() const;
+  double recall() const;
+  double f1() const;
+  // Rand index (unadjusted): (tp + tn) / all pairs.
+  double rand_index() const;
+  // Jaccard coefficient over co-clustered pairs.
+  double jaccard() const;
+};
+
+// Pair-counting confusion decomposition between the two partitions.
+PairCounts pair_counts(const std::vector<int>& predicted,
+                       const std::vector<int>& truth);
+
+}  // namespace mcdc::metrics

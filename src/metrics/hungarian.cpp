@@ -1,0 +1,113 @@
+#include "metrics/hungarian.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mcdc::metrics {
+
+namespace {
+
+// Classic O(n^2 m) Hungarian algorithm with row/column potentials
+// (the "e-maxx" formulation). Requires rows <= cols.
+AssignmentResult solve_rect(const std::vector<std::vector<double>>& cost) {
+  const std::size_t n = cost.size();
+  const std::size_t m = cost.front().size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Potentials and matching use 1-based internal indexing.
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(m + 1, 0.0);
+  std::vector<std::size_t> match(m + 1, 0);  // column -> row
+  std::vector<std::size_t> way(m + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    match[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<bool> used(m + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = match[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const std::size_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.assignment.assign(n, -1);
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (match[j] != 0) {
+      result.assignment[match[j] - 1] = static_cast<int>(j - 1);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (result.assignment[i] >= 0) {
+      result.cost += cost[i][static_cast<std::size_t>(result.assignment[i])];
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+AssignmentResult solve_assignment(
+    const std::vector<std::vector<double>>& cost) {
+  if (cost.empty() || cost.front().empty()) {
+    throw std::invalid_argument("solve_assignment: empty cost matrix");
+  }
+  const std::size_t n = cost.size();
+  const std::size_t m = cost.front().size();
+  for (const auto& row : cost) {
+    if (row.size() != m) {
+      throw std::invalid_argument("solve_assignment: ragged cost matrix");
+    }
+  }
+
+  if (n <= m) return solve_rect(cost);
+
+  // Transpose so rows <= cols, then invert the assignment.
+  std::vector<std::vector<double>> t(m, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) t[j][i] = cost[i][j];
+  }
+  const AssignmentResult tr = solve_rect(t);
+  AssignmentResult result;
+  result.assignment.assign(n, -1);
+  result.cost = tr.cost;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (tr.assignment[j] >= 0) {
+      result.assignment[static_cast<std::size_t>(tr.assignment[j])] =
+          static_cast<int>(j);
+    }
+  }
+  return result;
+}
+
+}  // namespace mcdc::metrics

@@ -1,0 +1,25 @@
+// Hungarian (Kuhn-Munkres) assignment — used by clustering accuracy (ACC)
+// to find the label permutation maximising matches between predicted
+// clusters and ground-truth classes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcdc::metrics {
+
+// Solves min-cost perfect assignment on an n x m cost matrix (row-major).
+// Rows are assigned to distinct columns; when n < m the extra columns stay
+// unassigned, when n > m the problem is transposed internally.
+//
+// Returns assignment[i] = column of row i (or -1 when unmatched) and the
+// total cost of the chosen matching. O(n^2 * m) — the Jonker-style
+// potentials formulation.
+struct AssignmentResult {
+  std::vector<int> assignment;
+  double cost = 0.0;
+};
+
+AssignmentResult solve_assignment(const std::vector<std::vector<double>>& cost);
+
+}  // namespace mcdc::metrics

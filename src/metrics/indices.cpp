@@ -1,0 +1,158 @@
+#include "metrics/indices.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/contingency.h"
+#include "metrics/hungarian.h"
+
+namespace mcdc::metrics {
+
+namespace {
+
+double entropy_from_sums(const std::vector<std::int64_t>& sums,
+                         std::int64_t total) {
+  double h = 0.0;
+  for (std::int64_t s : sums) {
+    if (s <= 0) continue;
+    const double p = static_cast<double>(s) / static_cast<double>(total);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+// Exact expected mutual information under the permutation (hypergeometric)
+// model. O(rows * cols * n) worst case; fine at benchmark scale.
+double expected_mutual_information(const Contingency& ct) {
+  const auto n = static_cast<double>(ct.total());
+  const auto& a = ct.row_sums();
+  const auto& b = ct.col_sums();
+  const auto log_n = std::log(n);
+  // lgamma(x+1) = log(x!)
+  auto lf = [](double x) { return std::lgamma(x + 1.0); };
+
+  double emi = 0.0;
+  for (std::int64_t ai : a) {
+    if (ai == 0) continue;
+    for (std::int64_t bj : b) {
+      if (bj == 0) continue;
+      const std::int64_t lo = std::max<std::int64_t>(1, ai + bj - ct.total());
+      const std::int64_t hi = std::min(ai, bj);
+      for (std::int64_t nij = lo; nij <= hi; ++nij) {
+        const auto x = static_cast<double>(nij);
+        const double term1 =
+            x / n * (std::log(x) + log_n - std::log(static_cast<double>(ai)) -
+                     std::log(static_cast<double>(bj)));
+        const double log_prob =
+            lf(static_cast<double>(ai)) + lf(static_cast<double>(bj)) +
+            lf(n - static_cast<double>(ai)) + lf(n - static_cast<double>(bj)) -
+            lf(n) - lf(x) - lf(static_cast<double>(ai) - x) -
+            lf(static_cast<double>(bj) - x) -
+            lf(n - static_cast<double>(ai) - static_cast<double>(bj) + x);
+        emi += term1 * std::exp(log_prob);
+      }
+    }
+  }
+  return emi;
+}
+
+}  // namespace
+
+double accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& truth) {
+  const Contingency ct(predicted, truth);
+  // Maximise matches == minimise negated counts; pad implicitly handled by
+  // the rectangular solver.
+  std::vector<std::vector<double>> cost(ct.rows(),
+                                        std::vector<double>(ct.cols()));
+  for (std::size_t i = 0; i < ct.rows(); ++i) {
+    for (std::size_t j = 0; j < ct.cols(); ++j) {
+      cost[i][j] = -static_cast<double>(ct.at(i, j));
+    }
+  }
+  const AssignmentResult result = solve_assignment(cost);
+  return -result.cost / static_cast<double>(ct.total());
+}
+
+double adjusted_rand_index(const std::vector<int>& a,
+                           const std::vector<int>& b) {
+  const Contingency ct(a, b);
+  const auto total_pairs = static_cast<double>(choose2(ct.total()));
+  if (total_pairs == 0.0) return 1.0;  // single object: trivially identical
+  const auto index = static_cast<double>(ct.pairs_in_cells());
+  const auto row_pairs = static_cast<double>(ct.pairs_in_rows());
+  const auto col_pairs = static_cast<double>(ct.pairs_in_cols());
+  const double expected = row_pairs * col_pairs / total_pairs;
+  const double max_index = 0.5 * (row_pairs + col_pairs);
+  if (max_index == expected) return 1.0;  // both partitions trivial
+  return (index - expected) / (max_index - expected);
+}
+
+double mutual_information(const std::vector<int>& a,
+                          const std::vector<int>& b) {
+  const Contingency ct(a, b);
+  const auto n = static_cast<double>(ct.total());
+  double mi = 0.0;
+  for (std::size_t i = 0; i < ct.rows(); ++i) {
+    for (std::size_t j = 0; j < ct.cols(); ++j) {
+      const auto nij = static_cast<double>(ct.at(i, j));
+      if (nij == 0.0) continue;
+      const auto ai = static_cast<double>(ct.row_sums()[i]);
+      const auto bj = static_cast<double>(ct.col_sums()[j]);
+      mi += nij / n * std::log(n * nij / (ai * bj));
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+double entropy(const std::vector<int>& labels) {
+  const Contingency ct(labels, labels);
+  return entropy_from_sums(ct.row_sums(), ct.total());
+}
+
+double adjusted_mutual_information(const std::vector<int>& a,
+                                   const std::vector<int>& b) {
+  const Contingency ct(a, b);
+  const double ha = entropy_from_sums(ct.row_sums(), ct.total());
+  const double hb = entropy_from_sums(ct.col_sums(), ct.total());
+  // Two single-cluster partitions are identical by convention.
+  if (ha == 0.0 && hb == 0.0) return 1.0;
+  const double mi = mutual_information(a, b);
+  const double emi = expected_mutual_information(ct);
+  const double denom = 0.5 * (ha + hb) - emi;
+  if (std::abs(denom) < 1e-15) return 0.0;
+  return (mi - emi) / denom;
+}
+
+double normalized_mutual_information(const std::vector<int>& a,
+                                     const std::vector<int>& b) {
+  const Contingency ct(a, b);
+  const double ha = entropy_from_sums(ct.row_sums(), ct.total());
+  const double hb = entropy_from_sums(ct.col_sums(), ct.total());
+  if (ha == 0.0 && hb == 0.0) return 1.0;
+  const double denom = 0.5 * (ha + hb);
+  if (denom == 0.0) return 0.0;
+  return mutual_information(a, b) / denom;
+}
+
+double fowlkes_mallows(const std::vector<int>& a, const std::vector<int>& b) {
+  const Contingency ct(a, b);
+  const auto tp = static_cast<double>(ct.pairs_in_cells());
+  const auto row_pairs = static_cast<double>(ct.pairs_in_rows());
+  const auto col_pairs = static_cast<double>(ct.pairs_in_cols());
+  if (row_pairs == 0.0 || col_pairs == 0.0) return 0.0;
+  return tp / std::sqrt(row_pairs * col_pairs);
+}
+
+Scores score_all(const std::vector<int>& predicted,
+                 const std::vector<int>& truth) {
+  Scores s;
+  s.acc = accuracy(predicted, truth);
+  s.ari = adjusted_rand_index(predicted, truth);
+  s.ami = adjusted_mutual_information(predicted, truth);
+  s.fm = fowlkes_mallows(predicted, truth);
+  return s;
+}
+
+}  // namespace mcdc::metrics

@@ -1,0 +1,263 @@
+#include "metrics/internal.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mcdc::metrics {
+
+namespace {
+
+int label_count(const std::vector<int>& labels) {
+  int k = 0;
+  for (int l : labels) {
+    if (l < 0) throw std::invalid_argument("internal: negative label");
+    k = std::max(k, l + 1);
+  }
+  return k;
+}
+
+// Normalised Hamming distance between the modes of clusters l and t;
+// features where either cluster has no observed value are skipped.
+double mode_distance(const PartitionProfile& profile, std::size_t d, int l,
+                     int t) {
+  int mismatches = 0;
+  int compared = 0;
+  for (std::size_t r = 0; r < d; ++r) {
+    const data::Value a = profile.mode(l, r);
+    const data::Value b = profile.mode(t, r);
+    if (a == data::kMissing || b == data::kMissing) continue;
+    ++compared;
+    if (a != b) ++mismatches;
+  }
+  if (compared == 0) return 0.0;
+  return static_cast<double>(mismatches) / static_cast<double>(compared);
+}
+
+// Mean member-to-own-mode Hamming distance of cluster l ("scatter").
+double mode_scatter(const data::Dataset& ds, const std::vector<int>& labels,
+                    const PartitionProfile& profile, int l) {
+  const std::size_t d = ds.num_features();
+  double sum = 0.0;
+  std::size_t members = 0;
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    if (labels[i] != l) continue;
+    ++members;
+    int mismatches = 0;
+    int compared = 0;
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = ds.at(i, r);
+      const data::Value m = profile.mode(l, r);
+      if (v == data::kMissing || m == data::kMissing) continue;
+      ++compared;
+      if (v != m) ++mismatches;
+    }
+    if (compared > 0) {
+      sum += static_cast<double>(mismatches) / static_cast<double>(compared);
+    }
+  }
+  return members == 0 ? 0.0 : sum / static_cast<double>(members);
+}
+
+}  // namespace
+
+PartitionProfile::PartitionProfile(const data::Dataset& ds,
+                                   const std::vector<int>& labels) {
+  if (labels.size() != ds.num_objects()) {
+    throw std::invalid_argument("internal: labels/objects size mismatch");
+  }
+  k_ = label_count(labels);
+  const std::size_t d = ds.num_features();
+  sizes_.assign(static_cast<std::size_t>(k_), 0);
+  counts_.resize(static_cast<std::size_t>(k_));
+  non_null_.assign(static_cast<std::size_t>(k_), std::vector<int>(d, 0));
+  for (int l = 0; l < k_; ++l) {
+    counts_[static_cast<std::size_t>(l)].resize(d);
+    for (std::size_t r = 0; r < d; ++r) {
+      counts_[static_cast<std::size_t>(l)][r].assign(
+          static_cast<std::size_t>(ds.cardinality(r)), 0);
+    }
+  }
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    const auto l = static_cast<std::size_t>(labels[i]);
+    ++sizes_[l];
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = ds.at(i, r);
+      if (v == data::kMissing) continue;
+      ++counts_[l][r][static_cast<std::size_t>(v)];
+      ++non_null_[l][r];
+    }
+  }
+}
+
+data::Value PartitionProfile::mode(int l, std::size_t r) const {
+  const auto& hist = counts_[static_cast<std::size_t>(l)][r];
+  data::Value best = data::kMissing;
+  int best_count = 0;
+  for (std::size_t v = 0; v < hist.size(); ++v) {
+    if (hist[v] > best_count) {
+      best_count = hist[v];
+      best = static_cast<data::Value>(v);
+    }
+  }
+  return best;
+}
+
+double PartitionProfile::mean_distance(const data::Dataset& ds, std::size_t i,
+                                       int l, bool exclude_self) const {
+  const std::size_t d = ds.num_features();
+  const bool self_member = exclude_self;
+  double sum = 0.0;
+  std::size_t compared = 0;
+  for (std::size_t r = 0; r < d; ++r) {
+    const data::Value v = ds.at(i, r);
+    if (v == data::kMissing) continue;
+    int denom = non_null(l, r);
+    int same = count(l, r, v);
+    if (self_member) {
+      --denom;
+      --same;
+    }
+    if (denom <= 0) continue;
+    ++compared;
+    sum += 1.0 - static_cast<double>(same) / static_cast<double>(denom);
+  }
+  if (compared == 0) return 0.0;
+  return sum / static_cast<double>(compared);
+}
+
+double compactness(const data::Dataset& ds, const std::vector<int>& labels) {
+  if (ds.num_objects() == 0) return 0.0;
+  const PartitionProfile profile(ds, labels);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    // Similarity = 1 - mean mismatch, including the object itself in its
+    // cluster histogram (the Eq. (1)-(2) convention).
+    sum += 1.0 - profile.mean_distance(ds, i, labels[i], false);
+  }
+  return sum / static_cast<double>(ds.num_objects());
+}
+
+double mode_separation(const data::Dataset& ds,
+                       const std::vector<int>& labels) {
+  const PartitionProfile profile(ds, labels);
+  const int k = profile.num_clusters();
+  if (k < 2) return 0.0;
+  double sum = 0.0;
+  int pairs = 0;
+  for (int l = 0; l < k; ++l) {
+    for (int t = l + 1; t < k; ++t) {
+      sum += mode_distance(profile, ds.num_features(), l, t);
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+double categorical_silhouette(const data::Dataset& ds,
+                              const std::vector<int>& labels) {
+  if (ds.num_objects() == 0) return 0.0;
+  const PartitionProfile profile(ds, labels);
+  const int k = profile.num_clusters();
+  if (k < 2) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    const int own = labels[i];
+    if (profile.cluster_size(own) <= 1) continue;  // contributes 0
+    const double a = profile.mean_distance(ds, i, own, true);
+    double b = std::numeric_limits<double>::infinity();
+    for (int l = 0; l < k; ++l) {
+      if (l == own || profile.cluster_size(l) == 0) continue;
+      b = std::min(b, profile.mean_distance(ds, i, l, false));
+    }
+    if (!std::isfinite(b)) continue;
+    const double denom = std::max(a, b);
+    if (denom > 0.0) sum += (b - a) / denom;
+  }
+  return sum / static_cast<double>(ds.num_objects());
+}
+
+double category_utility(const data::Dataset& ds,
+                        const std::vector<int>& labels) {
+  const std::size_t n = ds.num_objects();
+  if (n == 0) return 0.0;
+  const PartitionProfile profile(ds, labels);
+  const int k = profile.num_clusters();
+  if (k == 0) return 0.0;
+  const auto global = ds.value_counts();
+
+  // Global sum of squared value probabilities, ignoring missing cells.
+  double base = 0.0;
+  for (std::size_t r = 0; r < ds.num_features(); ++r) {
+    std::int64_t observed = 0;
+    for (int c : global[r]) observed += c;
+    if (observed == 0) continue;
+    for (int c : global[r]) {
+      const double p = static_cast<double>(c) / static_cast<double>(observed);
+      base += p * p;
+    }
+  }
+
+  double cu = 0.0;
+  for (int l = 0; l < k; ++l) {
+    const double p_cluster =
+        static_cast<double>(profile.cluster_size(l)) / static_cast<double>(n);
+    if (p_cluster == 0.0) continue;
+    double inner = 0.0;
+    for (std::size_t r = 0; r < ds.num_features(); ++r) {
+      const int denom = profile.non_null(l, r);
+      if (denom == 0) continue;
+      for (data::Value v = 0; v < ds.cardinality(r); ++v) {
+        const double p =
+            static_cast<double>(profile.count(l, r, v)) / denom;
+        inner += p * p;
+      }
+    }
+    cu += p_cluster * (inner - base);
+  }
+  return cu / static_cast<double>(k);
+}
+
+double davies_bouldin_modes(const data::Dataset& ds,
+                            const std::vector<int>& labels) {
+  const PartitionProfile profile(ds, labels);
+  const int k = profile.num_clusters();
+  if (k < 2) return 0.0;
+  std::vector<double> scatter(static_cast<std::size_t>(k));
+  for (int l = 0; l < k; ++l) {
+    scatter[static_cast<std::size_t>(l)] = mode_scatter(ds, labels, profile, l);
+  }
+  double sum = 0.0;
+  for (int l = 0; l < k; ++l) {
+    double worst = 0.0;
+    for (int t = 0; t < k; ++t) {
+      if (t == l) continue;
+      const double dist = mode_distance(profile, ds.num_features(), l, t);
+      const double numer = scatter[static_cast<std::size_t>(l)] +
+                           scatter[static_cast<std::size_t>(t)];
+      const double ratio = dist > 0.0
+                               ? numer / dist
+                               : (numer > 0.0
+                                      ? std::numeric_limits<double>::infinity()
+                                      : 0.0);
+      worst = std::max(worst, ratio);
+    }
+    sum += worst;
+  }
+  return sum / static_cast<double>(k);
+}
+
+InternalScores internal_scores(const data::Dataset& ds,
+                               const std::vector<int>& labels) {
+  InternalScores out;
+  out.compactness = compactness(ds, labels);
+  out.separation = mode_separation(ds, labels);
+  out.silhouette = categorical_silhouette(ds, labels);
+  out.category_utility = category_utility(ds, labels);
+  out.davies_bouldin = davies_bouldin_modes(ds, labels);
+  return out;
+}
+
+}  // namespace mcdc::metrics

@@ -1,0 +1,97 @@
+#include "stats/friedman.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/ranks.h"
+#include "stats/special.h"
+
+namespace mcdc::stats {
+
+FriedmanResult friedman_test(const std::vector<std::vector<double>>& scores) {
+  const std::size_t m = scores.size();
+  if (m < 2) throw std::invalid_argument("friedman_test: need >= 2 methods");
+  const std::size_t n = scores.front().size();
+  if (n < 1) throw std::invalid_argument("friedman_test: need >= 1 dataset");
+  for (const auto& row : scores) {
+    if (row.size() != n) {
+      throw std::invalid_argument("friedman_test: ragged score matrix");
+    }
+  }
+
+  FriedmanResult out;
+  out.num_methods = m;
+  out.num_datasets = n;
+  out.average_ranks.assign(m, 0.0);
+
+  // Rank each dataset column: midranks() ranks ascending, and rank 1 must
+  // be the best (highest) score, so rank the negated column.
+  std::vector<double> column(m);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) column[i] = -scores[i][j];
+    const std::vector<double> ranks = midranks(column);
+    for (std::size_t i = 0; i < m; ++i) out.average_ranks[i] += ranks[i];
+  }
+  for (double& r : out.average_ranks) r /= static_cast<double>(n);
+
+  const double dm = static_cast<double>(m);
+  const double dn = static_cast<double>(n);
+  double sum_sq = 0.0;
+  for (double r : out.average_ranks) sum_sq += r * r;
+  out.chi_square = 12.0 * dn / (dm * (dm + 1.0)) *
+                   (sum_sq - dm * (dm + 1.0) * (dm + 1.0) / 4.0);
+  if (out.chi_square < 0.0) out.chi_square = 0.0;  // tie-heavy guard
+  out.p_value = chi_square_sf(out.chi_square, dm - 1.0);
+
+  const double denom = dn * (dm - 1.0) - out.chi_square;
+  if (denom > 0.0 && n > 1) {
+    out.iman_davenport_f = (dn - 1.0) * out.chi_square / denom;
+    out.iman_davenport_p =
+        f_sf(out.iman_davenport_f, dm - 1.0, (dm - 1.0) * (dn - 1.0));
+  } else {
+    // chi2 at (or numerically beyond) its maximum: every column agrees on
+    // the full ranking, the strongest possible evidence.
+    out.iman_davenport_f = std::numeric_limits<double>::infinity();
+    out.iman_davenport_p = 0.0;
+  }
+  return out;
+}
+
+double nemenyi_critical_value(std::size_t num_methods, double alpha) {
+  // q_alpha / sqrt(2) for the Studentized range with infinite df
+  // (Demsar 2006, Table 5), k = 2..20.
+  static constexpr double kAlpha05[] = {
+      1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164,
+      3.219, 3.268, 3.313, 3.354, 3.391, 3.426, 3.458, 3.489, 3.517, 3.544};
+  static constexpr double kAlpha10[] = {
+      1.645, 2.052, 2.291, 2.459, 2.589, 2.693, 2.780, 2.855, 2.920,
+      2.978, 3.030, 3.077, 3.120, 3.159, 3.196, 3.230, 3.261, 3.291, 3.319};
+  if (num_methods < 2 || num_methods > 20) {
+    throw std::invalid_argument("nemenyi: methods outside [2, 20]");
+  }
+  const std::size_t idx = num_methods - 2;
+  if (alpha == 0.05) return kAlpha05[idx];
+  if (alpha == 0.10) return kAlpha10[idx];
+  throw std::invalid_argument("nemenyi: alpha must be 0.05 or 0.10");
+}
+
+NemenyiResult nemenyi_post_hoc(const FriedmanResult& friedman, double alpha) {
+  const std::size_t m = friedman.num_methods;
+  const double dn = static_cast<double>(friedman.num_datasets);
+  const double dm = static_cast<double>(m);
+  NemenyiResult out;
+  out.critical_difference = nemenyi_critical_value(m, alpha) *
+                            std::sqrt(dm * (dm + 1.0) / (6.0 * dn));
+  out.significant.assign(m, std::vector<bool>(m, false));
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = 0; b < m; ++b) {
+      if (a == b) continue;
+      const double gap =
+          std::fabs(friedman.average_ranks[a] - friedman.average_ranks[b]);
+      out.significant[a][b] = gap >= out.critical_difference;
+    }
+  }
+  return out;
+}
+
+}  // namespace mcdc::stats

@@ -1,0 +1,53 @@
+// Friedman test with Iman-Davenport correction and the Nemenyi post-hoc —
+// the standard machinery (Demsar, JMLR 2006) for comparing multiple
+// clustering methods over multiple datasets, complementing the paper's
+// pairwise Wilcoxon tests (Table IV) with a family-wise analysis.
+//
+// Input is an M x N score matrix (M methods as rows, N datasets as blocks).
+// Each dataset column is converted to ranks (rank 1 = best, i.e. the
+// highest score; ties receive mid-ranks); the test asks whether the M
+// average ranks could have arisen under the null of equivalent methods.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcdc::stats {
+
+struct FriedmanResult {
+  std::size_t num_methods = 0;   // M
+  std::size_t num_datasets = 0;  // N
+  // Average rank per method (1 = best possible).
+  std::vector<double> average_ranks;
+  // Friedman chi-square statistic and its p-value (df = M - 1).
+  double chi_square = 0.0;
+  double p_value = 1.0;
+  // Iman-Davenport F statistic and p-value (less conservative; df = M - 1,
+  // (M - 1)(N - 1)).
+  double iman_davenport_f = 0.0;
+  double iman_davenport_p = 1.0;
+};
+
+// scores[m][j] = score of method m on dataset j; higher = better. All rows
+// must share the same length N >= 1, and M >= 2.
+FriedmanResult friedman_test(const std::vector<std::vector<double>>& scores);
+
+struct NemenyiResult {
+  // Critical difference: two methods differ significantly iff their average
+  // ranks differ by at least this much.
+  double critical_difference = 0.0;
+  // significant[a][b] = true iff methods a and b differ at level alpha.
+  std::vector<std::vector<bool>> significant;
+};
+
+// Nemenyi post-hoc at significance level alpha (supported: 0.05 and 0.10),
+// based on the Studentized-range critical values q_alpha for up to 20
+// methods. Call after a significant Friedman test.
+NemenyiResult nemenyi_post_hoc(const FriedmanResult& friedman,
+                               double alpha = 0.05);
+
+// The q_alpha / sqrt(2) critical value used by the Nemenyi CD formula.
+// Throws for unsupported alpha or num_methods outside [2, 20].
+double nemenyi_critical_value(std::size_t num_methods, double alpha);
+
+}  // namespace mcdc::stats

@@ -1,0 +1,29 @@
+#include "stats/ranks.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mcdc::stats {
+
+std::vector<double> midranks(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) share the average of ranks i+1..j+1.
+    const double rank = static_cast<double>(i + j) / 2.0 + 1.0;
+    for (std::size_t t = i; t <= j; ++t) ranks[order[t]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace mcdc::stats

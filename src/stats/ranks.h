@@ -1,0 +1,12 @@
+// Ranking utilities (mid-ranks for ties) shared by rank-based statistics.
+#pragma once
+
+#include <vector>
+
+namespace mcdc::stats {
+
+// Ranks of values (1-based); tied values receive the average of the ranks
+// they span ("mid-ranks"), as required by the Wilcoxon statistic.
+std::vector<double> midranks(const std::vector<double>& values);
+
+}  // namespace mcdc::stats

@@ -1,0 +1,231 @@
+// Tests for the six baseline clusterers of the comparative study.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "baselines/adc.h"
+#include "baselines/fkmawcw.h"
+#include "baselines/gudmm.h"
+#include "baselines/kmodes.h"
+#include "baselines/krepresentatives.h"
+#include "baselines/rock.h"
+#include "baselines/wocil.h"
+#include "data/synthetic.h"
+#include "metrics/indices.h"
+
+namespace mcdc::baselines {
+namespace {
+
+data::Dataset easy() {
+  data::WellSeparatedConfig config;
+  config.num_objects = 300;
+  config.num_clusters = 3;
+  config.purity = 0.95;
+  return data::well_separated(config);
+}
+
+std::vector<std::unique_ptr<Clusterer>> all_baselines() {
+  std::vector<std::unique_ptr<Clusterer>> methods;
+  methods.push_back(std::make_unique<KModes>());
+  methods.push_back(std::make_unique<Rock>());
+  methods.push_back(std::make_unique<Wocil>());
+  methods.push_back(std::make_unique<Fkmawcw>());
+  methods.push_back(std::make_unique<Gudmm>());
+  methods.push_back(std::make_unique<Adc>());
+  return methods;
+}
+
+TEST(Baselines, NamesMatchThePaper) {
+  const auto methods = all_baselines();
+  std::vector<std::string> names;
+  names.reserve(methods.size());
+  for (const auto& m : methods) names.push_back(m->name());
+  EXPECT_EQ(names, (std::vector<std::string>{"K-MODES", "ROCK", "WOCIL",
+                                             "FKMAWCW", "GUDMM", "ADC"}));
+}
+
+TEST(Baselines, AllRecoverWellSeparatedClusters) {
+  const auto ds = easy();
+  for (const auto& method : all_baselines()) {
+    SCOPED_TRACE(method->name());
+    // Best of a few seeds, as randomly initialised methods are run
+    // repeatedly in the paper's protocol.
+    double best = -1.0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto result = method->cluster(ds, 3, seed);
+      ASSERT_EQ(result.labels.size(), ds.num_objects());
+      best = std::max(best,
+                      metrics::adjusted_rand_index(result.labels, ds.labels()));
+    }
+    EXPECT_GT(best, 0.8);
+  }
+}
+
+TEST(Baselines, LabelsAlwaysInRange) {
+  const auto ds = easy();
+  for (const auto& method : all_baselines()) {
+    SCOPED_TRACE(method->name());
+    const auto result = method->cluster(ds, 4, 3);
+    for (int l : result.labels) {
+      EXPECT_GE(l, 0);
+      EXPECT_LT(l, 4);
+    }
+  }
+}
+
+TEST(Baselines, FinalizeResultFlagsFailure) {
+  ClusterResult collapsed;
+  collapsed.labels = {0, 0, 0, 0};
+  finalize_result(collapsed, 2);
+  EXPECT_TRUE(collapsed.failed);
+  EXPECT_EQ(collapsed.clusters_found, 1);
+
+  ClusterResult exact;
+  exact.labels = {0, 1, 0, 1};
+  finalize_result(exact, 2);
+  EXPECT_FALSE(exact.failed);
+}
+
+TEST(KModes, DeterministicPerSeedAndSeedSensitive) {
+  const auto ds = easy();
+  KModes kmodes;
+  const auto a = kmodes.cluster(ds, 3, 42);
+  const auto b = kmodes.cluster(ds, 3, 42);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(KModes, InvalidKThrows) {
+  const auto ds = easy();
+  KModes kmodes;
+  EXPECT_THROW(kmodes.cluster(ds, 0, 1), std::invalid_argument);
+  EXPECT_THROW(kmodes.cluster(ds, 301, 1), std::invalid_argument);
+}
+
+TEST(KModes, KEqualsOneGroupsAll) {
+  const auto ds = easy();
+  const auto result = KModes().cluster(ds, 1, 1);
+  for (int l : result.labels) EXPECT_EQ(l, 0);
+  EXPECT_TRUE(result.failed == false);
+}
+
+TEST(Rock, DeterministicBelowSampleBudget) {
+  const auto ds = easy();
+  Rock rock;
+  // n < max_sample: the whole run is deterministic regardless of seed.
+  const auto a = rock.cluster(ds, 3, 1);
+  const auto b = rock.cluster(ds, 3, 999);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Rock, SamplingPathLabelsEveryObject) {
+  data::WellSeparatedConfig config;
+  config.num_objects = 800;
+  config.num_clusters = 3;
+  config.purity = 0.95;
+  const auto ds = data::well_separated(config);
+  RockConfig rc;
+  rc.max_sample = 200;  // force the outside-point labelling phase
+  Rock rock(rc);
+  const auto result = rock.cluster(ds, 3, 7);
+  ASSERT_EQ(result.labels.size(), ds.num_objects());
+  for (int l : result.labels) EXPECT_GE(l, 0);
+  EXPECT_GT(metrics::adjusted_rand_index(result.labels, ds.labels()), 0.7);
+}
+
+TEST(Rock, ReportsFailureWhenLinksRunOut) {
+  // Objects with disjoint values everywhere: no Jaccard neighbours, so the
+  // agglomeration cannot reach k = 2 and must flag failure.
+  const data::Dataset ds(4, 2, {0, 0, 1, 1, 2, 2, 3, 3}, {4, 4});
+  const auto result = Rock().cluster(ds, 2, 1);
+  EXPECT_TRUE(result.failed);
+}
+
+TEST(Wocil, FullyDeterministic) {
+  const auto ds = easy();
+  Wocil wocil;
+  const auto a = wocil.cluster(ds, 3, 1);
+  const auto b = wocil.cluster(ds, 3, 12345);
+  EXPECT_EQ(a.labels, b.labels);  // stable init: seed-independent
+}
+
+TEST(Adc, FullyDeterministic) {
+  const auto ds = easy();
+  Adc adc;
+  const auto a = adc.cluster(ds, 3, 1);
+  const auto b = adc.cluster(ds, 3, 54321);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Fkmawcw, MembershipCollapseIsReportedNotHidden) {
+  // All-identical rows: every mode coincides, memberships collapse into one
+  // cluster -> failed = true rather than a fabricated split.
+  const data::Dataset ds(30, 2, std::vector<data::Value>(60, 0), {1, 1});
+  const auto result = Fkmawcw().cluster(ds, 3, 1);
+  EXPECT_TRUE(result.failed);
+}
+
+TEST(Gudmm, HandlesDegenerateSingleValuedFeature) {
+  // Second feature is constant (like mushroom's veil-type); the learned
+  // metric must not blow up.
+  data::WellSeparatedConfig config;
+  config.num_objects = 120;
+  config.num_clusters = 2;
+  config.cardinality = 3;
+  auto base = data::well_separated(config);
+  std::vector<data::Value> cells;
+  for (std::size_t i = 0; i < base.num_objects(); ++i) {
+    cells.push_back(base.at(i, 0));
+    cells.push_back(0);
+  }
+  const data::Dataset ds(base.num_objects(), 2, std::move(cells), {3, 1},
+                         base.labels());
+  const auto result = Gudmm().cluster(ds, 2, 1);
+  EXPECT_EQ(result.labels.size(), ds.num_objects());
+}
+
+// --- detail::krepresentatives helpers ------------------------------------------
+
+TEST(KRepHelpers, JointCountsAndConditionals) {
+  const data::Dataset ds(4, 2, {0, 0, 0, 1, 1, 0, 1, 1}, {2, 2});
+  const auto joint = detail::joint_counts(ds, 0, 1);
+  EXPECT_EQ(joint, (std::vector<int>{1, 1, 1, 1}));
+  const auto cond = detail::conditional_distribution(ds, 0, 1);
+  EXPECT_DOUBLE_EQ(cond[0], 0.5);
+  EXPECT_DOUBLE_EQ(cond[1], 0.5);
+}
+
+TEST(KRepHelpers, MutualInformationOfPerfectCoupling) {
+  const data::Dataset ds(4, 2, {0, 0, 0, 0, 1, 1, 1, 1}, {2, 2});
+  // Feature 1 = feature 0: MI = H = ln 2.
+  EXPECT_NEAR(detail::attribute_mutual_information(ds, 0, 1), std::log(2.0),
+              1e-12);
+}
+
+TEST(KRepHelpers, MutualInformationOfIndependence) {
+  const data::Dataset ds(4, 2, {0, 0, 0, 1, 1, 0, 1, 1}, {2, 2});
+  EXPECT_NEAR(detail::attribute_mutual_information(ds, 0, 1), 0.0, 1e-12);
+}
+
+TEST(KRepresentatives, InvalidInputsThrow) {
+  const auto ds = easy();
+  detail::ValueDistances distances;
+  distances.matrices.resize(ds.num_features());
+  for (std::size_t r = 0; r < ds.num_features(); ++r) {
+    const auto m = static_cast<std::size_t>(ds.cardinality(r));
+    distances.matrices[r].assign(m * m, 1.0);
+    for (std::size_t v = 0; v < m; ++v) distances.matrices[r][v * m + v] = 0.0;
+  }
+  EXPECT_THROW(detail::krepresentatives(ds, 0, distances, {}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(detail::krepresentatives(ds, 1000, distances, {}, 1),
+               std::invalid_argument);
+  // Hamming distances via the generic engine still cluster fine.
+  const auto result = detail::krepresentatives(ds, 3, distances, {}, 1);
+  EXPECT_EQ(result.labels.size(), ds.num_objects());
+}
+
+}  // namespace
+}  // namespace mcdc::baselines

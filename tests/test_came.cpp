@@ -1,0 +1,189 @@
+// Tests for CAME (Alg. 2) and the Gamma encoding.
+#include "core/came.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/encoding.h"
+#include "core/mgcpl.h"
+#include "data/synthetic.h"
+#include "metrics/indices.h"
+
+namespace mcdc::core {
+namespace {
+
+// Hand-built two-granularity embedding: 8 objects, fine ids split coarse
+// ones, so the "true" 2-clustering is obvious.
+data::Dataset toy_embedding() {
+  // sigma = 2 features: fine (4 values), coarse (2 values).
+  return data::Dataset(8, 2,
+                       {0, 0,  //
+                        0, 0,  //
+                        1, 0,  //
+                        1, 0,  //
+                        2, 1,  //
+                        2, 1,  //
+                        3, 1,  //
+                        3, 1},
+                       {4, 2}, {0, 0, 0, 0, 1, 1, 1, 1});
+}
+
+TEST(EncodeGamma, BuildsSigmaFeatureDataset) {
+  MgcplResult analysis;
+  analysis.kappa = {4, 2};
+  analysis.partitions = {{0, 1, 2, 3, 0}, {0, 0, 1, 1, 0}};
+  const auto embedding = encode_gamma(analysis);
+  EXPECT_EQ(embedding.num_objects(), 5u);
+  EXPECT_EQ(embedding.num_features(), 2u);
+  EXPECT_EQ(embedding.cardinality(0), 4);
+  EXPECT_EQ(embedding.cardinality(1), 2);
+  EXPECT_EQ(embedding.at(2, 0), 2);
+  EXPECT_EQ(embedding.at(2, 1), 1);
+  EXPECT_FALSE(embedding.has_labels());
+}
+
+TEST(EncodeGamma, CarriesSourceLabels) {
+  MgcplResult analysis;
+  analysis.kappa = {2};
+  analysis.partitions = {{0, 1, 0}};
+  const data::Dataset source(3, 1, {0, 1, 0}, {2}, {1, 0, 1});
+  const auto embedding = encode_gamma(analysis, source);
+  EXPECT_TRUE(embedding.has_labels());
+  EXPECT_EQ(embedding.labels(), source.labels());
+}
+
+TEST(EncodeGamma, EmptyAnalysisThrows) {
+  EXPECT_THROW(encode_gamma(MgcplResult{}), std::invalid_argument);
+}
+
+TEST(Came, RecoversObviousClusters) {
+  const auto embedding = toy_embedding();
+  const auto result = Came().run(embedding, 2);
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(
+      metrics::adjusted_rand_index(result.labels, embedding.labels()), 1.0);
+}
+
+TEST(Came, ThetaIsADistribution) {
+  const auto embedding = toy_embedding();
+  const auto result = Came().run(embedding, 2);
+  EXPECT_EQ(result.theta.size(), embedding.num_features());
+  EXPECT_NEAR(std::accumulate(result.theta.begin(), result.theta.end(), 0.0),
+              1.0, 1e-9);
+  for (double t : result.theta) EXPECT_GE(t, 0.0);
+}
+
+TEST(Came, LabelsAreDense) {
+  const auto embedding = toy_embedding();
+  for (int k : {1, 2, 3, 4}) {
+    const auto result = Came().run(embedding, k);
+    std::set<int> seen(result.labels.begin(), result.labels.end());
+    EXPECT_LE(static_cast<int>(seen.size()), k);
+    for (int l : result.labels) {
+      EXPECT_GE(l, 0);
+      EXPECT_LT(l, k);
+    }
+  }
+}
+
+TEST(Came, KOneGroupsEverything) {
+  const auto embedding = toy_embedding();
+  const auto result = Came().run(embedding, 1);
+  for (int l : result.labels) EXPECT_EQ(l, 0);
+}
+
+TEST(Came, KEqualsNIsAllowed) {
+  const auto embedding = toy_embedding();
+  const auto result = Came().run(embedding, 8);
+  EXPECT_EQ(result.labels.size(), 8u);
+}
+
+TEST(Came, Validation) {
+  const auto embedding = toy_embedding();
+  EXPECT_THROW(Came().run(embedding, 0), std::invalid_argument);
+  EXPECT_THROW(Came().run(embedding, 9), std::invalid_argument);
+  EXPECT_THROW(Came().run(data::Dataset(), 1), std::invalid_argument);
+}
+
+TEST(Came, DensityInitIsDeterministic) {
+  const auto embedding = toy_embedding();
+  const auto a = Came().run(embedding, 2, 1);
+  const auto b = Came().run(embedding, 2, 999);  // seed ignored for density
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Came, RandomInitDependsOnSeed) {
+  // On a larger embedding random seeding usually differs across seeds.
+  MgcplResult analysis;
+  analysis.kappa = {6};
+  analysis.partitions.emplace_back();
+  for (int i = 0; i < 120; ++i) {
+    analysis.partitions[0].push_back(i % 6);
+  }
+  const auto embedding = encode_gamma(analysis);
+  CameConfig config;
+  config.init = CameConfig::Init::random;
+  const auto a = Came(config).run(embedding, 3, 1);
+  const auto b = Came(config).run(embedding, 3, 1);
+  EXPECT_EQ(a.labels, b.labels);  // same seed -> same run
+}
+
+TEST(Came, FixedWeightsStayUniform) {
+  const auto embedding = toy_embedding();
+  CameConfig config;
+  config.weight_update = CameConfig::WeightUpdate::fixed;
+  const auto result = Came(config).run(embedding, 2);
+  for (double t : result.theta) {
+    EXPECT_DOUBLE_EQ(t, 0.5);
+  }
+}
+
+TEST(Came, LagrangeWeightsAreADistribution) {
+  const auto embedding = toy_embedding();
+  CameConfig config;
+  config.weight_update = CameConfig::WeightUpdate::lagrange;
+  const auto result = Came(config).run(embedding, 2);
+  EXPECT_NEAR(std::accumulate(result.theta.begin(), result.theta.end(), 0.0),
+              1.0, 1e-9);
+}
+
+TEST(Came, ObjectiveIsNonNegativeAndZeroForPerfectFit) {
+  const auto embedding = toy_embedding();
+  const auto k2 = Came().run(embedding, 2);
+  EXPECT_GE(k2.objective, 0.0);
+  // k = 4 can fit the fine structure exactly: zero weighted mismatch.
+  const auto k4 = Came().run(embedding, 4);
+  EXPECT_NEAR(k4.objective, 0.0, 1e-12);
+}
+
+TEST(Came, NoisyGranularityGetsDownWeighted) {
+  // Feature 0 is pure noise; feature 1 carries the clusters. After weight
+  // learning theta[1] must dominate.
+  std::vector<data::Value> cells;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    cells.push_back(static_cast<data::Value>((i * 7 + i / 3) % 5));  // noise
+    cells.push_back(static_cast<data::Value>(i % 2));                // signal
+  }
+  std::vector<int> labels;
+  for (int i = 0; i < n; ++i) labels.push_back(i % 2);
+  const data::Dataset embedding(n, 2, std::move(cells), {5, 2},
+                                std::move(labels));
+  const auto result = Came().run(embedding, 2);
+  EXPECT_GT(result.theta[1], result.theta[0]);
+  EXPECT_GT(metrics::accuracy(result.labels, embedding.labels()), 0.95);
+}
+
+TEST(Came, EndToEndWithMgcplOnNestedData) {
+  const auto nd = data::nested({});
+  const auto analysis = Mgcpl().run(nd.dataset, 1);
+  const auto embedding = encode_gamma(analysis, nd.dataset);
+  const auto result = Came().run(embedding, 3);
+  EXPECT_GT(metrics::adjusted_rand_index(result.labels, nd.dataset.labels()),
+            0.9);
+}
+
+}  // namespace
+}  // namespace mcdc::core

@@ -1,0 +1,119 @@
+// Unit tests for CSV import/export.
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mcdc::data {
+namespace {
+
+TEST(Csv, ParsesLastColumnAsLabelByDefault) {
+  std::istringstream in("a,b,pos\nc,d,neg\na,d,pos\n");
+  const Dataset ds = read_csv(in);
+  EXPECT_EQ(ds.num_objects(), 3u);
+  EXPECT_EQ(ds.num_features(), 2u);
+  ASSERT_TRUE(ds.has_labels());
+  EXPECT_EQ(ds.num_classes(), 2);
+  EXPECT_EQ(ds.labels(), (std::vector<int>{0, 1, 0}));
+}
+
+TEST(Csv, HeaderNamesFeatures) {
+  std::istringstream in("color,size,class\nred,big,A\nblue,small,B\n");
+  CsvOptions options;
+  options.has_header = true;
+  const Dataset ds = read_csv(in, options);
+  EXPECT_EQ(ds.feature_names(), (std::vector<std::string>{"color", "size"}));
+  EXPECT_EQ(ds.num_objects(), 2u);
+}
+
+TEST(Csv, NoLabelColumn) {
+  std::istringstream in("a,b\nc,d\n");
+  CsvOptions options;
+  options.label_column = -2;
+  const Dataset ds = read_csv(in, options);
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_FALSE(ds.has_labels());
+}
+
+TEST(Csv, LabelInFirstColumn) {
+  std::istringstream in("democrat,y,n\nrepublican,n,y\n");
+  CsvOptions options;
+  options.label_column = 0;
+  const Dataset ds = read_csv(in, options);
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_EQ(ds.label_names()[0], "democrat");
+}
+
+TEST(Csv, MissingValuesAsQuestionMark) {
+  std::istringstream in("a,?,x\n?,b,y\n");
+  const Dataset ds = read_csv(in);
+  EXPECT_TRUE(ds.is_missing(0, 1));
+  EXPECT_TRUE(ds.is_missing(1, 0));
+}
+
+TEST(Csv, WhitespaceTrimmed) {
+  std::istringstream in(" a , b , x\n c , d , y\n");
+  const Dataset ds = read_csv(in);
+  EXPECT_EQ(ds.value_name(0, 0), "a");
+  EXPECT_EQ(ds.value_name(1, 1), "d");
+}
+
+TEST(Csv, CrLfHandled) {
+  std::istringstream in("a,b,x\r\nc,d,y\r\n");
+  const Dataset ds = read_csv(in);
+  EXPECT_EQ(ds.num_objects(), 2u);
+  EXPECT_EQ(ds.label_names()[1], "y");
+}
+
+TEST(Csv, EmptyInputThrows) {
+  std::istringstream in("");
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(Csv, RaggedRowsThrow) {
+  std::istringstream in("a,b,x\nc,x\n");
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(Csv, LabelColumnOutOfRangeThrows) {
+  std::istringstream in("a,b\n");
+  CsvOptions options;
+  options.label_column = 9;
+  EXPECT_THROW(read_csv(in, options), std::runtime_error);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path.csv"), std::runtime_error);
+}
+
+TEST(Csv, RoundTripPreservesContent) {
+  std::istringstream in("red,big,A\nblue,?,B\nred,small,A\n");
+  const Dataset ds = read_csv(in);
+
+  std::ostringstream out;
+  write_csv(ds, out);
+  std::istringstream again(out.str());
+  const Dataset ds2 = read_csv(again);
+
+  ASSERT_EQ(ds2.num_objects(), ds.num_objects());
+  ASSERT_EQ(ds2.num_features(), ds.num_features());
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    for (std::size_t r = 0; r < ds.num_features(); ++r) {
+      EXPECT_EQ(ds2.value_name(r, ds2.at(i, r)), ds.value_name(r, ds.at(i, r)));
+    }
+  }
+  EXPECT_EQ(ds2.labels(), ds.labels());
+}
+
+TEST(Csv, AlternateDelimiter) {
+  std::istringstream in("a;b;x\nc;d;y\n");
+  CsvOptions options;
+  options.delimiter = ';';
+  const Dataset ds = read_csv(in, options);
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_EQ(ds.num_objects(), 2u);
+}
+
+}  // namespace
+}  // namespace mcdc::data

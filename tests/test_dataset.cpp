@@ -1,0 +1,132 @@
+// Unit tests for the categorical Dataset substrate.
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace mcdc::data {
+namespace {
+
+Dataset small() {
+  DatasetBuilder b({"color", "size"});
+  b.add_row({"red", "big"}, "A");
+  b.add_row({"blue", "small"}, "B");
+  b.add_row({"red", "small"}, "A");
+  b.add_row({"green", "?"}, "B");
+  return std::move(b).build();
+}
+
+TEST(DatasetBuilder, BasicShapeAndEncoding) {
+  const Dataset ds = small();
+  EXPECT_EQ(ds.num_objects(), 4u);
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_EQ(ds.cardinality(0), 3);  // red, blue, green
+  EXPECT_EQ(ds.cardinality(1), 2);  // big, small
+  EXPECT_EQ(ds.max_cardinality(), 3);
+  // First-seen-order coding.
+  EXPECT_EQ(ds.at(0, 0), 0);
+  EXPECT_EQ(ds.at(1, 0), 1);
+  EXPECT_EQ(ds.at(2, 0), 0);
+  EXPECT_EQ(ds.at(3, 0), 2);
+}
+
+TEST(DatasetBuilder, MissingValues) {
+  const Dataset ds = small();
+  EXPECT_TRUE(ds.has_missing());
+  EXPECT_TRUE(ds.is_missing(3, 1));
+  EXPECT_FALSE(ds.is_missing(0, 1));
+  EXPECT_EQ(ds.value_name(1, kMissing), "?");
+}
+
+TEST(DatasetBuilder, Labels) {
+  const Dataset ds = small();
+  ASSERT_TRUE(ds.has_labels());
+  EXPECT_EQ(ds.num_classes(), 2);
+  EXPECT_EQ(ds.labels(), (std::vector<int>{0, 1, 0, 1}));
+  EXPECT_EQ(ds.label_names()[0], "A");
+}
+
+TEST(DatasetBuilder, ValueNames) {
+  const Dataset ds = small();
+  EXPECT_EQ(ds.value_name(0, 0), "red");
+  EXPECT_EQ(ds.value_name(0, 2), "green");
+  EXPECT_EQ(ds.value_name(1, 1), "small");
+}
+
+TEST(DatasetBuilder, ArityMismatchThrows) {
+  DatasetBuilder b({"a", "b"});
+  EXPECT_THROW(b.add_row({"x"}), std::invalid_argument);
+}
+
+TEST(DatasetBuilder, EmptyFeatureListThrows) {
+  EXPECT_THROW(DatasetBuilder({}), std::invalid_argument);
+}
+
+TEST(Dataset, DirectConstruction) {
+  const Dataset ds(2, 2, {0, 1, 1, 0}, {2, 2}, {0, 1});
+  EXPECT_EQ(ds.num_objects(), 2u);
+  EXPECT_EQ(ds.at(1, 0), 1);
+  EXPECT_EQ(ds.value_name(0, 1), "v1");  // no dictionary -> synthetic name
+}
+
+TEST(Dataset, DirectConstructionValidation) {
+  EXPECT_THROW(Dataset(2, 2, {0, 1, 1}, {2, 2}), std::invalid_argument);
+  EXPECT_THROW(Dataset(2, 2, {0, 1, 1, 0}, {2}), std::invalid_argument);
+  EXPECT_THROW(Dataset(2, 2, {0, 5, 1, 0}, {2, 2}), std::invalid_argument);
+  EXPECT_THROW(Dataset(2, 2, {0, 1, 1, 0}, {2, 2}, {0}), std::invalid_argument);
+}
+
+TEST(Dataset, MissingAllowedInDirectConstruction) {
+  const Dataset ds(1, 2, {kMissing, 0}, {2, 2});
+  EXPECT_TRUE(ds.is_missing(0, 0));
+}
+
+TEST(Dataset, DropMissingRows) {
+  const Dataset ds = small();
+  const Dataset clean = ds.drop_missing_rows();
+  EXPECT_EQ(clean.num_objects(), 3u);
+  EXPECT_FALSE(clean.has_missing());
+  // Cardinalities and dictionaries are preserved even when a value no
+  // longer occurs.
+  EXPECT_EQ(clean.cardinality(0), 3);
+  EXPECT_EQ(clean.labels(), (std::vector<int>{0, 1, 0}));
+}
+
+TEST(Dataset, SubsetSelectsRowsInOrder) {
+  const Dataset ds = small();
+  const Dataset sub = ds.subset({2, 0});
+  EXPECT_EQ(sub.num_objects(), 2u);
+  EXPECT_EQ(sub.at(0, 0), ds.at(2, 0));
+  EXPECT_EQ(sub.at(1, 0), ds.at(0, 0));
+  EXPECT_EQ(sub.labels(), (std::vector<int>{0, 0}));
+}
+
+TEST(Dataset, SubsetOutOfRangeThrows) {
+  const Dataset ds = small();
+  EXPECT_THROW(ds.subset({7}), std::out_of_range);
+}
+
+TEST(Dataset, ValueCounts) {
+  const Dataset ds = small();
+  const auto counts = ds.value_counts();
+  EXPECT_EQ(counts[0], (std::vector<int>{2, 1, 1}));  // red, blue, green
+  EXPECT_EQ(counts[1], (std::vector<int>{1, 2}));     // big, small (missing skipped)
+}
+
+TEST(Dataset, RowPointer) {
+  const Dataset ds = small();
+  const Value* row = ds.row(1);
+  EXPECT_EQ(row[0], ds.at(1, 0));
+  EXPECT_EQ(row[1], ds.at(1, 1));
+}
+
+TEST(Dataset, UnlabeledBuilderHasNoLabels) {
+  DatasetBuilder b({"f"});
+  b.add_row({"x"});
+  b.add_row({"y"});
+  const Dataset ds = std::move(b).build();
+  EXPECT_FALSE(ds.has_labels());
+  EXPECT_EQ(ds.num_classes(), 0);
+}
+
+}  // namespace
+}  // namespace mcdc::data

@@ -1,0 +1,187 @@
+// Tests for the distributed-computing substrate (Sec. III-D):
+// micro-cluster pre-partitioning, the simulated cluster, node grouping.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/mgcpl.h"
+#include "data/synthetic.h"
+#include "dist/node_grouping.h"
+#include "dist/prepartition.h"
+#include "dist/sim_cluster.h"
+
+namespace mcdc::dist {
+namespace {
+
+core::MgcplResult nested_analysis() {
+  const auto nd = data::nested({});
+  return core::Mgcpl().run(nd.dataset, 1);
+}
+
+TEST(Prepartition, EveryObjectLandsInExactlyOneShard) {
+  const auto analysis = nested_analysis();
+  PrepartitionConfig config;
+  config.num_shards = 4;
+  const auto result = MicroClusterPartitioner(config).partition(analysis);
+  const std::size_t n = analysis.partitions.front().size();
+  ASSERT_EQ(result.shard.size(), n);
+  std::size_t total = 0;
+  for (std::size_t s : result.shard_sizes) total += s;
+  EXPECT_EQ(total, n);
+  for (int s : result.shard) {
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 4);
+  }
+}
+
+TEST(Prepartition, MicroClustersAreNeverSplit) {
+  const auto analysis = nested_analysis();
+  const auto result = MicroClusterPartitioner().partition(analysis);
+  // micro_locality = fraction of finest-granularity clusters kept whole;
+  // the partitioner guarantees 1.0 by construction.
+  EXPECT_DOUBLE_EQ(result.micro_locality, 1.0);
+}
+
+TEST(Prepartition, BalanceWithinSlack) {
+  const auto analysis = nested_analysis();
+  PrepartitionConfig config;
+  config.num_shards = 3;
+  config.slack = 1.25;
+  const auto result = MicroClusterPartitioner(config).partition(analysis);
+  // Max shard may exceed ideal only within slack (plus one indivisible
+  // micro-cluster of tolerance).
+  EXPECT_LT(result.balance, 1.6);
+}
+
+TEST(Prepartition, BeatsRoundRobinOnLocality) {
+  const auto analysis = nested_analysis();
+  const auto result = MicroClusterPartitioner().partition(analysis);
+  const auto rr = round_robin_shards(analysis.partitions.front().size(), 4);
+  const double rr_micro = locality_of(rr, analysis.partitions.front());
+  EXPECT_GT(result.micro_locality, rr_micro);
+  EXPECT_GE(result.coarse_locality, locality_of(rr, analysis.partitions.back()));
+}
+
+TEST(Prepartition, SingleShardKeepsEverythingTogether) {
+  const auto analysis = nested_analysis();
+  PrepartitionConfig config;
+  config.num_shards = 1;
+  const auto result = MicroClusterPartitioner(config).partition(analysis);
+  EXPECT_DOUBLE_EQ(result.micro_locality, 1.0);
+  EXPECT_DOUBLE_EQ(result.coarse_locality, 1.0);
+  for (int s : result.shard) EXPECT_EQ(s, 0);
+}
+
+TEST(Prepartition, Validation) {
+  EXPECT_THROW(MicroClusterPartitioner().partition(core::MgcplResult{}),
+               std::invalid_argument);
+  PrepartitionConfig config;
+  config.num_shards = 0;
+  const auto analysis = nested_analysis();
+  EXPECT_THROW(MicroClusterPartitioner(config).partition(analysis),
+               std::invalid_argument);
+}
+
+TEST(LocalityOf, HandComputed) {
+  // Clusters: {0,1} together in shard 0 -> whole; {2,3} split.
+  const std::vector<int> shard = {0, 0, 0, 1};
+  const std::vector<int> clusters = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(locality_of(shard, clusters), 0.5);
+  EXPECT_THROW(locality_of({0}, {0, 1}), std::invalid_argument);
+}
+
+TEST(RoundRobin, CyclesShards) {
+  const auto shard = round_robin_shards(5, 2);
+  EXPECT_EQ(shard, (std::vector<int>{0, 1, 0, 1, 0}));
+}
+
+// --- SimCluster -----------------------------------------------------------------
+
+TEST(SimCluster, UniformNodesSplitLoadEvenly) {
+  SimCluster cluster(uniform_nodes(2));
+  const auto result = cluster.schedule({100, 100});
+  EXPECT_DOUBLE_EQ(result.makespan, 100.0);
+  EXPECT_DOUBLE_EQ(result.utilization, 1.0);
+  EXPECT_NE(result.shard_to_node[0], result.shard_to_node[1]);
+}
+
+TEST(SimCluster, LptHandlesSkewedShards) {
+  SimCluster cluster(uniform_nodes(2));
+  // LPT: 5 goes to one node, {3, 2} to the other -> makespan 5.
+  const auto result = cluster.schedule({3, 5, 2});
+  EXPECT_DOUBLE_EQ(result.makespan, 5.0);
+}
+
+TEST(SimCluster, FasterNodeGetsMoreWork) {
+  SimCluster cluster({{"slow", 1.0}, {"fast", 4.0}});
+  const auto result = cluster.schedule({100, 100});
+  // Both shards on the fast node take 50; split takes 100 -> scheduler
+  // stacks them on the fast node.
+  EXPECT_DOUBLE_EQ(result.makespan, 50.0);
+  EXPECT_EQ(result.shard_to_node[0], 1);
+  EXPECT_EQ(result.shard_to_node[1], 1);
+}
+
+TEST(SimCluster, Validation) {
+  EXPECT_THROW(SimCluster({}), std::invalid_argument);
+  EXPECT_THROW(SimCluster({{"bad", 0.0}}), std::invalid_argument);
+}
+
+TEST(CommunicationVolume, CountsSeparatedObjects) {
+  // Cluster 0: 3 objects, majority shard 0, one object in shard 1 -> 1.
+  // Cluster 1: 2 objects together -> 0.
+  const std::vector<int> shard = {0, 0, 1, 2, 2};
+  const std::vector<int> clusters = {0, 0, 0, 1, 1};
+  EXPECT_EQ(communication_volume(shard, clusters), 1u);
+  EXPECT_THROW(communication_volume({0}, {0, 1}), std::invalid_argument);
+}
+
+TEST(CommunicationVolume, ZeroForPerfectLocality) {
+  const auto analysis = nested_analysis();
+  const auto result = MicroClusterPartitioner().partition(analysis);
+  EXPECT_EQ(communication_volume(result.shard, analysis.partitions.front()),
+            0u);
+}
+
+// --- Node grouping ----------------------------------------------------------------
+
+data::Dataset node_table() {
+  // Fig. 1-style table: GPU type / GPU usage / memory usage; three planted
+  // profiles of compute nodes.
+  data::WellSeparatedConfig config;
+  config.num_objects = 120;
+  config.num_features = 3;
+  config.num_clusters = 3;
+  config.cardinality = 3;
+  config.purity = 0.95;
+  config.seed = 5;
+  return data::well_separated(config);
+}
+
+TEST(NodeGrouping, GroupsAreConsistentProfiles) {
+  const auto result = group_nodes(node_table(), 3);
+  ASSERT_EQ(result.groups.size(), 3u);
+  std::size_t members = 0;
+  for (const auto& group : result.groups) {
+    members += group.members.size();
+    EXPECT_EQ(group.dominant_values.size(), 3u);
+    // "performance-consistent" groups: dominant value shared by most nodes.
+    EXPECT_GT(group.mean_consistency, 0.8);
+  }
+  EXPECT_EQ(members, node_table().num_objects());
+}
+
+TEST(NodeGrouping, AutomaticKUsesMgcplEstimate) {
+  const auto result = group_nodes(node_table(), 0);
+  EXPECT_EQ(result.groups.size(), result.kappa.empty()
+                                      ? 0u
+                                      : static_cast<std::size_t>(result.kappa.back()));
+  EXPECT_EQ(result.groups.size(), 3u);  // planted k
+}
+
+TEST(NodeGrouping, EmptyTableThrows) {
+  EXPECT_THROW(group_nodes(data::Dataset(), 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcdc::dist

@@ -1,0 +1,184 @@
+// Tests for the extended external validity indices: exact values on
+// hand-computed contingency tables plus invariance/bounds property sweeps.
+#include "metrics/external_extra.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "metrics/indices.h"
+
+namespace mcdc::metrics {
+namespace {
+
+// --- Purity ------------------------------------------------------------------
+
+TEST(Purity, PerfectMatchIsOne) {
+  const std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(purity(labels, labels), 1.0);
+}
+
+TEST(Purity, HandComputedMixedTable) {
+  // Clusters: {0,0,0,1}, {1,1,2,2}. Majorities: 3 and 2 -> (3+2)/8.
+  const std::vector<int> predicted = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<int> truth = {0, 0, 0, 1, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(purity(predicted, truth), 5.0 / 8.0);
+}
+
+TEST(Purity, SingletonsAreTriviallyPure) {
+  const std::vector<int> predicted = {0, 1, 2, 3};
+  const std::vector<int> truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(purity(predicted, truth), 1.0);
+  // ...but inverse purity penalises the shattering.
+  EXPECT_DOUBLE_EQ(inverse_purity(predicted, truth), 0.5);
+}
+
+TEST(Purity, InversePurityIsSwappedPurity) {
+  const std::vector<int> a = {0, 0, 1, 1, 2, 0};
+  const std::vector<int> b = {1, 1, 0, 0, 0, 2};
+  EXPECT_DOUBLE_EQ(inverse_purity(a, b), purity(b, a));
+}
+
+// --- Homogeneity / completeness / V-measure ----------------------------------
+
+TEST(VMeasure, PerfectClustering) {
+  const std::vector<int> labels = {0, 1, 2, 0, 1, 2};
+  EXPECT_DOUBLE_EQ(homogeneity(labels, labels), 1.0);
+  EXPECT_DOUBLE_EQ(completeness(labels, labels), 1.0);
+  EXPECT_DOUBLE_EQ(v_measure(labels, labels), 1.0);
+}
+
+TEST(VMeasure, LabelPermutationInvariant) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> predicted = {2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(v_measure(predicted, truth), 1.0);
+}
+
+TEST(VMeasure, SplittingClassesKeepsHomogeneity) {
+  // Each predicted cluster holds one class only -> homogeneity 1, but a
+  // class is split across clusters -> completeness < 1.
+  const std::vector<int> truth = {0, 0, 0, 0, 1, 1};
+  const std::vector<int> predicted = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(homogeneity(predicted, truth), 1.0);
+  EXPECT_LT(completeness(predicted, truth), 1.0);
+  const double v = v_measure(predicted, truth);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(VMeasure, MergingClassesKeepsCompleteness) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> predicted = {0, 0, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(completeness(predicted, truth), 1.0);
+  EXPECT_LT(homogeneity(predicted, truth), 1.0);
+}
+
+TEST(VMeasure, SingleClassTruthIsHomogeneous) {
+  const std::vector<int> truth = {0, 0, 0, 0};
+  const std::vector<int> predicted = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(homogeneity(predicted, truth), 1.0);
+}
+
+TEST(VMeasure, MatchesNmiArithmeticNormalisation) {
+  // V-measure (beta = 1) equals NMI with arithmetic-mean normalisation.
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2, 0, 1};
+  const std::vector<int> predicted = {0, 1, 1, 1, 2, 0, 0, 2};
+  EXPECT_NEAR(v_measure(predicted, truth),
+              normalized_mutual_information(predicted, truth), 1e-12);
+}
+
+// --- Pair counts ---------------------------------------------------------------
+
+TEST(PairCounts, HandComputed) {
+  // predicted: {0,1}{2,3}; truth: {0,1,2}{3}.
+  const std::vector<int> predicted = {0, 0, 1, 1};
+  const std::vector<int> truth = {0, 0, 0, 1};
+  const PairCounts pc = pair_counts(predicted, truth);
+  // Pairs together in both: (0,1). Together in predicted only: (2,3).
+  // Together in truth only: (0,2), (1,2). Apart in both: (0,3), (1,3).
+  EXPECT_EQ(pc.tp, 1);
+  EXPECT_EQ(pc.fp, 1);
+  EXPECT_EQ(pc.fn, 2);
+  EXPECT_EQ(pc.tn, 2);
+  EXPECT_DOUBLE_EQ(pc.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(pc.recall(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(pc.rand_index(), 0.5);
+  EXPECT_DOUBLE_EQ(pc.jaccard(), 0.25);
+}
+
+TEST(PairCounts, SumsToAllPairs) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 5 + rng.below(40);
+    std::vector<int> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<int>(rng.below(4));
+      b[i] = static_cast<int>(rng.below(3));
+    }
+    const PairCounts pc = pair_counts(a, b);
+    EXPECT_EQ(pc.tp + pc.fp + pc.fn + pc.tn,
+              static_cast<long long>(n * (n - 1) / 2));
+  }
+}
+
+TEST(PairCounts, FmIsGeometricMeanOfPrecisionRecall) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 10 + rng.below(30);
+    std::vector<int> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<int>(rng.below(3));
+      b[i] = static_cast<int>(rng.below(3));
+    }
+    const PairCounts pc = pair_counts(a, b);
+    const double fm = fowlkes_mallows(a, b);
+    EXPECT_NEAR(fm, std::sqrt(pc.precision() * pc.recall()), 1e-12);
+  }
+}
+
+TEST(PairCounts, F1BetweenPrecisionAndRecall) {
+  const std::vector<int> predicted = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  const PairCounts pc = pair_counts(predicted, truth);
+  const double lo = std::min(pc.precision(), pc.recall());
+  const double hi = std::max(pc.precision(), pc.recall());
+  EXPECT_GE(pc.f1(), lo);
+  EXPECT_LE(pc.f1(), hi);
+}
+
+// --- Property sweep: all indices bounded and symmetric where promised --------
+
+class ExtraIndexSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtraIndexSweep, BoundsHold) {
+  Rng rng(GetParam());
+  const std::size_t n = 8 + rng.below(60);
+  std::vector<int> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<int>(rng.below(1 + rng.below(5)));
+    b[i] = static_cast<int>(rng.below(1 + rng.below(5)));
+  }
+  for (double v : {purity(a, b), inverse_purity(a, b), homogeneity(a, b),
+                   completeness(a, b), v_measure(a, b)}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+  const PairCounts pc = pair_counts(a, b);
+  EXPECT_GE(pc.tp, 0);
+  EXPECT_GE(pc.tn, 0);
+  EXPECT_GE(pc.rand_index(), 0.0);
+  EXPECT_LE(pc.rand_index(), 1.0);
+  // Homogeneity/completeness swap under argument swap.
+  EXPECT_DOUBLE_EQ(homogeneity(a, b), completeness(b, a));
+  // V-measure is symmetric.
+  EXPECT_NEAR(v_measure(a, b), v_measure(b, a), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtraIndexSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace mcdc::metrics

@@ -1,0 +1,133 @@
+// Hungarian assignment tests: known instances plus brute-force optimality
+// sweeps on random matrices.
+#include "metrics/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mcdc::metrics {
+namespace {
+
+double brute_force_min_cost(const std::vector<std::vector<double>>& cost) {
+  const std::size_t n = cost.size();
+  const std::size_t m = cost.front().size();
+  // Assign rows to distinct columns; enumerate column permutations.
+  std::vector<std::size_t> cols(m);
+  std::iota(cols.begin(), cols.end(), std::size_t{0});
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    double total = 0.0;
+    for (std::size_t i = 0; i < std::min(n, m); ++i) {
+      total += cost[i][cols[i]];
+    }
+    best = std::min(best, total);
+  } while (std::next_permutation(cols.begin(), cols.end()));
+  return best;
+}
+
+TEST(Hungarian, TwoByTwo) {
+  const std::vector<std::vector<double>> cost = {{1.0, 2.0}, {2.0, 1.0}};
+  const auto result = solve_assignment(cost);
+  EXPECT_DOUBLE_EQ(result.cost, 2.0);
+  EXPECT_EQ(result.assignment, (std::vector<int>{0, 1}));
+}
+
+TEST(Hungarian, ClassicThreeByThree) {
+  // A standard textbook instance; optimum is 5 (1 + 2 + 2).
+  const std::vector<std::vector<double>> cost = {
+      {4.0, 1.0, 3.0}, {2.0, 0.0, 5.0}, {3.0, 2.0, 2.0}};
+  const auto result = solve_assignment(cost);
+  EXPECT_DOUBLE_EQ(result.cost, 5.0);
+}
+
+TEST(Hungarian, NegativeCostsSupported) {
+  const std::vector<std::vector<double>> cost = {{-5.0, 0.0}, {0.0, -5.0}};
+  const auto result = solve_assignment(cost);
+  EXPECT_DOUBLE_EQ(result.cost, -10.0);
+}
+
+TEST(Hungarian, WideMatrixLeavesColumnsUnused) {
+  const std::vector<std::vector<double>> cost = {{9.0, 1.0, 5.0}};
+  const auto result = solve_assignment(cost);
+  EXPECT_DOUBLE_EQ(result.cost, 1.0);
+  EXPECT_EQ(result.assignment, (std::vector<int>{1}));
+}
+
+TEST(Hungarian, TallMatrixLeavesRowsUnmatched) {
+  const std::vector<std::vector<double>> cost = {{3.0}, {1.0}, {2.0}};
+  const auto result = solve_assignment(cost);
+  EXPECT_DOUBLE_EQ(result.cost, 1.0);
+  // Exactly one row is matched, and it is the cheapest one.
+  int matched = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (result.assignment[i] >= 0) {
+      ++matched;
+      EXPECT_EQ(i, 1u);
+    }
+  }
+  EXPECT_EQ(matched, 1);
+}
+
+TEST(Hungarian, AssignmentIsInjective) {
+  const std::vector<std::vector<double>> cost = {
+      {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}};
+  const auto result = solve_assignment(cost);
+  std::vector<bool> used(3, false);
+  for (int c : result.assignment) {
+    ASSERT_GE(c, 0);
+    EXPECT_FALSE(used[static_cast<std::size_t>(c)]);
+    used[static_cast<std::size_t>(c)] = true;
+  }
+}
+
+TEST(Hungarian, Validation) {
+  EXPECT_THROW(solve_assignment({}), std::invalid_argument);
+  EXPECT_THROW(solve_assignment({{}}), std::invalid_argument);
+  EXPECT_THROW(solve_assignment({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+}
+
+class HungarianRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HungarianRandom, MatchesBruteForceSquare) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.below(5);  // up to 6x6
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost) {
+    for (double& c : row) c = std::floor(rng.uniform(0.0, 20.0));
+  }
+  const auto result = solve_assignment(cost);
+  EXPECT_DOUBLE_EQ(result.cost, brute_force_min_cost(cost));
+}
+
+TEST_P(HungarianRandom, MatchesBruteForceRectangular) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  const std::size_t n = 2 + rng.below(3);
+  const std::size_t m = n + 1 + rng.below(2);
+  std::vector<std::vector<double>> cost(n, std::vector<double>(m));
+  for (auto& row : cost) {
+    for (double& c : row) c = std::floor(rng.uniform(0.0, 20.0));
+  }
+  const auto wide = solve_assignment(cost);
+  EXPECT_DOUBLE_EQ(wide.cost, brute_force_min_cost(cost));
+
+  // Transposed (tall) must give the same optimum.
+  std::vector<std::vector<double>> tall(m, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) tall[j][i] = cost[i][j];
+  }
+  const auto tall_result = solve_assignment(tall);
+  EXPECT_DOUBLE_EQ(tall_result.cost, wide.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianRandom,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace mcdc::metrics

@@ -1,0 +1,219 @@
+// Tests for the internal (label-free) categorical validity indices.
+#include "metrics/internal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+
+namespace mcdc::metrics {
+namespace {
+
+// Two perfectly separated blocks: rows 0-2 all 'a', rows 3-5 all 'b'.
+data::Dataset two_blocks() {
+  data::DatasetBuilder builder({"f1", "f2", "f3"});
+  for (int i = 0; i < 3; ++i) builder.add_row({"a", "a", "a"});
+  for (int i = 0; i < 3; ++i) builder.add_row({"b", "b", "b"});
+  return std::move(builder).build();
+}
+
+const std::vector<int> kBlockLabels = {0, 0, 0, 1, 1, 1};
+
+// --- PartitionProfile ----------------------------------------------------------
+
+TEST(PartitionProfile, CountsAndModes) {
+  const auto ds = two_blocks();
+  const PartitionProfile profile(ds, kBlockLabels);
+  EXPECT_EQ(profile.num_clusters(), 2);
+  EXPECT_EQ(profile.cluster_size(0), 3u);
+  EXPECT_EQ(profile.cluster_size(1), 3u);
+  EXPECT_EQ(profile.count(0, 0, 0), 3);  // cluster 0, feature 0, value 'a'
+  EXPECT_EQ(profile.count(0, 0, 1), 0);
+  EXPECT_EQ(profile.mode(0, 0), 0);
+  EXPECT_EQ(profile.mode(1, 0), 1);
+}
+
+TEST(PartitionProfile, MeanDistanceZeroInsidePureCluster) {
+  const auto ds = two_blocks();
+  const PartitionProfile profile(ds, kBlockLabels);
+  EXPECT_DOUBLE_EQ(profile.mean_distance(ds, 0, 0, false), 0.0);
+  EXPECT_DOUBLE_EQ(profile.mean_distance(ds, 0, 0, true), 0.0);
+  // Distance from a block-0 row to the pure block-1 cluster is maximal.
+  EXPECT_DOUBLE_EQ(profile.mean_distance(ds, 0, 1, false), 1.0);
+}
+
+TEST(PartitionProfile, SizeMismatchThrows) {
+  const auto ds = two_blocks();
+  EXPECT_THROW(PartitionProfile(ds, {0, 1}), std::invalid_argument);
+}
+
+TEST(PartitionProfile, MissingCellsExcluded) {
+  data::DatasetBuilder builder({"f1", "f2"});
+  builder.add_row({"a", "?"});
+  builder.add_row({"a", "x"});
+  const auto ds = std::move(builder).build();
+  const PartitionProfile profile(ds, {0, 0});
+  EXPECT_EQ(profile.non_null(0, 0), 2);
+  EXPECT_EQ(profile.non_null(0, 1), 1);
+}
+
+// --- Compactness / separation ---------------------------------------------------
+
+TEST(Compactness, PerfectBlocksScoreOne) {
+  const auto ds = two_blocks();
+  EXPECT_DOUBLE_EQ(compactness(ds, kBlockLabels), 1.0);
+}
+
+TEST(Compactness, MergedBlocksScoreHalf) {
+  // One cluster holding both pure blocks: every feature matches half the
+  // members -> similarity 0.5.
+  const auto ds = two_blocks();
+  EXPECT_DOUBLE_EQ(compactness(ds, {0, 0, 0, 0, 0, 0}), 0.5);
+}
+
+TEST(ModeSeparation, DisjointBlocksFullySeparated) {
+  const auto ds = two_blocks();
+  EXPECT_DOUBLE_EQ(mode_separation(ds, kBlockLabels), 1.0);
+}
+
+TEST(ModeSeparation, SingleClusterIsZero) {
+  const auto ds = two_blocks();
+  EXPECT_DOUBLE_EQ(mode_separation(ds, {0, 0, 0, 0, 0, 0}), 0.0);
+}
+
+// --- Silhouette -----------------------------------------------------------------
+
+TEST(Silhouette, PerfectBlocksScoreOne) {
+  const auto ds = two_blocks();
+  EXPECT_DOUBLE_EQ(categorical_silhouette(ds, kBlockLabels), 1.0);
+}
+
+TEST(Silhouette, RandomSplitOfUniformDataNearZeroOrNegative) {
+  data::DatasetBuilder builder({"f1"});
+  for (int i = 0; i < 8; ++i) builder.add_row({"a"});
+  const auto ds = std::move(builder).build();
+  // Identical objects split arbitrarily: a = 0 = b is degenerate; the
+  // silhouette must not report good structure.
+  const std::vector<int> labels = {0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_LE(categorical_silhouette(ds, labels), 0.0 + 1e-12);
+}
+
+TEST(Silhouette, SingleClusterIsZero) {
+  const auto ds = two_blocks();
+  EXPECT_DOUBLE_EQ(categorical_silhouette(ds, {0, 0, 0, 0, 0, 0}), 0.0);
+}
+
+TEST(Silhouette, PlantedClustersBeatShuffledLabels) {
+  data::WellSeparatedConfig config;
+  config.num_objects = 300;
+  config.num_clusters = 3;
+  config.purity = 0.9;
+  const auto ds = data::well_separated(config);
+  const double planted = categorical_silhouette(ds, ds.labels());
+  std::vector<int> shuffled = ds.labels();
+  Rng rng(3);
+  rng.shuffle(shuffled);
+  EXPECT_GT(planted, categorical_silhouette(ds, shuffled) + 0.2);
+}
+
+// --- Category utility -------------------------------------------------------------
+
+TEST(CategoryUtility, PerfectBlocks) {
+  // Hand computation: P(C)=0.5 each; within clusters all P(v|C)^2 sum to 1
+  // per feature (3 features); globally each value has P 0.5 -> sum 0.5 per
+  // feature. CU = (1/2) * [0.5*3*(1-0.5) + 0.5*3*(1-0.5)] = 0.75.
+  const auto ds = two_blocks();
+  EXPECT_NEAR(category_utility(ds, kBlockLabels), 0.75, 1e-12);
+}
+
+TEST(CategoryUtility, SingleClusterIsZero) {
+  const auto ds = two_blocks();
+  EXPECT_NEAR(category_utility(ds, {0, 0, 0, 0, 0, 0}), 0.0, 1e-12);
+}
+
+TEST(CategoryUtility, PlantedBeatsShuffled) {
+  data::WellSeparatedConfig config;
+  config.num_objects = 200;
+  config.num_clusters = 4;
+  const auto ds = data::well_separated(config);
+  std::vector<int> shuffled = ds.labels();
+  Rng rng(5);
+  rng.shuffle(shuffled);
+  EXPECT_GT(category_utility(ds, ds.labels()),
+            category_utility(ds, shuffled));
+}
+
+// --- Davies-Bouldin ---------------------------------------------------------------
+
+TEST(DaviesBouldin, PerfectBlocksScoreZero) {
+  // Zero scatter, positive mode distance -> ratio 0.
+  const auto ds = two_blocks();
+  EXPECT_DOUBLE_EQ(davies_bouldin_modes(ds, kBlockLabels), 0.0);
+}
+
+TEST(DaviesBouldin, CoincidentModesAreInfinite) {
+  data::DatasetBuilder builder({"f1", "f2"});
+  builder.add_row({"a", "a"});
+  builder.add_row({"a", "b"});
+  builder.add_row({"a", "a"});
+  builder.add_row({"a", "b"});
+  const auto ds = std::move(builder).build();
+  // Both clusters have mode (a, a|b) -> identical modes, positive scatter.
+  const double db = davies_bouldin_modes(ds, {0, 0, 1, 1});
+  EXPECT_TRUE(std::isinf(db));
+}
+
+TEST(DaviesBouldin, PlantedBeatsShuffled) {
+  data::WellSeparatedConfig config;
+  config.num_objects = 200;
+  config.num_clusters = 3;
+  const auto ds = data::well_separated(config);
+  std::vector<int> shuffled = ds.labels();
+  Rng rng(7);
+  rng.shuffle(shuffled);
+  EXPECT_LT(davies_bouldin_modes(ds, ds.labels()),
+            davies_bouldin_modes(ds, shuffled));
+}
+
+// --- Bundle + property sweep -------------------------------------------------------
+
+TEST(InternalScores, BundleMatchesIndividuals) {
+  const auto ds = two_blocks();
+  const auto bundle = internal_scores(ds, kBlockLabels);
+  EXPECT_DOUBLE_EQ(bundle.compactness, compactness(ds, kBlockLabels));
+  EXPECT_DOUBLE_EQ(bundle.silhouette,
+                   categorical_silhouette(ds, kBlockLabels));
+  EXPECT_DOUBLE_EQ(bundle.category_utility,
+                   category_utility(ds, kBlockLabels));
+}
+
+class InternalSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InternalSweep, BoundsAndSanity) {
+  Rng rng(GetParam());
+  data::WellSeparatedConfig config;
+  config.num_objects = 60 + rng.below(100);
+  config.num_clusters = 2 + static_cast<int>(rng.below(4));
+  config.cardinality = 6;  // >= any num_clusters drawn above
+  config.seed = GetParam();
+  const auto ds = data::well_separated(config);
+  const auto& labels = ds.labels();
+  const double c = compactness(ds, labels);
+  EXPECT_GE(c, 0.0);
+  EXPECT_LE(c, 1.0);
+  const double s = categorical_silhouette(ds, labels);
+  EXPECT_GE(s, -1.0);
+  EXPECT_LE(s, 1.0);
+  EXPECT_GE(mode_separation(ds, labels), 0.0);
+  EXPECT_LE(mode_separation(ds, labels), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InternalSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace mcdc::metrics

@@ -1,0 +1,218 @@
+// Tests for the full MCDC pipeline, its ablated variants (Fig. 4) and the
+// MCDC+X boosting mechanism.
+#include "baselines/fkmawcw.h"
+#include "core/mcdc.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "baselines/kmodes.h"
+#include "data/synthetic.h"
+#include "data/uci_like.h"
+#include "metrics/indices.h"
+
+namespace mcdc::core {
+namespace {
+
+TEST(Mcdc, PerfectOnWellSeparatedData) {
+  const auto ds = data::well_separated({});
+  const auto out = Mcdc().cluster(ds, 3, 1);
+  EXPECT_DOUBLE_EQ(metrics::adjusted_rand_index(out.labels, ds.labels()), 1.0);
+  EXPECT_FALSE(out.mgcpl.kappa.empty());
+  EXPECT_EQ(out.labels, out.came.labels);
+}
+
+TEST(Mcdc, PerfectOnNestedData) {
+  const auto nd = data::nested({});
+  const auto out = Mcdc().cluster(nd.dataset, 3, 1);
+  EXPECT_GT(metrics::adjusted_rand_index(out.labels, nd.dataset.labels()),
+            0.95);
+}
+
+TEST(Mcdc, LabelsMatchRequestedK) {
+  const auto ds = data::well_separated({});
+  for (int k : {2, 3, 5}) {
+    const auto out = Mcdc().cluster(ds, k, 7);
+    std::set<int> seen(out.labels.begin(), out.labels.end());
+    EXPECT_LE(static_cast<int>(seen.size()), k);
+    for (int l : out.labels) {
+      EXPECT_GE(l, 0);
+      EXPECT_LT(l, k);
+    }
+  }
+}
+
+TEST(Mcdc, DeterministicGivenSeed) {
+  const auto ds = data::well_separated({});
+  const auto a = Mcdc().cluster(ds, 3, 11);
+  const auto b = Mcdc().cluster(ds, 3, 11);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.mgcpl.kappa, b.mgcpl.kappa);
+}
+
+TEST(McdcClustererAdapter, ImplementsClustererContract) {
+  const auto ds = data::well_separated({});
+  McdcClusterer clusterer;
+  EXPECT_EQ(clusterer.name(), "MCDC");
+  const auto result = clusterer.cluster(ds, 3, 1);
+  EXPECT_EQ(result.labels.size(), ds.num_objects());
+  EXPECT_EQ(result.clusters_found, 3);
+  EXPECT_FALSE(result.failed);
+}
+
+TEST(BoostedClusterer, RunsInnerMethodOnEmbedding) {
+  const auto nd = data::nested({});
+  auto inner = std::make_shared<baselines::KModes>();
+  BoostedClusterer boosted(inner, "MCDC+KM");
+  EXPECT_EQ(boosted.name(), "MCDC+KM");
+  const auto result = boosted.cluster(nd.dataset, 3, 1);
+  EXPECT_EQ(result.labels.size(), nd.dataset.num_objects());
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.clusters_found, 3);
+  // The embedding carries the coarse structure (randomly seeded k-modes on
+  // the tiny Gamma space does not recover it perfectly on every seed).
+  EXPECT_GT(metrics::adjusted_rand_index(result.labels, nd.dataset.labels()),
+            0.3);
+}
+
+TEST(BoostedClusterer, NullInnerThrows) {
+  EXPECT_THROW(BoostedClusterer(nullptr, "X"), std::invalid_argument);
+}
+
+TEST(McdcClusterWith, EquivalentToBoostedAdapter) {
+  const auto nd = data::nested({});
+  baselines::KModes kmodes;
+  const auto direct = Mcdc().cluster_with(kmodes, nd.dataset, 3, 5);
+  BoostedClusterer boosted(std::make_shared<baselines::KModes>(), "MCDC+KM");
+  const auto wrapped = boosted.cluster(nd.dataset, 3, 5);
+  EXPECT_EQ(direct.labels, wrapped.labels);
+}
+
+// --- Ablated variants (Fig. 4) --------------------------------------------------
+
+TEST(Ablations, AllVariantsProduceValidLabelings) {
+  const auto ds = data::well_separated({});
+  const int k = 3;
+  for (const auto& result :
+       {mcdc_v4(ds, k, 1), mcdc_v3(ds, k, 1), mcdc_v2(ds, k, 1),
+        mcdc_v1(ds, k, 1)}) {
+    EXPECT_EQ(result.labels.size(), ds.num_objects());
+    for (int l : result.labels) EXPECT_GE(l, 0);
+  }
+}
+
+TEST(Ablations, V4DisablesWeightLearningButStillClusters) {
+  const auto nd = data::nested({});
+  const auto result = mcdc_v4(nd.dataset, 3, 1);
+  EXPECT_GT(metrics::adjusted_rand_index(result.labels, nd.dataset.labels()),
+            0.5);
+}
+
+TEST(Ablations, V3ReturnsMgcplFinalPartition) {
+  const auto ds = data::well_separated({});
+  const auto v3 = mcdc_v3(ds, 3, 9);
+  const auto direct = Mgcpl().run(ds, 9);
+  EXPECT_EQ(v3.labels, direct.final_partition());
+}
+
+TEST(Ablations, V2UsesKPlusTwoInitialization) {
+  const auto ds = data::well_separated({});
+  const auto result = mcdc_v2(ds, 3, 1);
+  // Conventional CL from k*+2 seeds: at most 5 clusters remain.
+  std::set<int> seen(result.labels.begin(), result.labels.end());
+  EXPECT_LE(seen.size(), 5u);
+}
+
+TEST(Ablations, V1RequiresValidK) {
+  const auto ds = data::well_separated({});
+  EXPECT_THROW(mcdc_v1(ds, 0, 1), std::invalid_argument);
+  EXPECT_THROW(mcdc_v1(ds, static_cast<int>(ds.num_objects()) + 1, 1),
+               std::invalid_argument);
+}
+
+TEST(Ablations, FullPipelineBeatsSimilarityOnlyOnNestedData) {
+  // The paper's Fig. 4 ordering: MCDC >= MCDC1 on multi-granular data.
+  const auto nd = data::nested({});
+  const auto full = Mcdc().cluster(nd.dataset, 3, 1);
+  double v1_best = -1.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto v1 = mcdc_v1(nd.dataset, 3, seed);
+    v1_best = std::max(
+        v1_best, metrics::adjusted_rand_index(v1.labels, nd.dataset.labels()));
+  }
+  const double full_ari =
+      metrics::adjusted_rand_index(full.labels, nd.dataset.labels());
+  EXPECT_GE(full_ari, v1_best - 0.05);
+  EXPECT_GT(full_ari, 0.9);
+}
+
+TEST(Ablations, LagrangeWeightUpdateWorksEndToEnd) {
+  McdcConfig config;
+  config.came.weight_update = CameConfig::WeightUpdate::lagrange;
+  const auto nd = data::nested({});
+  const auto out = Mcdc(config).cluster(nd.dataset, 3, 1);
+  EXPECT_GT(metrics::adjusted_rand_index(out.labels, nd.dataset.labels()),
+            0.9);
+}
+
+TEST(Mcdc, HandlesMissingValuesNatively) {
+  // The Eq. (2) NULL-aware similarity lets the pipeline consume data with
+  // '?' cells (how the paper runs Mushroom at full size).
+  const auto ds = data::mushroom();
+  ASSERT_TRUE(ds.has_missing());
+  const auto sub = ds.subset([&] {
+    std::vector<std::size_t> rows;
+    for (std::size_t i = 0; i < 600; ++i) rows.push_back(i);
+    return rows;
+  }());
+  const auto out = Mcdc().cluster(sub, 2, 1);
+  EXPECT_EQ(out.labels.size(), sub.num_objects());
+}
+
+
+TEST(Mcdc, EscalatesK0WhenSoughtKExceedsFinestGranularity) {
+  // Small-n / large-k corner (the Zoo shape: n = 101, k = 7): sqrt(n)
+  // seeds can collapse below the sought k in stage 1, which would leave
+  // the embedding unable to support k clusters. The pipeline must enforce
+  // the paper's Sec. II-B requirement (initial k > sought k) by
+  // re-launching with a larger k0 instead of failing.
+  data::WellSeparatedConfig config;
+  config.num_objects = 100;
+  config.num_clusters = 7;
+  config.cardinality = 8;
+  config.purity = 0.9;
+  config.seed = 3;
+  const auto ds = data::well_separated(config);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto out = Mcdc().cluster(ds, 7, seed);
+    ASSERT_GE(out.mgcpl.kappa.front(), 7) << "seed " << seed;
+    std::set<int> distinct(out.labels.begin(), out.labels.end());
+    EXPECT_EQ(distinct.size(), 7u) << "seed " << seed;
+  }
+}
+
+TEST(Mcdc, ExplicitK0IsRespectedVerbatim) {
+  // A user-pinned k0 must not be silently escalated.
+  const auto ds = data::well_separated({});
+  McdcConfig config;
+  config.mgcpl.k0 = 12;
+  const auto out = Mcdc(config).cluster(ds, 3, 1);
+  EXPECT_EQ(out.mgcpl.k0, 12);
+}
+
+TEST(McdcClusterWith, RestartsRescueCollapsingInnerMethod) {
+  // A deliberately collapse-prone inner method (random-init FKMAWCW with a
+  // large k on a tiny embedding) must be retried rather than failed on the
+  // first degenerate run, while staying deterministic given the seed.
+  const auto nd = data::nested({});
+  baselines::Fkmawcw inner;  // random init, no internal restarts
+  const auto first = Mcdc().cluster_with(inner, nd.dataset, 3, 4);
+  const auto second = Mcdc().cluster_with(inner, nd.dataset, 3, 4);
+  EXPECT_EQ(first.labels, second.labels);
+  EXPECT_EQ(first.failed, second.failed);
+}
+
+}  // namespace
+}  // namespace mcdc::core

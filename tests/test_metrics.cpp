@@ -1,0 +1,275 @@
+// Validity-index tests: exact values against hand-computed contingency
+// tables and published reference values, plus property sweeps.
+#include "metrics/indices.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "metrics/contingency.h"
+
+namespace mcdc::metrics {
+namespace {
+
+// --- Contingency -------------------------------------------------------------
+
+TEST(Contingency, TableAndMargins) {
+  const std::vector<int> a = {0, 0, 1, 1, 1};
+  const std::vector<int> b = {0, 1, 1, 1, 0};
+  const Contingency ct(a, b);
+  EXPECT_EQ(ct.rows(), 2u);
+  EXPECT_EQ(ct.cols(), 2u);
+  EXPECT_EQ(ct.total(), 5);
+  EXPECT_EQ(ct.at(0, 0), 1);
+  EXPECT_EQ(ct.at(0, 1), 1);
+  EXPECT_EQ(ct.at(1, 0), 1);
+  EXPECT_EQ(ct.at(1, 1), 2);
+  EXPECT_EQ(ct.row_sums(), (std::vector<std::int64_t>{2, 3}));
+  EXPECT_EQ(ct.col_sums(), (std::vector<std::int64_t>{2, 3}));
+}
+
+TEST(Contingency, PairCounts) {
+  const std::vector<int> a = {0, 0, 1, 1, 1};
+  const std::vector<int> b = {0, 1, 1, 1, 0};
+  const Contingency ct(a, b);
+  EXPECT_EQ(ct.pairs_in_cells(), choose2(2));          // only the 2-cell
+  EXPECT_EQ(ct.pairs_in_rows(), choose2(2) + choose2(3));
+  EXPECT_EQ(ct.pairs_in_cols(), choose2(2) + choose2(3));
+}
+
+TEST(Contingency, Validation) {
+  EXPECT_THROW(Contingency({}, {}), std::invalid_argument);
+  EXPECT_THROW(Contingency({0, 1}, {0}), std::invalid_argument);
+  EXPECT_THROW(Contingency({0, -1}, {0, 0}), std::invalid_argument);
+}
+
+// --- ACC ----------------------------------------------------------------------
+
+TEST(Accuracy, PerfectAndPermuted) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(accuracy(truth, truth), 1.0);
+  // Relabelled clustering is still perfect.
+  const std::vector<int> permuted = {2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(accuracy(permuted, truth), 1.0);
+}
+
+TEST(Accuracy, HandComputed) {
+  // clusters: {0,0,0,1}, truth: {0,1,0,1} -> best matching maps cluster0->0
+  // (2 hits) and cluster1->1 (1 hit): ACC = 3/4.
+  const std::vector<int> pred = {0, 0, 0, 1};
+  const std::vector<int> truth = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(accuracy(pred, truth), 0.75);
+}
+
+TEST(Accuracy, MoreClustersThanClasses) {
+  // Each extra cluster can match at most one class; split clusters lose.
+  const std::vector<int> pred = {0, 1, 2, 3};
+  const std::vector<int> truth = {0, 0, 1, 1};
+  // Best: two of the four singleton clusters map to the two classes -> 2/4.
+  EXPECT_DOUBLE_EQ(accuracy(pred, truth), 0.5);
+}
+
+TEST(Accuracy, FewerClustersThanClasses) {
+  const std::vector<int> pred = {0, 0, 0, 0};
+  const std::vector<int> truth = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(accuracy(pred, truth), 0.25);
+}
+
+// --- ARI ---------------------------------------------------------------------
+
+TEST(Ari, IdenticalIsOne) {
+  const std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, a), 1.0);
+}
+
+TEST(Ari, KnownSklearnValue) {
+  // sklearn.metrics.adjusted_rand_score([0,0,1,1],[0,0,1,2]) = 0.5714285...
+  const std::vector<int> a = {0, 0, 1, 1};
+  const std::vector<int> b = {0, 0, 1, 2};
+  EXPECT_NEAR(adjusted_rand_index(a, b), 0.5714285714285714, 1e-12);
+}
+
+TEST(Ari, SymmetricAndLabelPermutationInvariant) {
+  const std::vector<int> a = {0, 0, 1, 2, 2, 1, 0};
+  const std::vector<int> b = {1, 1, 0, 0, 2, 2, 1};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), adjusted_rand_index(b, a));
+  std::vector<int> a_relabel = a;
+  for (int& x : a_relabel) x = (x + 1) % 3;
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a_relabel, b),
+                   adjusted_rand_index(a, b));
+}
+
+TEST(Ari, TrivialPartitionsAreOne) {
+  // Both partitions put everything in one cluster: identical -> 1.
+  const std::vector<int> ones = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(ones, ones), 1.0);
+}
+
+TEST(Ari, CanBeNegative) {
+  // Anti-correlated structure scores below chance.
+  const std::vector<int> a = {0, 1, 0, 1};
+  const std::vector<int> b = {0, 0, 1, 1};
+  EXPECT_LT(adjusted_rand_index(a, b), 0.0 + 1e-12);
+}
+
+// --- MI / entropy / AMI --------------------------------------------------------
+
+TEST(Entropy, UniformTwoClusters) {
+  const std::vector<int> a = {0, 0, 1, 1};
+  EXPECT_NEAR(entropy(a), std::log(2.0), 1e-12);
+}
+
+TEST(MutualInformation, IndependentIsZero) {
+  const std::vector<int> a = {0, 0, 1, 1};
+  const std::vector<int> b = {0, 1, 0, 1};
+  EXPECT_NEAR(mutual_information(a, b), 0.0, 1e-12);
+}
+
+TEST(MutualInformation, IdenticalEqualsEntropy) {
+  const std::vector<int> a = {0, 0, 1, 1, 2, 2, 2};
+  EXPECT_NEAR(mutual_information(a, a), entropy(a), 1e-12);
+}
+
+TEST(Ami, IdenticalIsOne) {
+  const std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(adjusted_mutual_information(a, a), 1.0, 1e-12);
+}
+
+TEST(Ami, KnownHandDerivedValue) {
+  // For a=[0,0,1,1], b=[0,0,1,2]: MI = ln2, EMI = (8/12) ln2,
+  // mean(Ha, Hb) = (15/12) ln2, so AMI = (4/12)/(7/12) = 4/7.
+  const std::vector<int> a = {0, 0, 1, 1};
+  const std::vector<int> b = {0, 0, 1, 2};
+  EXPECT_NEAR(adjusted_mutual_information(a, b), 4.0 / 7.0, 1e-12);
+}
+
+TEST(Ami, IndependentNearZero) {
+  // Balanced independent partitions over many objects.
+  std::vector<int> a;
+  std::vector<int> b;
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(static_cast<int>(rng.below(3)));
+    b.push_back(static_cast<int>(rng.below(3)));
+  }
+  EXPECT_NEAR(adjusted_mutual_information(a, b), 0.0, 0.02);
+}
+
+TEST(Ami, BothTrivialIsOne) {
+  const std::vector<int> ones = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(adjusted_mutual_information(ones, ones), 1.0);
+}
+
+TEST(Nmi, MatchesKnownValue) {
+  // For a=[0,0,1,1], b=[0,0,1,2]: MI = ln2, Ha = ln2, Hb = 1.5 ln2,
+  // so NMI (arithmetic) = ln2 / (1.25 ln2) = 0.8.
+  const std::vector<int> a = {0, 0, 1, 1};
+  const std::vector<int> b = {0, 0, 1, 2};
+  EXPECT_NEAR(normalized_mutual_information(a, b), 0.8, 1e-12);
+}
+
+// --- Fowlkes-Mallows -----------------------------------------------------------
+
+TEST(FowlkesMallows, IdenticalIsOne) {
+  const std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(fowlkes_mallows(a, a), 1.0);
+}
+
+TEST(FowlkesMallows, KnownSklearnValue) {
+  // sklearn.metrics.fowlkes_mallows_score([0,0,1,1],[0,0,1,2]) = 0.7071067...
+  const std::vector<int> a = {0, 0, 1, 1};
+  const std::vector<int> b = {0, 0, 1, 2};
+  EXPECT_NEAR(fowlkes_mallows(a, b), 0.7071067811865476, 1e-12);
+}
+
+TEST(FowlkesMallows, AllSingletonsIsZero) {
+  const std::vector<int> a = {0, 1, 2, 3};
+  const std::vector<int> b = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(fowlkes_mallows(a, b), 0.0);
+}
+
+// --- score_all -----------------------------------------------------------------
+
+TEST(ScoreAll, BundlesTheFourIndices) {
+  const std::vector<int> pred = {0, 0, 1, 1};
+  const std::vector<int> truth = {0, 0, 1, 2};
+  const Scores s = score_all(pred, truth);
+  EXPECT_DOUBLE_EQ(s.acc, accuracy(pred, truth));
+  EXPECT_DOUBLE_EQ(s.ari, adjusted_rand_index(pred, truth));
+  EXPECT_DOUBLE_EQ(s.ami, adjusted_mutual_information(pred, truth));
+  EXPECT_DOUBLE_EQ(s.fm, fowlkes_mallows(pred, truth));
+}
+
+// --- Property sweeps ------------------------------------------------------------
+
+class MetricProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+    const std::size_t n = 60 + rng.below(60);
+    const int ka = 2 + static_cast<int>(rng.below(4));
+    const int kb = 2 + static_cast<int>(rng.below(4));
+    for (std::size_t i = 0; i < n; ++i) {
+      a_.push_back(static_cast<int>(rng.below(static_cast<std::uint64_t>(ka))));
+      b_.push_back(static_cast<int>(rng.below(static_cast<std::uint64_t>(kb))));
+    }
+    // Guarantee density of label ids (gtest param datasets may miss one).
+    a_[0] = 0;
+    b_[0] = 0;
+  }
+  std::vector<int> a_;
+  std::vector<int> b_;
+};
+
+TEST_P(MetricProperties, Bounds) {
+  EXPECT_GE(accuracy(a_, b_), 0.0);
+  EXPECT_LE(accuracy(a_, b_), 1.0);
+  EXPECT_GE(adjusted_rand_index(a_, b_), -1.0);
+  EXPECT_LE(adjusted_rand_index(a_, b_), 1.0);
+  EXPECT_LE(adjusted_mutual_information(a_, b_), 1.0 + 1e-9);
+  EXPECT_GE(fowlkes_mallows(a_, b_), 0.0);
+  EXPECT_LE(fowlkes_mallows(a_, b_), 1.0);
+  EXPECT_GE(normalized_mutual_information(a_, b_), 0.0);
+  EXPECT_LE(normalized_mutual_information(a_, b_), 1.0 + 1e-9);
+}
+
+TEST_P(MetricProperties, Symmetry) {
+  EXPECT_NEAR(adjusted_rand_index(a_, b_), adjusted_rand_index(b_, a_), 1e-12);
+  EXPECT_NEAR(adjusted_mutual_information(a_, b_),
+              adjusted_mutual_information(b_, a_), 1e-9);
+  EXPECT_NEAR(fowlkes_mallows(a_, b_), fowlkes_mallows(b_, a_), 1e-12);
+}
+
+TEST_P(MetricProperties, SelfComparisonIsPerfect) {
+  EXPECT_DOUBLE_EQ(accuracy(a_, a_), 1.0);
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a_, a_), 1.0);
+  EXPECT_NEAR(adjusted_mutual_information(a_, a_), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(fowlkes_mallows(a_, a_), 1.0);
+}
+
+TEST_P(MetricProperties, LabelPermutationInvariance) {
+  // Swap ids 0 <-> 1 in the prediction; every index must be unchanged.
+  std::vector<int> swapped = a_;
+  for (int& x : swapped) {
+    if (x == 0) {
+      x = 1;
+    } else if (x == 1) {
+      x = 0;
+    }
+  }
+  EXPECT_NEAR(accuracy(swapped, b_), accuracy(a_, b_), 1e-12);
+  EXPECT_NEAR(adjusted_rand_index(swapped, b_), adjusted_rand_index(a_, b_),
+              1e-12);
+  EXPECT_NEAR(adjusted_mutual_information(swapped, b_),
+              adjusted_mutual_information(a_, b_), 1e-9);
+  EXPECT_NEAR(fowlkes_mallows(swapped, b_), fowlkes_mallows(a_, b_), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricProperties,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace mcdc::metrics

@@ -1,0 +1,194 @@
+// Tests for MGCPL (Alg. 1): staged multi-granular learning invariants and
+// behaviour on structured data.
+#include "core/mgcpl.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.h"
+#include "data/uci_like.h"
+#include "metrics/indices.h"
+
+namespace mcdc::core {
+namespace {
+
+TEST(DefaultK0, SqrtOfN) {
+  EXPECT_EQ(default_k0(100), 10);
+  EXPECT_EQ(default_k0(101), 11);  // ceil
+  EXPECT_EQ(default_k0(1), 1);     // clamped to n
+  EXPECT_EQ(default_k0(4), 2);
+  EXPECT_EQ(default_k0(2), 2);
+}
+
+TEST(Mgcpl, EmptyDatasetThrows) {
+  Mgcpl mgcpl;
+  EXPECT_THROW(mgcpl.run(data::Dataset(), 1), std::invalid_argument);
+}
+
+TEST(Mgcpl, KappaIsNonIncreasingAndPositive) {
+  const auto ds = data::well_separated({});
+  const auto result = Mgcpl().run(ds, 3);
+  ASSERT_FALSE(result.kappa.empty());
+  for (std::size_t j = 1; j < result.kappa.size(); ++j) {
+    EXPECT_LE(result.kappa[j], result.kappa[j - 1]);
+  }
+  for (int k : result.kappa) EXPECT_GE(k, 1);
+  EXPECT_LE(result.kappa.front(), result.k0);
+}
+
+TEST(Mgcpl, PartitionsAreValidDenseLabelings) {
+  const auto ds = data::well_separated({});
+  const auto result = Mgcpl().run(ds, 7);
+  ASSERT_EQ(result.partitions.size(), result.kappa.size());
+  for (std::size_t j = 0; j < result.partitions.size(); ++j) {
+    const auto& y = result.partitions[j];
+    ASSERT_EQ(y.size(), ds.num_objects());
+    std::set<int> seen(y.begin(), y.end());
+    EXPECT_EQ(static_cast<int>(seen.size()), result.kappa[j]);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), result.kappa[j] - 1);
+  }
+}
+
+TEST(Mgcpl, DeterministicGivenSeed) {
+  const auto ds = data::well_separated({});
+  const auto a = Mgcpl().run(ds, 99);
+  const auto b = Mgcpl().run(ds, 99);
+  EXPECT_EQ(a.kappa, b.kappa);
+  EXPECT_EQ(a.partitions, b.partitions);
+}
+
+TEST(Mgcpl, FindsTrueKOnWellSeparatedData) {
+  data::WellSeparatedConfig config;
+  config.num_objects = 900;
+  config.num_clusters = 3;
+  config.purity = 0.9;
+  const auto ds = data::well_separated(config);
+  const auto result = Mgcpl().run(ds, 5);
+  EXPECT_EQ(result.final_k(), 3);
+  // And the partition at k=3 recovers the planted clusters.
+  EXPECT_GT(metrics::adjusted_rand_index(result.final_partition(), ds.labels()),
+            0.95);
+}
+
+TEST(Mgcpl, DetectsBothGranularitiesOfNestedData) {
+  const auto nd = data::nested({});
+  const auto result = Mgcpl().run(nd.dataset, 1);
+  // The learning passes through a fine granularity before converging at (or
+  // immediately next to) the 3 planted coarse clusters — the paper's own
+  // Fig. 5 lands on k* +/- 1 on half the benchmark datasets.
+  EXPECT_GE(result.sigma(), 2);
+  EXPECT_GE(result.final_k(), 3);
+  EXPECT_LE(result.final_k(), 4);
+  EXPECT_GT(metrics::adjusted_rand_index(result.final_partition(),
+                                         nd.dataset.labels()),
+            0.85);
+  // The finest recorded granularity is informative about the fine clusters.
+  EXPECT_GT(metrics::adjusted_mutual_information(result.partitions.front(),
+                                                 nd.fine_labels),
+            0.5);
+}
+
+TEST(Mgcpl, StagesRecordKTrajectory) {
+  const auto ds = data::well_separated({});
+  const auto result = Mgcpl().run(ds, 3);
+  ASSERT_FALSE(result.stages.empty());
+  EXPECT_EQ(result.stages.front().k_before, result.k0);
+  for (const auto& stage : result.stages) {
+    EXPECT_LE(stage.k_after, stage.k_before);
+    EXPECT_GE(stage.passes, 1);
+  }
+}
+
+TEST(Mgcpl, ExplicitK0Respected) {
+  MgcplConfig config;
+  config.k0 = 7;
+  const auto ds = data::well_separated({});
+  const auto result = Mgcpl(config).run(ds, 1);
+  EXPECT_EQ(result.k0, 7);
+  EXPECT_LE(result.kappa.front(), 7);
+}
+
+TEST(Mgcpl, K0LargerThanNClamped) {
+  data::WellSeparatedConfig small;
+  small.num_objects = 12;
+  small.num_clusters = 3;
+  const auto ds = data::well_separated(small);
+  MgcplConfig config;
+  config.k0 = 500;
+  const auto result = Mgcpl(config).run(ds, 1);
+  EXPECT_LE(result.k0, 12);
+}
+
+TEST(Mgcpl, SingleObjectDataset) {
+  const data::Dataset ds(1, 2, {0, 0}, {1, 1});
+  const auto result = Mgcpl().run(ds, 1);
+  EXPECT_EQ(result.final_k(), 1);
+  EXPECT_EQ(result.final_partition(), std::vector<int>{0});
+}
+
+TEST(Mgcpl, AllIdenticalRowsCollapseToOneCluster) {
+  const data::Dataset ds(40, 2, std::vector<data::Value>(80, 0), {1, 1});
+  const auto result = Mgcpl().run(ds, 1);
+  EXPECT_EQ(result.final_k(), 1);
+}
+
+TEST(Mgcpl, ReseedEachStageStillConverges) {
+  MgcplConfig config;
+  config.reseed_each_stage = true;
+  const auto ds = data::well_separated({});
+  const auto result = Mgcpl(config).run(ds, 5);
+  EXPECT_GE(result.final_k(), 1);
+  EXPECT_FALSE(result.partitions.empty());
+}
+
+TEST(Mgcpl, FeatureWeightingOffStillWorks) {
+  MgcplConfig config;
+  config.feature_weighting = false;
+  const auto ds = data::well_separated({});
+  const auto result = Mgcpl(config).run(ds, 5);
+  EXPECT_GE(result.final_k(), 1);
+}
+
+TEST(Mgcpl, FinalKNearTrueKOnVoteLikeData) {
+  // The simulated Vote dataset has two strongly polarised clusters; the
+  // learning should end at (or right next to) k* = 2.
+  const auto ds = data::vote();
+  const auto result = Mgcpl().run(ds, 1);
+  EXPECT_GE(result.final_k(), 2);
+  EXPECT_LE(result.final_k(), 3);
+}
+
+// Robustness sweep: invariants hold across seeds.
+class MgcplSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MgcplSeedSweep, InvariantsAcrossSeeds) {
+  data::WellSeparatedConfig config;
+  config.num_objects = 400;
+  config.num_clusters = 4;
+  config.cardinality = 5;
+  config.seed = 123;
+  const auto ds = data::well_separated(config);
+  const auto result = Mgcpl().run(ds, GetParam());
+  ASSERT_FALSE(result.kappa.empty());
+  for (std::size_t j = 1; j < result.kappa.size(); ++j) {
+    EXPECT_LE(result.kappa[j], result.kappa[j - 1]);
+  }
+  // Every partition is a valid labeling.
+  for (std::size_t j = 0; j < result.partitions.size(); ++j) {
+    for (int label : result.partitions[j]) {
+      EXPECT_GE(label, 0);
+      EXPECT_LT(label, result.kappa[j]);
+    }
+  }
+  // k* = 4 planted clusters, strong structure: final k close to 4.
+  EXPECT_GE(result.final_k(), 3);
+  EXPECT_LE(result.final_k(), 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MgcplSeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace mcdc::core

@@ -1,0 +1,224 @@
+// Tests for the object-cluster similarity substrate (Eqs. 1-2, 14) and the
+// feature-contribution weights (Eqs. 15-18).
+#include "core/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/feature_weights.h"
+#include "data/dataset.h"
+
+namespace mcdc::core {
+namespace {
+
+using data::Dataset;
+using data::kMissing;
+
+// 4 objects, 2 features; feature 0 has 3 values, feature 1 has 2.
+Dataset tiny() {
+  return Dataset(4, 2,
+                 {0, 0,   //
+                  0, 1,   //
+                  1, 0,   //
+                  2, 1},
+                 {3, 2});
+}
+
+TEST(ClusterProfile, AddRemoveRoundTrip) {
+  const Dataset ds = tiny();
+  ClusterProfile p(ds.cardinalities());
+  EXPECT_TRUE(p.empty());
+  p.add(ds, 0);
+  p.add(ds, 1);
+  EXPECT_EQ(p.size(), 2);
+  EXPECT_EQ(p.value_count(0, 0), 2);
+  EXPECT_EQ(p.value_count(1, 0), 1);
+  EXPECT_EQ(p.non_null_count(0), 2);
+  p.remove(ds, 0);
+  EXPECT_EQ(p.size(), 1);
+  EXPECT_EQ(p.value_count(0, 0), 1);
+  p.remove(ds, 1);
+  EXPECT_TRUE(p.empty());
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(p.non_null_count(r), 0);
+  }
+}
+
+TEST(ClusterProfile, ValueSimilarityIsFrequencyRatio) {
+  const Dataset ds = tiny();
+  ClusterProfile p(ds.cardinalities());
+  p.add(ds, 0);  // (0, 0)
+  p.add(ds, 1);  // (0, 1)
+  p.add(ds, 2);  // (1, 0)
+  // Psi_{F0=0} = 2 of 3.
+  EXPECT_DOUBLE_EQ(p.value_similarity(0, 0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p.value_similarity(0, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p.value_similarity(0, 2), 0.0);
+}
+
+TEST(ClusterProfile, SimilarityAveragesOverFeatures) {
+  const Dataset ds = tiny();
+  ClusterProfile p(ds.cardinalities());
+  p.add(ds, 0);
+  p.add(ds, 1);
+  // Object 0 = (0,0): s = 1/2 * (2/2 + 1/2) = 0.75.
+  EXPECT_DOUBLE_EQ(p.similarity(ds, 0), 0.75);
+  // Object 3 = (2,1): s = 1/2 * (0 + 1/2) = 0.25.
+  EXPECT_DOUBLE_EQ(p.similarity(ds, 3), 0.25);
+}
+
+TEST(ClusterProfile, SelfSimilarityOfSingletonIsOne) {
+  const Dataset ds = tiny();
+  ClusterProfile p(ds.cardinalities());
+  p.add(ds, 2);
+  EXPECT_DOUBLE_EQ(p.similarity(ds, 2), 1.0);
+}
+
+TEST(ClusterProfile, WeightedSimilarityUniformMatchesEq1) {
+  const Dataset ds = tiny();
+  ClusterProfile p(ds.cardinalities());
+  p.add(ds, 0);
+  p.add(ds, 1);
+  p.add(ds, 3);
+  const std::vector<double> uniform(2, 0.5);
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    EXPECT_NEAR(p.weighted_similarity(ds, i, uniform), p.similarity(ds, i),
+                1e-12);
+  }
+}
+
+TEST(ClusterProfile, WeightedSimilaritySkewsTowardHeavyFeature) {
+  const Dataset ds = tiny();
+  ClusterProfile p(ds.cardinalities());
+  p.add(ds, 0);  // (0,0)
+  // Object 1 = (0,1): matches feature 0 only.
+  EXPECT_DOUBLE_EQ(p.weighted_similarity(ds, 1, {1.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(p.weighted_similarity(ds, 1, {0.0, 1.0}), 0.0);
+}
+
+TEST(ClusterProfile, MissingValuesAreNeutral) {
+  // One feature, one object missing.
+  const Dataset ds(3, 1, {0, kMissing, 0}, {2});
+  ClusterProfile p(ds.cardinalities());
+  p.add(ds, 0);
+  p.add(ds, 1);
+  // Psi_{F0 != NULL} = 1 although the cluster has two members.
+  EXPECT_EQ(p.size(), 2);
+  EXPECT_EQ(p.non_null_count(0), 1);
+  EXPECT_DOUBLE_EQ(p.value_similarity(0, 0), 1.0);
+  // The missing value itself has similarity zero.
+  EXPECT_DOUBLE_EQ(p.similarity(ds, 1), 0.0);
+}
+
+TEST(ClusterProfile, AllNullColumnYieldsZero) {
+  const Dataset ds(2, 1, {kMissing, kMissing}, {2});
+  ClusterProfile p(ds.cardinalities());
+  p.add(ds, 0);
+  EXPECT_DOUBLE_EQ(p.value_similarity(0, 0), 0.0);
+}
+
+TEST(ClusterProfile, ModePicksMostFrequentValue) {
+  const Dataset ds = tiny();
+  ClusterProfile p(ds.cardinalities());
+  p.add(ds, 0);
+  p.add(ds, 1);
+  p.add(ds, 2);
+  const auto mode = p.mode();
+  EXPECT_EQ(mode[0], 0);  // value 0 appears twice
+  EXPECT_EQ(mode[1], 0);  // tie 0/1 (counts differ: feature1 -> 0:2, 1:1)
+}
+
+TEST(ClusterProfile, ModeOfEmptyClusterIsMissing) {
+  const Dataset ds = tiny();
+  ClusterProfile p(ds.cardinalities());
+  const auto mode = p.mode();
+  EXPECT_EQ(mode[0], kMissing);
+  EXPECT_EQ(mode[1], kMissing);
+}
+
+TEST(BuildProfiles, GroupsByAssignment) {
+  const Dataset ds = tiny();
+  const auto profiles = build_profiles(ds, {0, 0, 1, -1}, 2);
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].size(), 2);
+  EXPECT_EQ(profiles[1].size(), 1);
+}
+
+TEST(BuildProfiles, Validation) {
+  const Dataset ds = tiny();
+  EXPECT_THROW(build_profiles(ds, {0, 0}, 2), std::invalid_argument);
+  EXPECT_THROW(build_profiles(ds, {0, 0, 5, 0}, 2), std::invalid_argument);
+}
+
+// --- Feature weights (Eqs. 15-18) ---------------------------------------------
+
+TEST(FeatureWeights, SumToOne) {
+  const Dataset ds = tiny();
+  const GlobalCounts global(ds);
+  const auto profiles = build_profiles(ds, {0, 0, 1, 1}, 2);
+  for (const auto& p : profiles) {
+    const auto w = feature_weights(global, p);
+    EXPECT_NEAR(std::accumulate(w.begin(), w.end(), 0.0), 1.0, 1e-12);
+    for (double x : w) EXPECT_GE(x, 0.0);
+  }
+}
+
+TEST(FeatureWeights, DiscriminativeFeatureDominates) {
+  // Feature 0 perfectly separates clusters {0,1} vs {2,3}; feature 1 is
+  // identical everywhere and separates nothing.
+  const Dataset ds(4, 2,
+                   {0, 0,  //
+                    0, 0,  //
+                    1, 0,  //
+                    1, 0},
+                   {2, 1});
+  const GlobalCounts global(ds);
+  const auto profiles = build_profiles(ds, {0, 0, 1, 1}, 2);
+  const auto w = feature_weights(global, profiles[0]);
+  EXPECT_GT(w[0], 0.99);
+  EXPECT_LT(w[1], 0.01);
+}
+
+TEST(FeatureWeights, AlphaIsZeroWhenDistributionsMatch) {
+  // Cluster's value distribution equals the complement's -> alpha = 0.
+  const Dataset ds(4, 1, {0, 1, 0, 1}, {2});
+  const GlobalCounts global(ds);
+  const auto profiles = build_profiles(ds, {0, 0, 1, 1}, 2);
+  EXPECT_NEAR(inter_cluster_difference(global, profiles[0], 0), 0.0, 1e-12);
+}
+
+TEST(FeatureWeights, AlphaIsOneForDisjointValues) {
+  const Dataset ds(4, 1, {0, 0, 1, 1}, {2});
+  const GlobalCounts global(ds);
+  const auto profiles = build_profiles(ds, {0, 0, 1, 1}, 2);
+  // Distributions (1,0) vs (0,1): Euclidean distance sqrt(2), normalised.
+  EXPECT_NEAR(inter_cluster_difference(global, profiles[0], 0), 1.0, 1e-12);
+}
+
+TEST(FeatureWeights, BetaIsOneForPureCluster) {
+  const Dataset ds(4, 1, {0, 0, 1, 1}, {2});
+  const auto profiles = build_profiles(ds, {0, 0, 1, 1}, 2);
+  EXPECT_NEAR(intra_cluster_similarity(profiles[0], 0), 1.0, 1e-12);
+}
+
+TEST(FeatureWeights, BetaOfMixedCluster) {
+  const Dataset ds(4, 1, {0, 0, 1, 1}, {2});
+  const auto profiles = build_profiles(ds, {0, 0, 0, 0}, 1);
+  // Two values, two members each: sum counts^2 / (n * nonnull) = 8/16.
+  EXPECT_NEAR(intra_cluster_similarity(profiles[0], 0), 0.5, 1e-12);
+}
+
+TEST(FeatureWeights, DegenerateClusterFallsBackToUniform) {
+  // Cluster distribution identical to complement on every feature: all
+  // H_rl = 0 -> uniform weights.
+  const Dataset ds(4, 2, {0, 0, 1, 1, 0, 0, 1, 1}, {2, 2});
+  const GlobalCounts global(ds);
+  const auto profiles = build_profiles(ds, {0, 1, 0, 1}, 2);
+  const auto w = feature_weights(global, profiles[0]);
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+}
+
+}  // namespace
+}  // namespace mcdc::core
