@@ -1,12 +1,12 @@
 // Shared experiment machinery for the paper-reproduction benches.
 //
-// Builds the nine-method roster of Table III, runs every (dataset, method)
-// cell for a configurable number of seeded repetitions (the paper uses 50),
-// and aggregates the four validity indices. Failed runs — a method not
-// reaching the preset k — score 0.000 across all indices, matching the
-// paper's "judged as failed" convention. Repetitions run on the process
-// thread pool; results are deterministic because every run's seed is fixed
-// by (run index).
+// Pulls the nine-method roster of Table III from the api registry, runs
+// every (dataset, method) cell for a configurable number of seeded
+// repetitions (the paper uses 50), and aggregates the four validity
+// indices. Failed runs — a method not reaching the preset k — score 0.000
+// across all indices, matching the paper's "judged as failed" convention.
+// Repetitions run on the process thread pool; results are deterministic
+// because every run's seed is fixed by (run index).
 #pragma once
 
 #include <map>
@@ -15,41 +15,19 @@
 #include <string>
 #include <vector>
 
-#include "baselines/adc.h"
-#include "baselines/fkmawcw.h"
-#include "baselines/gudmm.h"
-#include "baselines/kmodes.h"
-#include "baselines/rock.h"
-#include "baselines/wocil.h"
+#include "api/registry.h"
+#include "baselines/clusterer.h"
 #include "common/thread_pool.h"
-#include "core/mcdc.h"
 #include "data/registry.h"
 #include "metrics/indices.h"
 #include "stats/summary.h"
 
 namespace mcdc::bench {
 
+// The Table III column roster, in paper order, served by the registry
+// (api/registry.cpp tags each participating method with its column index).
 inline std::vector<std::shared_ptr<baselines::Clusterer>> paper_roster() {
-  std::vector<std::shared_ptr<baselines::Clusterer>> methods;
-  methods.push_back(std::make_shared<baselines::KModes>());
-  methods.push_back(std::make_shared<baselines::Rock>());
-  methods.push_back(std::make_shared<baselines::Wocil>());
-  methods.push_back(std::make_shared<baselines::Fkmawcw>());
-  methods.push_back(std::make_shared<baselines::Gudmm>());
-  methods.push_back(std::make_shared<baselines::Adc>());
-  methods.push_back(std::make_shared<core::McdcClusterer>());
-  methods.push_back(std::make_shared<core::BoostedClusterer>(
-      std::make_shared<baselines::Gudmm>(), "MCDC+G."));
-  // MCDC+F. seeds the fuzzy stage deterministically on the embedding
-  // (FkmawcwConfig::Init::density): random fuzzy seeding collapses too
-  // often on the few-feature Gamma space, and the deterministic spread is
-  // what reproduces the paper's +/-0.00 stability for the boosted variant.
-  baselines::FkmawcwConfig boosted_fkm;
-  boosted_fkm.init = baselines::FkmawcwConfig::Init::density;
-  boosted_fkm.restart_on_collapse = true;
-  methods.push_back(std::make_shared<core::BoostedClusterer>(
-      std::make_shared<baselines::Fkmawcw>(boosted_fkm), "MCDC+F."));
-  return methods;
+  return api::registry().paper_roster();
 }
 
 struct CellStats {

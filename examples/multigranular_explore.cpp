@@ -3,25 +3,29 @@
 // Hierarchical clustering answers "how do objects nest?" with a dendrogram
 // that is expensive to build and hard to read. MGCPL answers the same
 // question with a handful of nested partitions. This example runs the
-// analysis on a benchmark dataset and prints, for each granularity, the
-// cluster sizes and how clusters of adjacent granularities nest.
+// analysis on any dataset the api can load — a built-in benchmark name or
+// a CSV path — and prints, for each granularity, the cluster sizes and how
+// clusters of adjacent granularities nest.
+//
+//   ./multigranular_explore [dataset]    (default: Vot.)
 #include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "api/load.h"
 #include "core/mgcpl.h"
-#include "data/registry.h"
 #include "metrics/indices.h"
 
 int main(int argc, char** argv) {
   using namespace mcdc;
 
-  const std::string abbrev = argc > 1 ? argv[1] : "Vot.";
-  const auto ds = data::load(abbrev);
+  const api::LoadedDataset loaded =
+      api::load_dataset(argc > 1 ? argv[1] : "Vot.");
+  const data::Dataset& ds = loaded.dataset;
   std::printf("Dataset %s: %zu objects, %zu features, k* = %d\n\n",
-              abbrev.c_str(), ds.num_objects(), ds.num_features(),
+              loaded.name.c_str(), ds.num_objects(), ds.num_features(),
               ds.num_classes());
 
   const auto analysis = core::Mgcpl().run(ds, /*seed=*/1);

@@ -1,51 +1,67 @@
-// Quickstart: cluster a categorical dataset with MCDC in ~20 lines.
+// Quickstart: cluster a categorical dataset through the api facade.
 //
-//   ./quickstart [path/to/data.csv]
+//   ./quickstart [dataset]
 //
-// Without an argument, a built-in benchmark dataset (Congressional voting
-// records) is used. With a CSV path, the file is read with the class label
-// expected in the last column ('?' marks missing values).
+// `dataset` is a built-in name (try "Car.", see `mcdc datasets`) or a path
+// to a CSV file (class label in the last column, '?' = missing). Without
+// an argument, the Congressional voting records benchmark is used.
+//
+// Everything below runs through the three api types — Engine (fit),
+// RunReport (structured result), Model (reusable fitted state) — which is
+// the supported way to consume the library; see docs/API.md.
 #include <cstdio>
 #include <string>
 
-#include "core/mcdc.h"
-#include "data/csv.h"
-#include "data/registry.h"
-#include "metrics/indices.h"
+#include "api/engine.h"
+#include "api/load.h"
 
 int main(int argc, char** argv) {
   using namespace mcdc;
 
-  // 1. Load data.
-  const data::Dataset ds = argc > 1 ? data::read_csv_file(argv[1])
-                                    : data::load("Con.");
-  std::printf("Loaded %zu objects x %zu categorical features\n",
-              ds.num_objects(), ds.num_features());
+  // 1. Load data: one call resolves built-in names and CSV paths alike.
+  const api::LoadedDataset loaded =
+      api::load_dataset(argc > 1 ? argv[1] : "Con.");
+  const data::Dataset& ds = loaded.dataset;
+  std::printf("Loaded %s: %zu objects x %zu categorical features\n",
+              loaded.name.c_str(), ds.num_objects(), ds.num_features());
 
-  // 2. Cluster. MCDC first learns the nested multi-granular structure
-  //    (MGCPL), then aggregates it into k clusters (CAME).
-  const int k = ds.has_labels() ? ds.num_classes() : 0;
-  core::Mcdc mcdc;
-  const core::McdcOutput out = mcdc.cluster(ds, k > 0 ? k : 2, /*seed=*/42);
-
-  // 3. Inspect the multi-granular analysis ...
-  std::printf("MGCPL granularities (k0 = %d):", out.mgcpl.k0);
-  for (int kj : out.mgcpl.kappa) std::printf(" %d", kj);
-  std::printf("  -> estimated k* = %d\n", out.mgcpl.final_k());
-
-  // ... and the granularity importances CAME learned.
-  std::printf("CAME granularity weights:");
-  for (double theta : out.came.theta) std::printf(" %.3f", theta);
-  std::printf("\n");
-
-  // 4. Evaluate against ground truth when available.
-  if (ds.has_labels()) {
-    const metrics::Scores s = metrics::score_all(out.labels, ds.labels());
-    std::printf("ACC = %.3f  ARI = %.3f  AMI = %.3f  FM = %.3f\n", s.acc,
-                s.ari, s.ami, s.fm);
-  } else {
-    std::printf("Clustered into %d groups (no ground truth provided).\n",
-                out.mgcpl.final_k());
+  // 2. Fit. method defaults to "mcdc" (any `mcdc methods` key works) and
+  //    k = 0 lets the multi-granular analysis choose the cluster count.
+  api::FitOptions options;
+  options.seed = 42;
+  const api::FitResult fit = api::Engine().fit(ds, options);
+  if (!fit.ok()) {
+    std::printf("fit failed [%s]: %s\n",
+                api::to_string(fit.status.code).c_str(),
+                fit.status.message.c_str());
+    return 1;
   }
+
+  // 3. Inspect the structured report: the granularity staircase MGCPL
+  //    recorded, the importance CAME assigned to each granularity, and
+  //    validity scores.
+  const api::RunReport& report = fit.report;
+  std::printf("granularities:");
+  for (int kj : report.kappa) std::printf(" %d", kj);
+  std::printf("  -> k%s = %d\n", report.k_estimated ? " (estimated)" : "",
+              report.k);
+  std::printf("CAME granularity weights:");
+  for (double theta : report.theta) std::printf(" %.3f", theta);
+  std::printf("\ninternal validity: compactness %.3f, silhouette %.3f\n",
+              report.internal.compactness, report.internal.silhouette);
+  if (report.has_external) {
+    std::printf("ACC = %.3f  ARI = %.3f  AMI = %.3f  FM = %.3f\n",
+                report.external.acc, report.external.ari, report.external.ami,
+                report.external.fm);
+  }
+
+  // 4. The fitted Model is reusable: it scores rows that were never part
+  //    of the fit (here: the training rows, reproducing the fit labels)
+  //    and serialises to JSON together with the report.
+  const std::vector<int> again = fit.model.predict(ds);
+  std::printf("Model::predict reproduces fit labels: %s\n",
+              again == report.labels ? "yes" : "no");
+  std::printf("serialised report+model: %zu bytes of JSON\n",
+              fit.to_json().dump().size());
   return 0;
 }

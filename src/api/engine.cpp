@@ -1,0 +1,176 @@
+#include "api/engine.h"
+
+#include <optional>
+#include <stdexcept>
+
+#include "common/timer.h"
+#include "core/kestimate.h"
+#include "core/mcdc.h"
+#include "metrics/indices.h"
+#include "metrics/internal.h"
+
+namespace mcdc::api {
+
+namespace {
+
+// Per-stage validity evidence from a scored staircase.
+std::vector<StageValidity> stage_validity(const core::KEstimate& estimate) {
+  std::vector<StageValidity> stages;
+  stages.reserve(estimate.candidates.size());
+  for (const core::KCandidate& candidate : estimate.candidates) {
+    StageValidity stage;
+    stage.stage = candidate.stage;
+    stage.k = candidate.k;
+    stage.silhouette = candidate.silhouette;
+    stage.persistence = candidate.persistence;
+    stages.push_back(stage);
+  }
+  return stages;
+}
+
+}  // namespace
+
+Json FitResult::to_json() const {
+  Json out = report.to_json();
+  // The report's "labels" array and the model's training labels are
+  // identical by construction, so the embedded model omits its copy.
+  if (model.fitted()) out["model"] = model.to_json(false);
+  return out;
+}
+
+FitResult Engine::fit(const data::Dataset& ds,
+                      const FitOptions& options) const {
+  FitResult out;
+  RunReport& report = out.report;
+  report.method = options.method;
+  report.k = options.k;
+  report.seed = options.seed;
+
+  const auto finish_with = [&](Status status) -> FitResult& {
+    report.status = status;
+    out.status = std::move(status);
+    return out;
+  };
+
+  const MethodInfo* info = registry_->info(options.method);
+  if (info == nullptr) {
+    return finish_with(Status::NotFound(
+        "unknown method \"" + options.method +
+        "\"; run `mcdc methods` for the catalogue"));
+  }
+  report.method_display = info->display_name;
+
+  if (ds.num_objects() == 0) {
+    return finish_with(Status::InvalidArgument("empty dataset"));
+  }
+  if (options.k < 0 ||
+      static_cast<std::size_t>(options.k) > ds.num_objects()) {
+    return finish_with(Status::InvalidArgument(
+        "k = " + std::to_string(options.k) + " is outside [0, n]"));
+  }
+
+  Timer total;
+  baselines::ClusterResult result;
+  std::vector<int> kappa;
+  std::vector<double> theta;
+
+  try {
+    if (options.method == "mcdc") {
+      // Direct pipeline path: identical labels to the registry's
+      // McdcClusterer, but the multi-granular evidence (kappa, theta,
+      // stage validity) is captured instead of thrown away. MGCPL and the
+      // staircase scoring each run exactly once.
+      registry_->validate(options.method, options.params);
+      const core::McdcConfig config = mcdc_config_from_params(options.params);
+      const core::Mcdc mcdc(config);
+
+      Timer fit_timer;
+      core::MgcplResult mgcpl;
+      std::optional<core::KEstimate> estimate;
+      int k = options.k;
+      if (k == 0) {
+        // The estimating analysis doubles as the clustering analysis: the
+        // recommended k is a recorded granularity, so the staircase
+        // supports it by construction.
+        mgcpl = core::Mgcpl(config.mgcpl).run(ds, options.seed);
+        estimate = core::estimate_k(ds, mgcpl);
+        k = estimate->recommended_k;
+        report.k_estimated = true;
+      } else {
+        mgcpl = mcdc.analyze(ds, k, options.seed);
+      }
+      report.k = k;
+      const core::CameResult came = mcdc.aggregate(mgcpl, k, options.seed);
+      report.timings.fit_seconds = fit_timer.elapsed_seconds();
+
+      result.labels = came.labels;
+      baselines::finalize_result(result, k);
+      kappa = mgcpl.kappa;
+      theta = came.theta;
+      if (options.stage_reports) {
+        if (!estimate) estimate = core::estimate_k(ds, mgcpl);
+        report.stages = stage_validity(*estimate);
+      }
+    } else {
+      const auto clusterer = registry_->create(options.method, options.params);
+      report.method_display = clusterer->name();
+
+      int k = options.k;
+      if (k == 0) {
+        // No preset k: read it off the default multi-granular staircase,
+        // whatever method then consumes it.
+        k = core::estimate_k(ds, options.seed).recommended_k;
+        report.k_estimated = true;
+      }
+      report.k = k;
+
+      Timer fit_timer;
+      result = clusterer->cluster(ds, k, options.seed);
+      report.timings.fit_seconds = fit_timer.elapsed_seconds();
+    }
+  } catch (const std::invalid_argument& error) {
+    return finish_with(Status::InvalidArgument(error.what()));
+  } catch (const std::exception& error) {
+    return finish_with(Status::Failed(error.what()));
+  }
+
+  report.labels = result.labels;
+  report.clusters_found = result.clusters_found;
+  report.kappa = std::move(kappa);
+  report.theta = std::move(theta);
+
+  if (result.failed) {
+    report.timings.total_seconds = total.elapsed_seconds();
+    return finish_with(Status::Failed(
+        report.method_display + " produced " +
+        std::to_string(result.clusters_found) + " clusters instead of the " +
+        "preset " + std::to_string(report.k)));
+  }
+
+  out.model = Model::from_fit(options.method, ds, result.labels, report.k,
+                              report.kappa, report.theta);
+  // The report serves the model's self-consistent partition (identical to
+  // the method's raw labels except for the few objects a Model::from_fit
+  // polish sweep moves), so Model::predict on the training rows reproduces
+  // the reported labels exactly.
+  report.labels = out.model.training_labels();
+  baselines::ClusterResult served;
+  served.labels = report.labels;
+  baselines::finalize_result(served, report.k);
+  report.clusters_found = served.clusters_found;
+
+  if (options.evaluate) {
+    Timer evaluate_timer;
+    report.internal = metrics::internal_scores(ds, report.labels);
+    if (ds.has_labels()) {
+      report.has_external = true;
+      report.external = metrics::score_all(report.labels, ds.labels());
+    }
+    report.timings.evaluate_seconds = evaluate_timer.elapsed_seconds();
+  }
+
+  report.timings.total_seconds = total.elapsed_seconds();
+  return finish_with(Status::Ok());
+}
+
+}  // namespace mcdc::api

@@ -1,0 +1,63 @@
+// Engine — the single entry point for fitting any registered clusterer.
+//
+//   api::Engine engine;
+//   api::FitOptions options;
+//   options.method = "mcdc";          // any key from api::registry()
+//   options.k = 0;                    // 0 = estimate from the staircase
+//   const api::FitResult fit = engine.fit(ds, options);
+//   fit.report    // labels, kappa, validity, timings, Status
+//   fit.model     // reusable: predicts unseen rows, serialises to JSON
+//
+// Errors (unknown method, bad parameters, a method failing to reach the
+// preset k) come back as a Status on the report, never as a crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/model.h"
+#include "api/registry.h"
+#include "api/report.h"
+#include "data/dataset.h"
+
+namespace mcdc::api {
+
+struct FitOptions {
+  // Registry key of the algorithm (see `mcdc methods` / Registry::methods).
+  std::string method = "mcdc";
+  // Number of clusters; 0 estimates k from MGCPL's granularity staircase.
+  int k = 0;
+  std::uint64_t seed = 1;
+  // Method parameters, validated against the registry schema.
+  Params params;
+  // Compute internal validity (and external, when the dataset carries
+  // class labels) into the report.
+  bool evaluate = true;
+  // Per-granularity validity evidence (MCDC family only; costs one
+  // silhouette pass per recorded stage).
+  bool stage_reports = true;
+};
+
+struct FitResult {
+  Status status;   // mirrors report.status
+  Model model;     // fitted on success; default-constructed otherwise
+  RunReport report;
+
+  bool ok() const { return status.ok(); }
+  // report JSON plus the serialised model under "model".
+  Json to_json() const;
+};
+
+class Engine {
+ public:
+  // Uses the process-wide registry by default.
+  explicit Engine(const Registry& registry = api::registry())
+      : registry_(&registry) {}
+
+  FitResult fit(const data::Dataset& ds, const FitOptions& options = {}) const;
+
+ private:
+  const Registry* registry_;
+};
+
+}  // namespace mcdc::api

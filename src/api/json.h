@@ -1,0 +1,79 @@
+// Minimal JSON value type for the api layer: run reports and fitted models
+// are serialised for downstream services, and saved models are loaded back.
+//
+// Deliberately small — objects, arrays, strings, numbers, booleans, null;
+// deterministic output (object keys sorted, integral numbers printed
+// without a decimal point, other numbers round-trip exactly via %.17g).
+// No external dependency, matching the library's no-third-party policy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcdc::api {
+
+class Json {
+ public:
+  enum class Type { null, boolean, number, string, array, object };
+
+  Json() = default;
+  Json(bool value) : type_(Type::boolean), bool_(value) {}
+  Json(double value) : type_(Type::number), number_(value) {}
+  Json(int value) : Json(static_cast<double>(value)) {}
+  Json(std::size_t value) : Json(static_cast<double>(value)) {}
+  Json(const char* value) : type_(Type::string), string_(value) {}
+  Json(std::string value) : type_(Type::string), string_(std::move(value)) {}
+
+  static Json object() { return Json(Type::object); }
+  static Json array() { return Json(Type::array); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::null; }
+  bool is_object() const { return type_ == Type::object; }
+  bool is_array() const { return type_ == Type::array; }
+  bool is_number() const { return type_ == Type::number; }
+  bool is_string() const { return type_ == Type::string; }
+  bool is_bool() const { return type_ == Type::boolean; }
+
+  // --- object access -------------------------------------------------------
+  // Mutating lookup; converts a null value to an object (like nlohmann).
+  Json& operator[](const std::string& key);
+  // Checked lookup; throws std::runtime_error when absent or not an object.
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  const std::map<std::string, Json>& items() const;
+
+  // --- array access --------------------------------------------------------
+  // Appends; converts a null value to an array.
+  void push_back(Json value);
+  const Json& at(std::size_t index) const;  // throws when out of range
+  std::size_t size() const;                 // array/object size, else 0
+
+  // --- scalar access (throw std::runtime_error on type mismatch) ----------
+  bool as_bool() const;
+  double as_double() const;
+  int as_int() const;  // throws when not integral
+  const std::string& as_string() const;
+
+  // --- serialisation -------------------------------------------------------
+  // indent < 0: compact single line; otherwise pretty-printed.
+  std::string dump(int indent = -1) const;
+  // Throws std::runtime_error with position information on malformed input.
+  static Json parse(const std::string& text);
+
+ private:
+  explicit Json(Type type) : type_(type) {}
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace mcdc::api

@@ -1,0 +1,273 @@
+#include "api/model.h"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace mcdc::api {
+
+namespace {
+
+// Batch Lloyd sweeps with the Sec. II-A similarity until the partition is
+// its own predict() image. Returns true on convergence with all k clusters
+// populated; `labels` then holds the fixpoint.
+bool refine_to_fixpoint(const data::Dataset& ds, int k,
+                        std::vector<int>& labels) {
+  constexpr int kMaxSweeps = 100;
+  std::vector<int> next(labels.size());
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    const auto profiles = core::build_profiles(ds, labels, k);
+    for (const core::ClusterProfile& profile : profiles) {
+      if (profile.empty()) return false;
+    }
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      int best = 0;
+      double best_similarity = -1.0;
+      for (int l = 0; l < k; ++l) {
+        const double s =
+            profiles[static_cast<std::size_t>(l)].similarity(ds, i);
+        if (s > best_similarity) {
+          best_similarity = s;
+          best = l;
+        }
+      }
+      next[i] = best;
+    }
+    if (next == labels) return true;
+    labels.swap(next);
+  }
+  return false;
+}
+
+}  // namespace
+
+Model Model::from_fit(std::string method, const data::Dataset& ds,
+                      const std::vector<int>& labels, int k,
+                      std::vector<int> kappa, std::vector<double> theta,
+                      bool refine) {
+  if (k <= 0) throw std::invalid_argument("Model::from_fit: k must be > 0");
+  if (labels.size() != ds.num_objects()) {
+    throw std::invalid_argument("Model::from_fit: labels/dataset size mismatch");
+  }
+  Model model;
+  model.method_ = std::move(method);
+  model.k_ = k;
+  model.cardinalities_ = ds.cardinalities();
+  model.values_.resize(ds.num_features());
+  for (std::size_t r = 0; r < ds.num_features(); ++r) {
+    model.values_[r].reserve(static_cast<std::size_t>(ds.cardinality(r)));
+    for (data::Value v = 0; v < ds.cardinality(r); ++v) {
+      model.values_[r].push_back(ds.value_name(r, v));
+    }
+  }
+  model.training_labels_ = labels;
+  if (refine) {
+    std::vector<int> refined = labels;
+    if (refine_to_fixpoint(ds, k, refined)) {
+      model.training_labels_ = std::move(refined);
+    }
+  }
+  model.profiles_ = core::build_profiles(ds, model.training_labels_, k);
+  model.kappa_ = std::move(kappa);
+  model.theta_ = std::move(theta);
+  return model;
+}
+
+int Model::best_cluster(const data::Value* row) const {
+  int best = 0;
+  double best_similarity = -1.0;
+  for (int l = 0; l < k_; ++l) {
+    const double s = profiles_[static_cast<std::size_t>(l)].similarity(row);
+    if (s > best_similarity) {
+      best_similarity = s;
+      best = l;
+    }
+  }
+  return best;
+}
+
+int Model::predict_row(const data::Value* row) const {
+  if (!fitted()) throw std::logic_error("Model::predict_row: unfitted model");
+  // Codes outside the model's domain (unseen categories, kMissing) score
+  // as missing; without this, an out-of-range code would index past the
+  // histogram row.
+  std::vector<data::Value> sanitised(cardinalities_.size());
+  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
+    sanitised[r] =
+        row[r] >= 0 && row[r] < cardinalities_[r] ? row[r] : data::kMissing;
+  }
+  return best_cluster(sanitised.data());
+}
+
+std::vector<int> Model::predict(const data::Dataset& ds) const {
+  if (!fitted()) throw std::logic_error("Model::predict: unfitted model");
+  if (ds.num_features() != num_features()) {
+    throw std::invalid_argument(
+        "Model::predict: dataset has " + std::to_string(ds.num_features()) +
+        " features, model expects " + std::to_string(num_features()));
+  }
+
+  // Datasets are dictionary-encoded per source in first-seen order, so the
+  // incoming codes are translated into the model's encoding by value name;
+  // names the fit never saw become kMissing (an unseen category scores
+  // zero, like the NULL-aware similarity treats an absent cell). The
+  // translation tables make the per-cell cost O(1).
+  std::vector<std::vector<data::Value>> remap(ds.num_features());
+  for (std::size_t r = 0; r < ds.num_features(); ++r) {
+    std::unordered_map<std::string, data::Value> codes;
+    if (r < values_.size()) {
+      codes.reserve(values_[r].size());
+      for (std::size_t v = 0; v < values_[r].size(); ++v) {
+        codes.emplace(values_[r][v], static_cast<data::Value>(v));
+      }
+    }
+    remap[r].resize(static_cast<std::size_t>(ds.cardinality(r)));
+    for (data::Value v = 0; v < ds.cardinality(r); ++v) {
+      if (codes.empty()) {
+        // Model without dictionaries (legacy JSON): codes pass through
+        // when they are in range.
+        remap[r][static_cast<std::size_t>(v)] =
+            v < cardinalities_[r] ? v : data::kMissing;
+      } else {
+        const auto it = codes.find(ds.value_name(r, v));
+        remap[r][static_cast<std::size_t>(v)] =
+            it == codes.end() ? data::kMissing : it->second;
+      }
+    }
+  }
+
+  std::vector<data::Value> encoded(ds.num_features());
+  std::vector<int> labels(ds.num_objects());
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    const data::Value* row = ds.row(i);
+    for (std::size_t r = 0; r < ds.num_features(); ++r) {
+      encoded[r] = row[r] == data::kMissing
+                       ? data::kMissing
+                       : remap[r][static_cast<std::size_t>(row[r])];
+    }
+    labels[i] = best_cluster(encoded.data());
+  }
+  return labels;
+}
+
+Json Model::to_json(bool include_training_labels) const {
+  Json out = Json::object();
+  out["method"] = method_;
+  out["k"] = k_;
+
+  Json cards = Json::array();
+  for (const int m : cardinalities_) cards.push_back(m);
+  out["cardinalities"] = std::move(cards);
+
+  Json values = Json::array();
+  for (const auto& feature_values : values_) {
+    Json names = Json::array();
+    for (const std::string& name : feature_values) names.push_back(name);
+    values.push_back(std::move(names));
+  }
+  out["values"] = std::move(values);
+
+  Json clusters = Json::array();
+  for (const core::ClusterProfile& profile : profiles_) {
+    Json cluster = Json::object();
+    cluster["size"] = profile.size();
+    Json counts = Json::array();
+    for (const auto& feature_counts : profile.counts()) {
+      Json row = Json::array();
+      for (const int c : feature_counts) row.push_back(c);
+      counts.push_back(std::move(row));
+    }
+    cluster["counts"] = std::move(counts);
+    clusters.push_back(std::move(cluster));
+  }
+  out["clusters"] = std::move(clusters);
+
+  if (include_training_labels) {
+    Json labels = Json::array();
+    for (const int l : training_labels_) labels.push_back(l);
+    out["training_labels"] = std::move(labels);
+  }
+
+  Json kappa = Json::array();
+  for (const int kj : kappa_) kappa.push_back(kj);
+  out["kappa"] = std::move(kappa);
+
+  Json theta = Json::array();
+  for (const double t : theta_) theta.push_back(t);
+  out["theta"] = std::move(theta);
+
+  return out;
+}
+
+Model Model::from_json(const Json& json) {
+  Model model;
+  model.method_ = json.at("method").as_string();
+  model.k_ = json.at("k").as_int();
+  if (model.k_ <= 0) throw std::runtime_error("model json: k must be > 0");
+
+  const Json& cards = json.at("cardinalities");
+  for (std::size_t r = 0; r < cards.size(); ++r) {
+    model.cardinalities_.push_back(cards.at(r).as_int());
+  }
+
+  if (json.contains("values")) {
+    const Json& values = json.at("values");
+    if (values.size() != model.cardinalities_.size()) {
+      throw std::runtime_error("model json: values/cardinalities mismatch");
+    }
+    model.values_.resize(values.size());
+    for (std::size_t r = 0; r < values.size(); ++r) {
+      const Json& names = values.at(r);
+      for (std::size_t v = 0; v < names.size(); ++v) {
+        model.values_[r].push_back(names.at(v).as_string());
+      }
+    }
+  }
+
+  const Json& clusters = json.at("clusters");
+  if (clusters.size() != static_cast<std::size_t>(model.k_)) {
+    throw std::runtime_error("model json: cluster count does not match k");
+  }
+  for (std::size_t l = 0; l < clusters.size(); ++l) {
+    const Json& cluster = clusters.at(l);
+    const Json& counts_json = cluster.at("counts");
+    if (counts_json.size() != model.cardinalities_.size()) {
+      throw std::runtime_error("model json: counts/cardinalities mismatch");
+    }
+    std::vector<std::vector<int>> counts(counts_json.size());
+    for (std::size_t r = 0; r < counts_json.size(); ++r) {
+      const Json& row = counts_json.at(r);
+      if (row.size() != static_cast<std::size_t>(model.cardinalities_[r])) {
+        throw std::runtime_error("model json: counts row width mismatch");
+      }
+      counts[r].reserve(row.size());
+      for (std::size_t v = 0; v < row.size(); ++v) {
+        counts[r].push_back(row.at(v).as_int());
+      }
+    }
+    model.profiles_.push_back(core::ClusterProfile::from_counts(
+        std::move(counts), cluster.at("size").as_int()));
+  }
+
+  if (json.contains("training_labels")) {
+    const Json& labels = json.at("training_labels");
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      model.training_labels_.push_back(labels.at(i).as_int());
+    }
+  }
+  if (json.contains("kappa")) {
+    const Json& kappa = json.at("kappa");
+    for (std::size_t j = 0; j < kappa.size(); ++j) {
+      model.kappa_.push_back(kappa.at(j).as_int());
+    }
+  }
+  if (json.contains("theta")) {
+    const Json& theta = json.at("theta");
+    for (std::size_t j = 0; j < theta.size(); ++j) {
+      model.theta_.push_back(theta.at(j).as_double());
+    }
+  }
+  return model;
+}
+
+}  // namespace mcdc::api

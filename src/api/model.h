@@ -1,0 +1,97 @@
+// Fitted clustering model — the reusable artefact of Engine::fit.
+//
+// Fitting any registered method produces a Model holding the per-cluster
+// value histograms of the final partition (on the original feature space),
+// plus, for the MCDC family, the multi-granular evidence (kappa staircase,
+// CAME granularity weights theta). The histograms are exactly the
+// sufficient statistic of the paper's Sec. II-A object-cluster similarity,
+// so the model can score objects that were never part of the fit:
+// Model::predict assigns rows to the most similar cluster with the same
+// NULL-aware Eq. (1)-(2) measure the streaming learner's classify() uses.
+//
+// Models serialise to JSON (and back) so a fitted clustering can be stored
+// next to its RunReport and served later without re-fitting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/json.h"
+#include "core/similarity.h"
+#include "data/dataset.h"
+
+namespace mcdc::api {
+
+class Model {
+ public:
+  Model() = default;
+
+  // Builds the model of a completed fit: per-cluster histograms are
+  // accumulated from `labels` (dense ids in [0, k)) over `ds`. kappa and
+  // theta may be empty for non-MCDC methods.
+  //
+  // With `refine` (the default), the labels are first polished to a
+  // self-consistent fixpoint: batch sweeps reassign every object to its
+  // most similar cluster (exactly the Sec. II-A Lloyd step of MCDC1)
+  // until the partition repeats, so that predict() on the training rows
+  // reproduces training_labels() exactly — the contract a served model is
+  // expected to honour. Refinement converges within a few sweeps in
+  // practice; if it would empty one of the k clusters (or fails to settle
+  // within 100 sweeps), the method's original labels are kept verbatim.
+  static Model from_fit(std::string method, const data::Dataset& ds,
+                        const std::vector<int>& labels, int k,
+                        std::vector<int> kappa = {},
+                        std::vector<double> theta = {}, bool refine = true);
+
+  bool fitted() const { return k_ > 0; }
+  int k() const { return k_; }
+  const std::string& method() const { return method_; }
+  std::size_t num_features() const { return cardinalities_.size(); }
+  const std::vector<int>& cardinalities() const { return cardinalities_; }
+  const std::vector<int>& training_labels() const { return training_labels_; }
+
+  // MCDC-family evidence; empty for plain baselines.
+  const std::vector<int>& kappa() const { return kappa_; }
+  const std::vector<double>& theta() const { return theta_; }
+
+  // Assigns a row of num_features() contiguous values to the most similar
+  // cluster under the NULL-aware similarity; ties break to the smaller
+  // cluster id. The codes must be in the model's own encoding; anything
+  // outside [0, cardinality(r)) — data::kMissing included — contributes
+  // similarity zero, like an unseen category. Throws std::logic_error
+  // when the model is unfitted.
+  int predict_row(const data::Value* row) const;
+
+  // Vectorised predict over a whole dataset. Because datasets are
+  // dictionary-encoded per source in first-seen order, codes of an
+  // independently loaded dataset are re-mapped into the model's encoding
+  // through the stored value dictionaries; values the fit never saw score
+  // as missing. Throws std::invalid_argument when the dataset's feature
+  // count does not match the model's.
+  std::vector<int> predict(const data::Dataset& ds) const;
+
+  // `include_training_labels = false` drops the per-object label array —
+  // used when the model is embedded next to a RunReport that already
+  // carries the same labels.
+  Json to_json(bool include_training_labels = true) const;
+  // Inverse of to_json; throws std::runtime_error on malformed input.
+  static Model from_json(const Json& json);
+
+ private:
+  // Argmax similarity over the cluster profiles; row codes must already
+  // be sanitised into the model's encoding.
+  int best_cluster(const data::Value* row) const;
+
+  std::string method_;
+  int k_ = 0;
+  std::vector<int> cardinalities_;
+  // Per-feature value dictionaries in model code order, captured from the
+  // training dataset so predict() can re-encode foreign datasets.
+  std::vector<std::vector<std::string>> values_;
+  std::vector<int> training_labels_;
+  std::vector<core::ClusterProfile> profiles_;  // one per cluster
+  std::vector<int> kappa_;
+  std::vector<double> theta_;
+};
+
+}  // namespace mcdc::api

@@ -1,0 +1,81 @@
+#include "api/report.h"
+
+namespace mcdc::api {
+
+std::string to_string(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk: return "ok";
+    case Status::Code::kInvalidArgument: return "invalid_argument";
+    case Status::Code::kNotFound: return "not_found";
+    case Status::Code::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+Json RunReport::to_json() const {
+  Json out = Json::object();
+
+  Json status_json = Json::object();
+  status_json["code"] = to_string(status.code);
+  status_json["message"] = status.message;
+  out["status"] = std::move(status_json);
+
+  out["method"] = method;
+  out["method_display"] = method_display;
+  out["k"] = k;
+  out["k_estimated"] = k_estimated;
+  // Stored as a string: JSON numbers are doubles and cannot carry a full
+  // 64-bit seed losslessly.
+  out["seed"] = std::to_string(seed);
+  out["clusters_found"] = clusters_found;
+
+  Json labels_json = Json::array();
+  for (const int label : labels) labels_json.push_back(label);
+  out["labels"] = std::move(labels_json);
+
+  Json kappa_json = Json::array();
+  for (const int kj : kappa) kappa_json.push_back(kj);
+  out["kappa"] = std::move(kappa_json);
+
+  Json stages_json = Json::array();
+  for (const StageValidity& stage : stages) {
+    Json s = Json::object();
+    s["stage"] = stage.stage;
+    s["k"] = stage.k;
+    s["silhouette"] = stage.silhouette;
+    s["persistence"] = stage.persistence;
+    stages_json.push_back(std::move(s));
+  }
+  out["stages"] = std::move(stages_json);
+
+  Json theta_json = Json::array();
+  for (const double t : theta) theta_json.push_back(t);
+  out["theta"] = std::move(theta_json);
+
+  Json internal_json = Json::object();
+  internal_json["compactness"] = internal.compactness;
+  internal_json["separation"] = internal.separation;
+  internal_json["silhouette"] = internal.silhouette;
+  internal_json["category_utility"] = internal.category_utility;
+  internal_json["davies_bouldin"] = internal.davies_bouldin;
+  out["internal"] = std::move(internal_json);
+
+  if (has_external) {
+    Json external_json = Json::object();
+    external_json["acc"] = external.acc;
+    external_json["ari"] = external.ari;
+    external_json["ami"] = external.ami;
+    external_json["fm"] = external.fm;
+    out["external"] = std::move(external_json);
+  }
+
+  Json timings_json = Json::object();
+  timings_json["fit_seconds"] = timings.fit_seconds;
+  timings_json["evaluate_seconds"] = timings.evaluate_seconds;
+  timings_json["total_seconds"] = timings.total_seconds;
+  out["timings"] = std::move(timings_json);
+
+  return out;
+}
+
+}  // namespace mcdc::api

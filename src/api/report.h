@@ -1,0 +1,94 @@
+// Structured run results for the api layer.
+//
+// Every Engine::fit produces a RunReport: the labels, the multi-granular
+// evidence (kappa staircase, per-stage internal validity), validity scores,
+// wall-clock timings and a Status — replacing the bare `failed` bool of
+// baselines::ClusterResult with an error carrying a reason. Reports
+// serialise to JSON for downstream services (api/json.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/json.h"
+#include "metrics/indices.h"
+#include "metrics/internal.h"
+
+namespace mcdc::api {
+
+// Status-code + message error type (absl::Status-shaped, dependency-free).
+struct Status {
+  enum class Code {
+    kOk,                // run succeeded
+    kInvalidArgument,   // bad input (empty dataset, k < 0, unknown param)
+    kNotFound,          // unknown method or dataset key
+    kFailed,            // the method ran but could not reach the preset k
+  };
+
+  Code code = Code::kOk;
+  std::string message;
+
+  bool ok() const { return code == Code::kOk; }
+
+  static Status Ok() { return {}; }
+  static Status InvalidArgument(std::string msg) {
+    return {Code::kInvalidArgument, std::move(msg)};
+  }
+  static Status NotFound(std::string msg) {
+    return {Code::kNotFound, std::move(msg)};
+  }
+  static Status Failed(std::string msg) {
+    return {Code::kFailed, std::move(msg)};
+  }
+};
+
+// Wire names: "ok", "invalid_argument", "not_found", "failed".
+std::string to_string(Status::Code code);
+
+// Internal-validity evidence for one MGCPL granularity (finest first) —
+// the per-stage view of the paper's Fig. 5 staircase.
+struct StageValidity {
+  int stage = 0;            // index into Gamma, 0 = finest
+  int k = 0;                // clusters at this granularity
+  double silhouette = 0.0;  // categorical silhouette of the partition
+  double persistence = 0.0; // staircase-plateau prominence, in [0, 1]
+};
+
+struct Timings {
+  double fit_seconds = 0.0;       // clustering (MGCPL + aggregation)
+  double evaluate_seconds = 0.0;  // validity-index computation
+  double total_seconds = 0.0;
+};
+
+struct RunReport {
+  Status status;
+
+  std::string method;          // registry key, e.g. "mcdc"
+  std::string method_display;  // Table III column name, e.g. "MCDC"
+  int k = 0;                   // clusters sought
+  bool k_estimated = false;    // k was chosen from the staircase, not given
+  std::uint64_t seed = 0;
+
+  std::vector<int> labels;     // per-object cluster ids (may be non-empty
+                               // even on a kFailed status, for inspection)
+  int clusters_found = 0;
+
+  // MCDC-family evidence; empty for plain baselines.
+  std::vector<int> kappa;               // granularity staircase k_1..k_sigma
+  std::vector<StageValidity> stages;    // per-stage internal validity
+  std::vector<double> theta;            // CAME granularity weights
+
+  metrics::InternalScores internal;     // ground-truth-free validity
+  bool has_external = false;            // dataset carried class labels
+  metrics::Scores external;             // ACC / ARI / AMI / FM when it did
+
+  Timings timings;
+
+  // Serialises everything above. Labels are included; attach a model
+  // separately via FitResult::to_json (engine.h) when persistence of the
+  // fitted state is wanted too.
+  Json to_json() const;
+};
+
+}  // namespace mcdc::api

@@ -1,14 +1,27 @@
 #include "baselines/clusterer.h"
 
-#include <algorithm>
 #include <set>
 
 namespace mcdc::baselines {
 
 void finalize_result(ClusterResult& result, int requested_k) {
-  std::set<int> distinct(result.labels.begin(), result.labels.end());
+  std::set<int> distinct;
+  bool invalid = false;
+  for (const int label : result.labels) {
+    if (label < 0) {
+      // Negative ids (unassigned objects) violate the dense-label
+      // contract; report the run failed instead of counting them as a
+      // cluster of their own.
+      invalid = true;
+      continue;
+    }
+    distinct.insert(label);
+  }
   result.clusters_found = static_cast<int>(distinct.size());
-  if (result.clusters_found != requested_k) result.failed = true;
+  // Also covers the edge cases: empty labels (n = 0) yield
+  // clusters_found = 0, and a non-positive requested_k can only succeed
+  // when nothing was asked for (k = 0 of an empty clustering).
+  if (invalid || result.clusters_found != requested_k) result.failed = true;
 }
 
 }  // namespace mcdc::baselines

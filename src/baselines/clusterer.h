@@ -34,7 +34,12 @@ class Clusterer {
 };
 
 // Recomputes clusters_found from the labels and flags failure when it does
-// not match the requested k. Helper shared by implementations.
+// not match the requested k. The single canonical derivation — every
+// implementation routes its result through here rather than counting
+// distinct labels itself. Tolerates the edge cases: empty labels (n = 0)
+// give clusters_found = 0 (failed unless requested_k is also 0), negative
+// requested_k always fails, and negative label ids (unassigned objects)
+// flag failure instead of being counted as clusters.
 void finalize_result(ClusterResult& result, int requested_k);
 
 }  // namespace mcdc::baselines

@@ -37,13 +37,21 @@ MgcplResult run_mgcpl_for_k(const MgcplConfig& config, const data::Dataset& ds,
 McdcOutput Mcdc::cluster(const data::Dataset& ds, int k,
                          std::uint64_t seed) const {
   McdcOutput out;
-  out.mgcpl = run_mgcpl_for_k(config_.mgcpl, ds, k, seed);
-
-  const data::Dataset embedding = encode_gamma(out.mgcpl);
-  Came came(config_.came);
-  out.came = came.run(embedding, k, seed ^ 0x5bd1e995ULL);
+  out.mgcpl = analyze(ds, k, seed);
+  out.came = aggregate(out.mgcpl, k, seed);
   out.labels = out.came.labels;
   return out;
+}
+
+MgcplResult Mcdc::analyze(const data::Dataset& ds, int k,
+                          std::uint64_t seed) const {
+  return run_mgcpl_for_k(config_.mgcpl, ds, k, seed);
+}
+
+CameResult Mcdc::aggregate(const MgcplResult& analysis, int k,
+                           std::uint64_t seed) const {
+  const data::Dataset embedding = encode_gamma(analysis);
+  return Came(config_.came).run(embedding, k, seed ^ 0x5bd1e995ULL);
 }
 
 baselines::ClusterResult Mcdc::cluster_with(const baselines::Clusterer& inner,

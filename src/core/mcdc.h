@@ -39,8 +39,20 @@ class Mcdc {
   explicit Mcdc(const McdcConfig& config = {}) : config_(config) {}
 
   // Full pipeline: learn Gamma with MGCPL, aggregate to k clusters with
-  // CAME. Deterministic given the seed.
+  // CAME. Deterministic given the seed. Equivalent to
+  // aggregate(analyze(ds, k, seed), k, seed).
   McdcOutput cluster(const data::Dataset& ds, int k, std::uint64_t seed) const;
+
+  // First half of cluster(): the MGCPL analysis, re-launched with a larger
+  // k0 whenever the finest recorded granularity cannot support k (the
+  // paper's Sec. II-B requirement). Exposed so callers that already need
+  // the analysis (k estimation, stage reports) can run it once.
+  MgcplResult analyze(const data::Dataset& ds, int k, std::uint64_t seed) const;
+
+  // Second half of cluster(): CAME aggregation of a completed analysis
+  // into k clusters. The analysis must satisfy kappa.front() >= k.
+  CameResult aggregate(const MgcplResult& analysis, int k,
+                       std::uint64_t seed) const;
 
   // MCDC+X: run an arbitrary clusterer on the Gamma embedding. Inner runs
   // that collapse below k clusters are restarted (bounded, deterministic)

@@ -47,13 +47,30 @@ double ClusterProfile::value_similarity(std::size_t r, data::Value v) const {
 
 double ClusterProfile::similarity(const data::Dataset& ds,
                                   std::size_t i) const {
+  return similarity(ds.row(i));
+}
+
+double ClusterProfile::similarity(const data::Value* row) const {
   const std::size_t d = counts_.size();
-  const data::Value* row = ds.row(i);
   double sum = 0.0;
   for (std::size_t r = 0; r < d; ++r) {
     sum += value_similarity(r, row[r]);
   }
   return sum / static_cast<double>(d);
+}
+
+ClusterProfile ClusterProfile::from_counts(
+    std::vector<std::vector<int>> counts, int size) {
+  ClusterProfile profile;
+  profile.size_ = size;
+  profile.non_null_.assign(counts.size(), 0);
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    int total = 0;
+    for (const int c : counts[r]) total += c;
+    profile.non_null_[r] = total;
+  }
+  profile.counts_ = std::move(counts);
+  return profile;
 }
 
 double ClusterProfile::weighted_similarity(

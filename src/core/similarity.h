@@ -53,6 +53,11 @@ class ClusterProfile {
   // Eq. (1): unweighted mean of per-feature similarities.
   double similarity(const data::Dataset& ds, std::size_t i) const;
 
+  // Eq. (1) against a bare row of d contiguous values — lets consumers
+  // (api::Model::predict, streaming classify) score objects that are not
+  // part of a Dataset.
+  double similarity(const data::Value* row) const;
+
   // Eq. (14) with the weight vector of this cluster (size d, sums to 1).
   double weighted_similarity(const data::Dataset& ds, std::size_t i,
                              const std::vector<double>& weights) const;
@@ -63,6 +68,12 @@ class ClusterProfile {
   std::vector<data::Value> mode() const;
 
   const std::vector<std::vector<int>>& counts() const { return counts_; }
+
+  // Restores a profile from serialised per-feature value counts (the
+  // inverse of counts(), used by api::Model::from_json). Per-feature
+  // non-null totals are re-derived; `size` is the member count.
+  static ClusterProfile from_counts(std::vector<std::vector<int>> counts,
+                                    int size);
 
  private:
   int size_ = 0;

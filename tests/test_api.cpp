@@ -1,0 +1,484 @@
+// Tests for the api facade: registry lookup, Engine fit/predict, model
+// JSON round-trips, run-report serialisation and dataset resolution.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "api/engine.h"
+#include "api/json.h"
+#include "api/load.h"
+#include "api/model.h"
+#include "api/registry.h"
+#include "api/report.h"
+#include "data/registry.h"
+#include "data/synthetic.h"
+#include "metrics/indices.h"
+
+namespace mcdc::api {
+namespace {
+
+// --- Json -------------------------------------------------------------------
+
+TEST(Json, RoundTripsNestedStructure) {
+  Json doc = Json::object();
+  doc["name"] = "mcdc";
+  doc["count"] = 42;
+  doc["ratio"] = 0.125;
+  doc["flag"] = true;
+  doc["nothing"] = Json();
+  Json list = Json::array();
+  list.push_back(1);
+  list.push_back("two\nlines");
+  doc["list"] = std::move(list);
+
+  const Json parsed = Json::parse(doc.dump());
+  EXPECT_EQ(parsed.at("name").as_string(), "mcdc");
+  EXPECT_EQ(parsed.at("count").as_int(), 42);
+  EXPECT_DOUBLE_EQ(parsed.at("ratio").as_double(), 0.125);
+  EXPECT_TRUE(parsed.at("flag").as_bool());
+  EXPECT_TRUE(parsed.at("nothing").is_null());
+  EXPECT_EQ(parsed.at("list").size(), 2u);
+  EXPECT_EQ(parsed.at("list").at(1).as_string(), "two\nlines");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\": 1} trailing"), std::runtime_error);
+  EXPECT_THROW(Json::parse("nulL"), std::runtime_error);
+}
+
+TEST(Json, DumpIsDeterministic) {
+  Json doc = Json::object();
+  doc["b"] = 2;
+  doc["a"] = 1;
+  EXPECT_EQ(doc.dump(), "{\"a\":1,\"b\":2}");
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(Registry, KnownKeysResolve) {
+  EXPECT_TRUE(registry().contains("kmodes"));
+  EXPECT_TRUE(registry().contains("mcdc"));
+  const auto kmodes = registry().create("kmodes");
+  ASSERT_NE(kmodes, nullptr);
+  EXPECT_EQ(kmodes->name(), "K-MODES");
+  const auto mcdc = registry().create("mcdc");
+  EXPECT_EQ(mcdc->name(), "MCDC");
+}
+
+TEST(Registry, UnknownKeyThrows) {
+  EXPECT_FALSE(registry().contains("no-such-method"));
+  EXPECT_EQ(registry().info("no-such-method"), nullptr);
+  EXPECT_THROW(registry().create("no-such-method"), std::invalid_argument);
+}
+
+TEST(Registry, UnknownParameterNameThrows) {
+  EXPECT_THROW(registry().create("kmodes", {{"max_iter", "5"}}),
+               std::invalid_argument);
+  EXPECT_THROW(registry().create("kmodes", {{"max_iterations", "abc"}}),
+               std::invalid_argument);
+}
+
+TEST(Registry, CataloguesAllMethodFamilies) {
+  const auto methods = registry().methods();
+  EXPECT_GE(methods.size(), 14u);
+  int baselines = 0, ablations = 0, boosted = 0, mcdc = 0;
+  for (const MethodInfo& info : methods) {
+    switch (info.family) {
+      case MethodFamily::baseline: ++baselines; break;
+      case MethodFamily::ablation: ++ablations; break;
+      case MethodFamily::boosted: ++boosted; break;
+      case MethodFamily::mcdc: ++mcdc; break;
+    }
+  }
+  EXPECT_GE(baselines, 9);
+  EXPECT_EQ(ablations, 4);
+  EXPECT_GE(boosted, 2);
+  EXPECT_EQ(mcdc, 1);
+}
+
+TEST(Registry, PaperRosterMatchesTableThreeColumns) {
+  const auto roster = registry().paper_roster();
+  ASSERT_EQ(roster.size(), 9u);
+  const std::vector<std::string> expected = {
+      "K-MODES", "ROCK",    "WOCIL",   "FKMAWCW", "GUDMM",
+      "ADC",     "MCDC",    "MCDC+G.", "MCDC+F.",
+  };
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(roster[i]->name(), expected[i]) << "column " << i;
+  }
+}
+
+TEST(Registry, ParametersReachTheMethod) {
+  // A one-iteration k-modes differs from a converged one on data where
+  // Lloyd iterations matter; here we just check construction succeeds and
+  // the method still clusters.
+  const auto ds = data::well_separated({});
+  const auto clusterer = registry().create("kmodes", {{"max_iterations", "1"}});
+  const auto result = clusterer->cluster(ds, 3, 1);
+  EXPECT_EQ(result.labels.size(), ds.num_objects());
+}
+
+// --- Engine -----------------------------------------------------------------
+
+TEST(Engine, FitMcdcOnWellSeparatedData) {
+  const auto ds = data::well_separated({});
+  Engine engine;
+  FitOptions options;
+  options.k = 3;
+  const FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok()) << fit.status.message;
+  EXPECT_EQ(fit.report.labels.size(), ds.num_objects());
+  EXPECT_EQ(fit.report.clusters_found, 3);
+  EXPECT_FALSE(fit.report.kappa.empty());
+  EXPECT_FALSE(fit.report.theta.empty());
+  EXPECT_FALSE(fit.report.stages.empty());
+  EXPECT_TRUE(fit.report.has_external);
+  EXPECT_DOUBLE_EQ(
+      metrics::adjusted_rand_index(fit.report.labels, ds.labels()), 1.0);
+  EXPECT_GT(fit.report.timings.total_seconds, 0.0);
+}
+
+TEST(Engine, DeterministicGivenSeed) {
+  const auto ds = data::well_separated({});
+  Engine engine;
+  FitOptions options;
+  options.k = 3;
+  options.seed = 11;
+  const FitResult a = engine.fit(ds, options);
+  const FitResult b = engine.fit(ds, options);
+  EXPECT_EQ(a.report.labels, b.report.labels);
+  EXPECT_EQ(a.report.kappa, b.report.kappa);
+}
+
+TEST(Engine, MatchesRegistryClustererLabels) {
+  // The Engine's direct-pipeline path must agree with the registry's
+  // McdcClusterer adapter: one public surface, one answer. (On clean data
+  // the Model::from_fit polish pass is the identity, so the raw adapter
+  // labels and the served labels coincide.)
+  const auto ds = data::well_separated({});
+  Engine engine;
+  FitOptions options;
+  options.k = 3;
+  options.seed = 5;
+  const FitResult fit = engine.fit(ds, options);
+  const auto adapter = registry().create("mcdc")->cluster(ds, 3, 5);
+  EXPECT_EQ(fit.report.labels, adapter.labels);
+}
+
+TEST(Engine, EstimatesKWhenZero) {
+  const auto ds = data::well_separated({});
+  Engine engine;
+  FitOptions options;
+  options.k = 0;
+  const FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok()) << fit.status.message;
+  EXPECT_TRUE(fit.report.k_estimated);
+  EXPECT_GT(fit.report.k, 1);
+}
+
+TEST(Engine, BaselineMethodsRunThroughTheSamePath) {
+  const auto ds = data::well_separated({});
+  Engine engine;
+  for (const std::string method : {"kmodes", "wocil", "mcdc1", "mcdc+kmodes"}) {
+    FitOptions options;
+    options.method = method;
+    options.k = 3;
+    const FitResult fit = engine.fit(ds, options);
+    ASSERT_TRUE(fit.ok()) << method << ": " << fit.status.message;
+    EXPECT_EQ(fit.report.labels.size(), ds.num_objects()) << method;
+    EXPECT_TRUE(fit.model.fitted()) << method;
+  }
+}
+
+TEST(Engine, UnknownMethodIsNotFound) {
+  const auto ds = data::well_separated({});
+  Engine engine;
+  FitOptions options;
+  options.method = "no-such-method";
+  const FitResult fit = engine.fit(ds, options);
+  EXPECT_EQ(fit.status.code, Status::Code::kNotFound);
+  EXPECT_FALSE(fit.model.fitted());
+}
+
+TEST(Engine, BadParameterIsInvalidArgument) {
+  const auto ds = data::well_separated({});
+  Engine engine;
+  FitOptions options;
+  options.method = "kmodes";
+  options.k = 3;
+  options.params = {{"max_iterations", "many"}};
+  const FitResult fit = engine.fit(ds, options);
+  EXPECT_EQ(fit.status.code, Status::Code::kInvalidArgument);
+}
+
+TEST(Engine, EmptyDatasetIsInvalidArgument) {
+  Engine engine;
+  const FitResult fit = engine.fit(data::Dataset());
+  EXPECT_EQ(fit.status.code, Status::Code::kInvalidArgument);
+}
+
+// --- Model ------------------------------------------------------------------
+
+TEST(Model, PredictReproducesFitLabelsOnTrainingRows) {
+  const auto ds = data::well_separated({});
+  Engine engine;
+  FitOptions options;
+  options.k = 3;
+  const FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit.model.predict(ds), fit.report.labels);
+}
+
+TEST(Model, PredictReproducesFitLabelsOnNoisyBenchmarkData) {
+  // Tic-tac-toe is the benchmark where the method's raw labels deviate
+  // most from the histogram-argmax image; the Model::from_fit polish
+  // sweeps must close exactly that gap.
+  const auto ds = data::load("Tic.");
+  Engine engine;
+  FitOptions options;
+  options.k = 3;
+  const FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok()) << fit.status.message;
+  EXPECT_EQ(fit.model.predict(ds), fit.report.labels);
+  EXPECT_EQ(fit.report.clusters_found, 3);
+}
+
+TEST(Model, PredictAssignsHeldOutRowsToTheRightCluster) {
+  // Fit on one draw of the generator, predict a fresh draw with the same
+  // planted clusters: predicted labels must recover the plant (up to the
+  // usual label permutation, which ARI handles).
+  data::WellSeparatedConfig config;
+  const auto train = data::well_separated(config);
+  config.seed = 99;
+  const auto held_out = data::well_separated(config);
+
+  Engine engine;
+  FitOptions options;
+  options.k = 3;
+  const FitResult fit = engine.fit(train, options);
+  ASSERT_TRUE(fit.ok());
+  const auto predicted = fit.model.predict(held_out);
+  EXPECT_DOUBLE_EQ(
+      metrics::adjusted_rand_index(predicted, held_out.labels()), 1.0);
+}
+
+TEST(Model, SurvivesJsonRoundTrip) {
+  const auto ds = data::well_separated({});
+  Engine engine;
+  FitOptions options;
+  options.k = 3;
+  const FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok());
+
+  const std::string serialised = fit.to_json().dump();
+  const Json parsed = Json::parse(serialised);
+  ASSERT_TRUE(parsed.contains("model"));
+  const Model loaded = Model::from_json(parsed.at("model"));
+
+  EXPECT_EQ(loaded.k(), fit.model.k());
+  EXPECT_EQ(loaded.method(), fit.model.method());
+  EXPECT_EQ(loaded.kappa(), fit.model.kappa());
+  // The embedded model omits its training-label copy (the report's
+  // "labels" array is identical); prediction must still round-trip.
+  EXPECT_TRUE(loaded.training_labels().empty());
+  EXPECT_EQ(loaded.predict(ds), fit.report.labels);
+}
+
+TEST(Model, PredictRemapsForeignValueEncodings) {
+  // Datasets dictionary-encode values in first-seen order, so the same
+  // categories can carry different codes in two files. predict() must
+  // translate through the value names, not trust raw codes.
+  data::DatasetBuilder train({"colour", "size"});
+  train.add_row({"red", "small"}, "a");
+  train.add_row({"red", "small"}, "a");
+  train.add_row({"red", "small"}, "a");
+  train.add_row({"blue", "large"}, "b");
+  train.add_row({"blue", "large"}, "b");
+  train.add_row({"blue", "large"}, "b");
+  const auto train_ds = std::move(train).build();
+
+  Engine engine;
+  FitOptions options;
+  options.method = "kmodes";
+  options.k = 2;
+  const FitResult fit = engine.fit(train_ds, options);
+  ASSERT_TRUE(fit.ok()) << fit.status.message;
+
+  // Same categories, opposite first-seen order: codes are permuted.
+  data::DatasetBuilder test({"colour", "size"});
+  test.add_row({"blue", "large"});
+  test.add_row({"red", "small"});
+  test.add_row({"blue", "large"});
+  const auto test_ds = std::move(test).build();
+
+  const auto predicted = fit.model.predict(test_ds);
+  const int red_cluster = fit.report.labels[0];
+  const int blue_cluster = fit.report.labels[3];
+  ASSERT_NE(red_cluster, blue_cluster);
+  EXPECT_EQ(predicted[0], blue_cluster);
+  EXPECT_EQ(predicted[1], red_cluster);
+  EXPECT_EQ(predicted[2], blue_cluster);
+
+  // And the translation must survive the JSON round-trip.
+  const Model loaded =
+      Model::from_json(Json::parse(fit.to_json().dump()).at("model"));
+  EXPECT_EQ(loaded.predict(test_ds), predicted);
+}
+
+TEST(Model, PredictRowToleratesOutOfDomainCodes) {
+  // Codes past the training cardinality (unseen categories) must score
+  // as missing, not index past the histogram rows.
+  const auto ds = data::well_separated({});
+  Engine engine;
+  FitOptions options;
+  options.k = 3;
+  const FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok());
+
+  std::vector<data::Value> row(ds.num_features());
+  for (std::size_t r = 0; r < ds.num_features(); ++r) {
+    row[r] = static_cast<data::Value>(ds.cardinality(r) + 100);
+  }
+  const int cluster = fit.model.predict_row(row.data());
+  EXPECT_GE(cluster, 0);
+  EXPECT_LT(cluster, 3);
+}
+
+TEST(Model, FromJsonRejectsMalformedDocuments) {
+  Json bad = Json::object();
+  bad["method"] = "mcdc";
+  bad["k"] = 0;
+  EXPECT_THROW(Model::from_json(bad), std::runtime_error);
+}
+
+TEST(Model, UnfittedModelRefusesToPredict) {
+  const Model model;
+  EXPECT_FALSE(model.fitted());
+  EXPECT_THROW(model.predict(data::well_separated({})), std::logic_error);
+}
+
+TEST(Model, PredictRejectsArityMismatch) {
+  const auto ds = data::well_separated({});
+  Engine engine;
+  FitOptions options;
+  options.k = 3;
+  const FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok());
+
+  data::WellSeparatedConfig narrow;
+  narrow.num_features = ds.num_features() + 3;
+  EXPECT_THROW(fit.model.predict(data::well_separated(narrow)),
+               std::invalid_argument);
+}
+
+// --- RunReport --------------------------------------------------------------
+
+TEST(RunReport, JsonCarriesTheDocumentedShape) {
+  const auto ds = data::well_separated({});
+  Engine engine;
+  FitOptions options;
+  options.k = 3;
+  options.seed = 21;
+  const FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok());
+
+  const Json doc = Json::parse(fit.report.to_json().dump());
+  EXPECT_EQ(doc.at("status").at("code").as_string(), "ok");
+  EXPECT_EQ(doc.at("method").as_string(), "mcdc");
+  EXPECT_EQ(doc.at("method_display").as_string(), "MCDC");
+  EXPECT_EQ(doc.at("k").as_int(), 3);
+  EXPECT_EQ(doc.at("seed").as_string(), "21");
+  EXPECT_EQ(doc.at("clusters_found").as_int(), 3);
+  EXPECT_EQ(doc.at("labels").size(), ds.num_objects());
+  EXPECT_GE(doc.at("kappa").size(), 1u);
+  EXPECT_EQ(doc.at("stages").size(), doc.at("kappa").size());
+  EXPECT_EQ(doc.at("stages").at(0).at("k").as_int(),
+            doc.at("kappa").at(0).as_int());
+  EXPECT_TRUE(doc.contains("internal"));
+  EXPECT_TRUE(doc.at("internal").contains("silhouette"));
+  ASSERT_TRUE(doc.contains("external"));
+  EXPECT_DOUBLE_EQ(doc.at("external").at("acc").as_double(),
+                   fit.report.external.acc);
+  EXPECT_TRUE(doc.at("timings").contains("total_seconds"));
+}
+
+TEST(RunReport, FailureStatusIsStructured) {
+  // FKMAWCW without restarts collapses on data that cannot support the
+  // preset k; the report must carry a failed status, not a bare bool.
+  data::WellSeparatedConfig config;
+  config.num_objects = 30;
+  config.num_clusters = 2;
+  const auto ds = data::well_separated(config);
+  Engine engine;
+  FitOptions options;
+  options.method = "fkmawcw";
+  options.k = 20;
+  const FitResult fit = engine.fit(ds, options);
+  if (!fit.ok()) {
+    EXPECT_EQ(fit.status.code, Status::Code::kFailed);
+    EXPECT_FALSE(fit.status.message.empty());
+    EXPECT_FALSE(fit.model.fitted());
+    const Json doc = fit.report.to_json();
+    EXPECT_EQ(doc.at("status").at("code").as_string(), "failed");
+  }
+}
+
+// --- load_dataset -----------------------------------------------------------
+
+TEST(LoadDataset, ResolvesBuiltinsByAbbrevAndName) {
+  const LoadedDataset by_abbrev = load_dataset("Car.");
+  EXPECT_TRUE(by_abbrev.builtin);
+  EXPECT_EQ(by_abbrev.name, "Car.");
+  EXPECT_EQ(by_abbrev.dataset.num_objects(), 1728u);
+
+  const LoadedDataset by_name = load_dataset("Car Evaluation");
+  EXPECT_EQ(by_name.name, "Car.");
+  EXPECT_EQ(by_name.dataset.num_objects(), 1728u);
+
+  const LoadedDataset extra = load_dataset("Zoo.");
+  EXPECT_TRUE(extra.builtin);
+  EXPECT_EQ(extra.dataset.num_objects(), 101u);
+}
+
+TEST(LoadDataset, ReadsCsvFilesWithAndWithoutLabels) {
+  const std::string path = ::testing::TempDir() + "mcdc_api_load_test.csv";
+  {
+    std::ofstream file(path);
+    file << "a,x,red,yes\n"
+         << "a,y,red,yes\n"
+         << "b,x,blue,no\n"
+         << "b,y,blue,no\n";
+  }
+
+  DatasetSpec spec;
+  spec.source = path;
+  const LoadedDataset labelled = load_dataset(spec);
+  EXPECT_FALSE(labelled.builtin);
+  EXPECT_EQ(labelled.dataset.num_objects(), 4u);
+  EXPECT_EQ(labelled.dataset.num_features(), 3u);
+  EXPECT_TRUE(labelled.dataset.has_labels());
+
+  spec.no_labels = true;
+  const LoadedDataset unlabelled = load_dataset(spec);
+  EXPECT_EQ(unlabelled.dataset.num_features(), 4u);
+  EXPECT_FALSE(unlabelled.dataset.has_labels());
+
+  std::remove(path.c_str());
+}
+
+TEST(LoadDataset, UnknownSourceThrowsWithContext) {
+  try {
+    load_dataset("definitely-not-a-dataset.csv");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("definitely-not-a-dataset"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mcdc::api

@@ -227,5 +227,45 @@ TEST(KRepresentatives, InvalidInputsThrow) {
   EXPECT_EQ(result.labels.size(), ds.num_objects());
 }
 
+TEST(FinalizeResult, CountsDenseLabelsAndFlagsMismatch) {
+  ClusterResult result;
+  result.labels = {0, 1, 2, 1, 0};
+  finalize_result(result, 3);
+  EXPECT_EQ(result.clusters_found, 3);
+  EXPECT_FALSE(result.failed);
+
+  ClusterResult collapsed;
+  collapsed.labels = {0, 0, 0};
+  finalize_result(collapsed, 2);
+  EXPECT_EQ(collapsed.clusters_found, 1);
+  EXPECT_TRUE(collapsed.failed);
+}
+
+TEST(FinalizeResult, ToleratesEmptyLabels) {
+  ClusterResult empty;
+  finalize_result(empty, 3);
+  EXPECT_EQ(empty.clusters_found, 0);
+  EXPECT_TRUE(empty.failed);
+
+  ClusterResult nothing_asked;
+  finalize_result(nothing_asked, 0);
+  EXPECT_EQ(nothing_asked.clusters_found, 0);
+  EXPECT_FALSE(nothing_asked.failed);
+}
+
+TEST(FinalizeResult, RejectsNonPositiveKAndNegativeLabels) {
+  ClusterResult result;
+  result.labels = {0, 1};
+  finalize_result(result, -1);
+  EXPECT_TRUE(result.failed);
+
+  // Unassigned (-1) objects must not count as a cluster of their own.
+  ClusterResult partial;
+  partial.labels = {0, 1, -1};
+  finalize_result(partial, 2);
+  EXPECT_EQ(partial.clusters_found, 2);
+  EXPECT_TRUE(partial.failed);
+}
+
 }  // namespace
 }  // namespace mcdc::baselines

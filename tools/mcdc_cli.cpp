@@ -1,13 +1,25 @@
-// mcdc — command-line front end to the library, for downstream users who
-// want the paper's pipeline on their own CSV files without writing C++.
+// mcdc — command-line front end to the library, built on the api facade
+// (api/engine.h): one registry of clustering methods, one fit entry point,
+// one structured report.
 //
-//   mcdc cluster  <file.csv> [--k K] [--seed S] [--out labels.csv]
-//       Runs the full MCDC pipeline. Without --k, the number of clusters is
-//       estimated from the multi-granular analysis (core/kestimate.h).
-//   mcdc explore  <file.csv> [--seed S] [--newick]
+//   mcdc methods [key]
+//       Lists every registered clustering algorithm (baselines, MCDC, the
+//       MCDC1-4 ablations, MCDC+X boosted variants). With a key, prints
+//       that method's parameter schema.
+//   mcdc cluster <data> [--method NAME] [--k K] [--seed S]
+//                [--params k1=v1,k2=v2] [--out labels.csv] [--json report.json]
+//       Fits any registered method (default: mcdc). <data> is a built-in
+//       dataset name (see `mcdc datasets`) or a CSV file. Without --k, the
+//       number of clusters is estimated from the multi-granular staircase.
+//       --json writes the full RunReport plus the fitted model; a saved
+//       model can later score unseen rows (see docs/API.md).
+//   mcdc predict <model.json> <data> [--out labels.csv]
+//       Loads a fitted model from a --json report and assigns the rows of
+//       <data> to its clusters via the NULL-aware similarity.
+//   mcdc explore  <data> [--seed S] [--newick]
 //       Prints the granularity staircase kappa, per-stage internal validity
 //       and the nested-cluster dendrogram.
-//   mcdc anomalies <file.csv> [--top F] [--seed S]
+//   mcdc anomalies <data> [--top F] [--seed S]
 //       Ranks objects by micro-cluster anomaly score; prints the top
 //       fraction F (default 0.05).
 //   mcdc datasets
@@ -20,18 +32,20 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "api/engine.h"
+#include "api/load.h"
 #include "common/cli.h"
 #include "core/anomaly.h"
 #include "core/dendrogram.h"
 #include "core/kestimate.h"
-#include "core/mcdc.h"
+#include "core/mgcpl.h"
 #include "data/csv.h"
 #include "data/registry.h"
 #include "data/uci_extra.h"
 #include "metrics/indices.h"
-#include "metrics/internal.h"
 
 namespace {
 
@@ -39,68 +53,189 @@ using namespace mcdc;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mcdc <cluster|explore|anomalies|datasets|generate> "
-               "[args]\n  run 'mcdc <command>' without arguments for "
-               "command-specific help\n");
+               "usage: mcdc <methods|cluster|predict|explore|anomalies|"
+               "datasets|generate> [args]\n  run 'mcdc <command>' without "
+               "arguments for command-specific help\n");
   return 2;
 }
 
-data::Dataset load_input(const Cli& cli, std::size_t positional_index) {
+api::LoadedDataset load_input(const Cli& cli, std::size_t positional_index) {
   if (cli.positional().size() <= positional_index) {
-    throw std::invalid_argument("missing input file argument");
+    throw std::invalid_argument("missing input dataset argument");
   }
-  const std::string& path = cli.positional()[positional_index];
-  data::CsvOptions options;
-  options.label_column = cli.has("no-labels") ? -2 : -1;
-  return data::read_csv_file(path, options);
+  api::DatasetSpec spec;
+  spec.source = cli.positional()[positional_index];
+  spec.no_labels = cli.has("no-labels");
+  return api::load_dataset(spec);
+}
+
+// "a=1,b=2" -> {{"a","1"},{"b","2"}}; validation happens in the registry.
+api::Params parse_params(const std::string& packed) {
+  api::Params params;
+  std::istringstream stream(packed);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("--params entry \"" + item +
+                                  "\" is not key=value");
+    }
+    params[item.substr(0, eq)] = item.substr(eq + 1);
+  }
+  return params;
+}
+
+bool write_labels_csv(const std::string& path, const std::vector<int>& labels) {
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  file << "object,cluster\n";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    file << i << ',' << labels[i] << '\n';
+  }
+  return true;
+}
+
+int cmd_methods(const Cli& cli) {
+  if (cli.positional().size() > 1) {
+    const std::string& key = cli.positional()[1];
+    const api::MethodInfo* info = api::registry().info(key);
+    if (info == nullptr) {
+      std::fprintf(stderr, "unknown method \"%s\"\n", key.c_str());
+      return 1;
+    }
+    std::printf("%s (%s, %s)\n  %s\n", info->key.c_str(),
+                info->display_name.c_str(),
+                api::to_string(info->family).c_str(), info->summary.c_str());
+    if (info->params.empty()) {
+      std::printf("  no parameters\n");
+      return 0;
+    }
+    std::printf("  parameters (--params name=value,...):\n");
+    for (const api::ParamSpec& param : info->params) {
+      std::printf("    %-22s %s (default %s)\n", param.name.c_str(),
+                  param.description.c_str(), param.default_value.c_str());
+    }
+    return 0;
+  }
+
+  std::printf("%-16s %-14s %-9s %s\n", "key", "name", "family", "summary");
+  for (const api::MethodInfo& info : api::registry().methods()) {
+    std::printf("%-16s %-14s %-9s %s\n", info.key.c_str(),
+                info.display_name.c_str(),
+                api::to_string(info.family).c_str(), info.summary.c_str());
+  }
+  std::printf("\nrun 'mcdc methods <key>' for a method's parameters\n");
+  return 0;
 }
 
 int cmd_cluster(const Cli& cli) {
-  const auto ds = load_input(cli, 1);
-  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  core::Mcdc mcdc;
+  const auto loaded = load_input(cli, 1);
+  const auto& ds = loaded.dataset;
 
-  int k = static_cast<int>(cli.get_int("k", 0));
-  const auto mgcpl = core::Mgcpl(mcdc.config().mgcpl).run(ds, seed);
-  if (k <= 0) {
-    const auto estimate = core::estimate_k(ds, mgcpl);
-    k = estimate.recommended_k;
-    std::printf("estimated k = %d (from %d granularities)\n", k,
-                static_cast<int>(estimate.candidates.size()));
-  }
-  const auto out = mcdc.cluster(ds, k, seed);
+  api::FitOptions options;
+  options.method = cli.get("method", "mcdc");
+  options.k = static_cast<int>(cli.get_int("k", 0));
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  options.params = parse_params(cli.get("params", ""));
 
-  std::printf("clustered %zu objects into %d clusters (sigma = %d stages)\n",
-              ds.num_objects(), k, out.mgcpl.sigma());
-  const auto internal = metrics::internal_scores(ds, out.labels);
-  std::printf("internal validity: compactness %.3f, silhouette %.3f, "
-              "category utility %.3f\n",
-              internal.compactness, internal.silhouette,
-              internal.category_utility);
-  if (ds.has_labels()) {
-    const auto scores = metrics::score_all(out.labels, ds.labels());
-    std::printf("against file labels: ACC %.3f  ARI %.3f  AMI %.3f  FM %.3f\n",
-                scores.acc, scores.ari, scores.ami, scores.fm);
+  const api::FitResult fit = api::Engine().fit(ds, options);
+  const api::RunReport& report = fit.report;
+
+  if (!fit.ok()) {
+    std::fprintf(stderr, "mcdc cluster: [%s] %s\n",
+                 api::to_string(fit.status.code).c_str(),
+                 fit.status.message.c_str());
+  } else {
+    if (report.k_estimated) {
+      std::printf("estimated k = %d (from %zu granularities)\n", report.k,
+                  report.stages.size());
+    }
+    std::printf("%s clustered %zu objects of %s into %d clusters in %.3fs\n",
+                report.method_display.c_str(), ds.num_objects(),
+                loaded.name.c_str(), report.clusters_found,
+                report.timings.fit_seconds);
+    if (!report.kappa.empty()) {
+      std::printf("granularity staircase:");
+      for (const int kj : report.kappa) std::printf(" %d", kj);
+      std::printf("\n");
+    }
+    std::printf("internal validity: compactness %.3f, silhouette %.3f, "
+                "category utility %.3f\n",
+                report.internal.compactness, report.internal.silhouette,
+                report.internal.category_utility);
+    if (report.has_external) {
+      std::printf("against file labels: ACC %.3f  ARI %.3f  AMI %.3f  "
+                  "FM %.3f\n",
+                  report.external.acc, report.external.ari,
+                  report.external.ami, report.external.fm);
+    }
   }
 
   const std::string out_path = cli.get("out", "");
-  if (!out_path.empty()) {
-    std::ofstream file(out_path);
+  if (!out_path.empty() && !report.labels.empty()) {
+    if (!write_labels_csv(out_path, report.labels)) return 1;
+    std::printf("labels written to %s\n", out_path.c_str());
+  }
+
+  const std::string json_path = cli.get("json", "");
+  if (!json_path.empty()) {
+    std::ofstream file(json_path);
     if (!file) {
-      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
-    file << "object,cluster\n";
-    for (std::size_t i = 0; i < out.labels.size(); ++i) {
-      file << i << ',' << out.labels[i] << '\n';
-    }
+    file << fit.to_json().dump(2) << '\n';
+    std::printf("report written to %s\n", json_path.c_str());
+  }
+  return fit.ok() ? 0 : 1;
+}
+
+int cmd_predict(const Cli& cli) {
+  if (cli.positional().size() < 3) {
+    std::fprintf(stderr,
+                 "usage: mcdc predict <model.json> <data> [--out labels.csv]\n");
+    return 2;
+  }
+  const std::string& model_path = cli.positional()[1];
+  std::ifstream file(model_path);
+  if (!file) {
+    std::fprintf(stderr, "cannot read %s\n", model_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const api::Json doc = api::Json::parse(buffer.str());
+  const api::Model model =
+      api::Model::from_json(doc.contains("model") ? doc.at("model") : doc);
+
+  const auto loaded = load_input(cli, 2);
+  const std::vector<int> labels = model.predict(loaded.dataset);
+  std::printf("%s model (k = %d) assigned %zu objects of %s\n",
+              model.method().c_str(), model.k(), labels.size(),
+              loaded.name.c_str());
+  if (loaded.dataset.has_labels()) {
+    const auto scores = metrics::score_all(labels, loaded.dataset.labels());
+    std::printf("against file labels: ACC %.3f  ARI %.3f  AMI %.3f  FM %.3f\n",
+                scores.acc, scores.ari, scores.ami, scores.fm);
+  }
+  const std::string out_path = cli.get("out", "");
+  if (!out_path.empty()) {
+    if (!write_labels_csv(out_path, labels)) return 1;
     std::printf("labels written to %s\n", out_path.c_str());
+  } else if (!loaded.dataset.has_labels()) {
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      std::printf("%zu,%d\n", i, labels[i]);
+    }
   }
   return 0;
 }
 
 int cmd_explore(const Cli& cli) {
-  const auto ds = load_input(cli, 1);
+  const auto ds = load_input(cli, 1).dataset;
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const auto mgcpl = core::Mgcpl().run(ds, seed);
 
@@ -127,7 +262,7 @@ int cmd_explore(const Cli& cli) {
 }
 
 int cmd_anomalies(const Cli& cli) {
-  const auto ds = load_input(cli, 1);
+  const auto ds = load_input(cli, 1).dataset;
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const double top = cli.get_double("top", 0.05);
   const auto mgcpl = core::Mgcpl().run(ds, seed);
@@ -159,25 +294,27 @@ int cmd_generate(const Cli& cli) {
     std::fprintf(stderr, "usage: mcdc generate <abbrev> [--out file.csv]\n");
     return 2;
   }
-  const std::string& abbrev = cli.positional()[1];
-  data::Dataset ds;
-  try {
-    ds = data::load(abbrev);
-  } catch (const std::exception&) {
-    ds = data::load_extra(abbrev,
-                          static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+  api::DatasetSpec spec;
+  spec.source = cli.positional()[1];
+  spec.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const auto loaded = api::load_dataset(spec);
+  if (!loaded.builtin) {
+    std::fprintf(stderr, "mcdc generate: %s is not a built-in dataset\n",
+                 spec.source.c_str());
+    return 1;
   }
   const std::string out_path = cli.get("out", "");
   if (out_path.empty()) {
-    data::write_csv(ds, std::cout);
+    data::write_csv(loaded.dataset, std::cout);
   } else {
     std::ofstream file(out_path);
     if (!file) {
       std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
       return 1;
     }
-    data::write_csv(ds, file);
-    std::printf("%zu rows written to %s\n", ds.num_objects(), out_path.c_str());
+    data::write_csv(loaded.dataset, file);
+    std::printf("%zu rows written to %s\n", loaded.dataset.num_objects(),
+                out_path.c_str());
   }
   return 0;
 }
@@ -189,7 +326,9 @@ int main(int argc, char** argv) {
   if (cli.positional().empty()) return usage();
   const std::string& command = cli.positional().front();
   try {
+    if (command == "methods") return cmd_methods(cli);
     if (command == "cluster") return cmd_cluster(cli);
+    if (command == "predict") return cmd_predict(cli);
     if (command == "explore") return cmd_explore(cli);
     if (command == "anomalies") return cmd_anomalies(cli);
     if (command == "datasets") return cmd_datasets();
