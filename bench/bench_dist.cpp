@@ -1,0 +1,105 @@
+// Distributed-deployment bench (Sec. III-D): speedup and communication
+// volume of the shard -> local-learn -> merge protocol as the shard count
+// grows, plus the pre-partitioner's locality advantage over round-robin.
+//
+//   bench_dist [--n N] [--repeats R] [--max-shards W]
+//
+// Two tables:
+//   1. DistributedMcdc on Syn-style well-separated data: wall-clock of the
+//      parallel protocol, the modelled sequential cost of the same work,
+//      the resulting speedup, sketch-vs-raw communication, and clustering
+//      quality (ARI) — quality must not degrade as shards are added.
+//   2. MicroClusterPartitioner vs round_robin_shards on nested data:
+//      micro/coarse locality and the communication volume each sharding
+//      would incur.
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/timer.h"
+#include "core/mgcpl.h"
+#include "data/synthetic.h"
+#include "dist/distributed_mcdc.h"
+#include "dist/prepartition.h"
+#include "metrics/indices.h"
+#include "stats/summary.h"
+
+namespace {
+
+using namespace mcdc;
+
+void bench_protocol(std::size_t n, int repeats, int max_shards) {
+  data::WellSeparatedConfig config;
+  config.num_objects = n;
+  config.num_clusters = 4;
+  config.cardinality = 6;
+  config.purity = 0.93;
+  const auto ds = data::well_separated(config);
+
+  std::printf("DistributedMcdc on well-separated %zu x %zu (k* = 4)\n",
+              ds.num_objects(), ds.num_features());
+  std::printf("%-8s %-12s %-12s %-9s %-14s %-8s\n", "shards", "parallel(s)",
+              "sequent.(s)", "speedup", "sketch/raw", "ARI");
+  for (int shards = 1; shards <= max_shards; shards *= 2) {
+    stats::RunningStats parallel, sequential, ari;
+    std::size_t sketch_cells = 0, raw_cells = 0;
+    for (int r = 0; r < repeats; ++r) {
+      dist::DistributedConfig dc;
+      dc.num_workers = shards;
+      const auto result = dist::DistributedMcdc(dc).cluster(
+          ds, 4, static_cast<std::uint64_t>(r) + 1);
+      parallel.add(result.parallel_time);
+      sequential.add(result.sequential_time);
+      ari.add(metrics::adjusted_rand_index(result.labels, ds.labels()));
+      sketch_cells = result.sketch_cells;
+      raw_cells = result.raw_cells;
+    }
+    std::printf("%-8d %-12.4f %-12.4f %-9.2f %7zu/%-7zu %-8.3f\n", shards,
+                parallel.mean(), sequential.mean(),
+                parallel.mean() > 0.0 ? sequential.mean() / parallel.mean()
+                                      : 0.0,
+                sketch_cells, raw_cells, ari.mean());
+  }
+}
+
+void bench_prepartition(std::size_t n, int max_shards) {
+  data::NestedConfig config;
+  config.num_objects = n;
+  config.num_coarse = 4;
+  config.fine_per_coarse = 3;
+  config.cardinality = 12;
+  const auto nd = data::nested(config);
+  const auto analysis = core::Mgcpl().run(nd.dataset, 1);
+  const auto& micro = analysis.partitions.front();
+
+  std::printf("\nMicroClusterPartitioner vs round-robin on nested %zu x %zu\n",
+              nd.dataset.num_objects(), nd.dataset.num_features());
+  std::printf("%-8s %-14s %-14s %-12s %-12s %-10s\n", "shards", "micro-loc.",
+              "rr micro-loc.", "comm.vol.", "rr comm.", "balance");
+  for (int shards = 2; shards <= max_shards; shards *= 2) {
+    dist::PrepartitionConfig pc;
+    pc.num_shards = shards;
+    Timer timer;
+    const auto guided = dist::MicroClusterPartitioner(pc).partition(analysis);
+    const double seconds = timer.elapsed_seconds();
+    const auto rr = dist::round_robin_shards(micro.size(), shards);
+    std::printf("%-8d %-14.3f %-14.3f %-12zu %-12zu %-10.3f (%.4fs)\n",
+                shards, guided.micro_locality, dist::locality_of(rr, micro),
+                dist::communication_volume(guided.shard, micro),
+                dist::communication_volume(rr, micro), guided.balance,
+                seconds);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 20000));
+  const int repeats = static_cast<int>(cli.get_int("repeats", 3));
+  const int max_shards = static_cast<int>(cli.get_int("max-shards", 16));
+
+  bench_protocol(n, repeats, max_shards);
+  bench_prepartition(n, max_shards);
+  return 0;
+}

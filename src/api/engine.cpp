@@ -6,6 +6,7 @@
 #include "common/timer.h"
 #include "core/kestimate.h"
 #include "core/mcdc.h"
+#include "dist/distributed_mcdc.h"
 #include "metrics/indices.h"
 #include "metrics/internal.h"
 
@@ -74,6 +75,19 @@ FitResult Engine::fit(const data::Dataset& ds,
   std::vector<int> kappa;
   std::vector<double> theta;
 
+  // No preset k: read it off the default multi-granular staircase,
+  // whatever method then consumes it. (The "mcdc" branch below has its
+  // own path that reuses the estimating analysis for the clustering.)
+  const auto resolve_k = [&]() {
+    int k = options.k;
+    if (k == 0) {
+      k = core::estimate_k(ds, options.seed).recommended_k;
+      report.k_estimated = true;
+    }
+    report.k = k;
+    return k;
+  };
+
   try {
     if (options.method == "mcdc") {
       // Direct pipeline path: identical labels to the registry's
@@ -111,18 +125,32 @@ FitResult Engine::fit(const data::Dataset& ds,
         if (!estimate) estimate = core::estimate_k(ds, mgcpl);
         report.stages = stage_validity(*estimate);
       }
+    } else if (options.method == "mcdc-dist") {
+      // Distributed path: run the protocol directly so the report keeps
+      // the evidence (shard count, sketch traffic, parallel/sequential
+      // times) the Clusterer adapter would throw away.
+      registry_->validate(options.method, options.params);
+      const dist::DistributedConfig config =
+          distributed_config_from_params(options.params);
+      const int k = resolve_k();
+
+      Timer fit_timer;
+      const dist::DistributedResult distributed =
+          dist::DistributedMcdc(config).cluster(ds, k, options.seed);
+      report.timings.fit_seconds = fit_timer.elapsed_seconds();
+
+      result.labels = distributed.labels;
+      baselines::finalize_result(result, k);
+      report.dist.shards = static_cast<int>(distributed.local_clusters.size());
+      report.dist.local_clusters = distributed.local_clusters;
+      report.dist.sketch_cells = distributed.sketch_cells;
+      report.dist.raw_cells = distributed.raw_cells;
+      report.dist.parallel_seconds = distributed.parallel_time;
+      report.dist.sequential_seconds = distributed.sequential_time;
     } else {
       const auto clusterer = registry_->create(options.method, options.params);
       report.method_display = clusterer->name();
-
-      int k = options.k;
-      if (k == 0) {
-        // No preset k: read it off the default multi-granular staircase,
-        // whatever method then consumes it.
-        k = core::estimate_k(ds, options.seed).recommended_k;
-        report.k_estimated = true;
-      }
-      report.k = k;
+      const int k = resolve_k();
 
       Timer fit_timer;
       result = clusterer->cluster(ds, k, options.seed);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 namespace mcdc::api {
@@ -67,6 +68,12 @@ double Json::as_double() const {
 int Json::as_int() const {
   const double value = as_double();
   if (std::nearbyint(value) != value) fail("as_int on non-integral number");
+  // Casting an out-of-range double to int is undefined behaviour; both int
+  // bounds are exactly representable as doubles, so the comparison is safe.
+  if (value < static_cast<double>(std::numeric_limits<int>::min()) ||
+      value > static_cast<double>(std::numeric_limits<int>::max())) {
+    fail("as_int out of int range");
+  }
   return static_cast<int>(value);
 }
 
@@ -263,6 +270,20 @@ class Parser {
     }
   }
 
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) error("bad \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+      else error("bad \\u escape");
+    }
+    return code;
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -283,25 +304,37 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) error("bad \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
-            else error("bad \\u escape");
+          unsigned code = parse_hex4();
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            error("unpaired low surrogate in \\u escape");
           }
-          // UTF-8 encode the code point (BMP only; surrogate pairs are not
-          // produced by our own dump and are passed through unpaired).
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // A high surrogate is only valid as the first half of a pair;
+            // combine both halves into one supplementary code point rather
+            // than emitting two 3-byte CESU-8 sequences.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              error("unpaired high surrogate in \\u escape");
+            }
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              error("unpaired high surrogate in \\u escape");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
           if (code < 0x80) {
             out += static_cast<char>(code);
           } else if (code < 0x800) {
             out += static_cast<char>(0xC0 | (code >> 6));
             out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
+          } else if (code < 0x10000) {
             out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             out += static_cast<char>(0x80 | (code & 0x3F));
           }
@@ -312,24 +345,45 @@ class Parser {
     }
   }
 
+  // RFC 8259: -?(0|[1-9][0-9]*)(.[0-9]+)?([eE][+-]?[0-9]+)?. A greedy
+  // stod would silently truncate "1..2" and accept a leading '+'; walking
+  // the grammar explicitly rejects both.
   Json parse_number() {
     const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
-    bool seen_digit = false;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
-          c == '+' || c == '-') {
-        seen_digit = seen_digit || (c >= '0' && c <= '9');
+    const auto digits = [&]() {
+      std::size_t count = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
         ++pos_;
-      } else {
-        break;
+        ++count;
       }
+      return count;
+    };
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '0') {
+      ++pos_;  // a leading zero stands alone ("01" is not a JSON number)
+    } else if (digits() == 0) {
+      error("expected value");
     }
-    if (!seen_digit) error("expected value");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) error("bad number: digits required after '.'");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) error("bad number: digits required in exponent");
+    }
     try {
-      return Json(std::stod(text_.substr(start, pos_ - start)));
-    } catch (const std::exception&) {
+      std::size_t used = 0;
+      const std::string token = text_.substr(start, pos_ - start);
+      const double value = std::stod(token, &used);
+      if (used != token.size()) error("bad number");
+      return Json(value);
+    } catch (const std::out_of_range&) {
+      error("number out of range");
+    } catch (const std::invalid_argument&) {
       error("bad number");
     }
   }

@@ -11,6 +11,7 @@
 #include "baselines/linkage.h"
 #include "baselines/rock.h"
 #include "baselines/wocil.h"
+#include "dist/distributed_mcdc.h"
 
 namespace mcdc::api {
 
@@ -75,6 +76,7 @@ std::string to_string(MethodFamily family) {
     case MethodFamily::mcdc: return "mcdc";
     case MethodFamily::ablation: return "ablation";
     case MethodFamily::boosted: return "boosted";
+    case MethodFamily::distributed: return "distributed";
   }
   return "unknown";
 }
@@ -442,6 +444,23 @@ void register_builtins(Registry& registry) {
     });
   }
 
+  // --- distributed deployment (Sec. III-D) ---------------------------------
+  {
+    MethodInfo info;
+    info.key = "mcdc-dist";
+    info.display_name = "MCDC-DIST";
+    info.summary = "shard -> local MGCPL -> sketch merge over worker shards";
+    info.family = MethodFamily::distributed;
+    info.params = mcdc_param_specs();
+    info.params.push_back(
+        {"num_workers", "worker (= shard) count of the distributed protocol",
+         "4"});
+    registry.add(std::move(info), [](const Params& params) {
+      return std::make_shared<dist::DistributedClusterer>(
+          distributed_config_from_params(params));
+    });
+  }
+
   // --- MCDC+X boosted variants ---------------------------------------------
   {
     MethodInfo info;
@@ -535,6 +554,13 @@ core::McdcConfig mcdc_config_from_params(const Params& params) {
   config.came.beta = param_double(params, "came_beta", config.came.beta);
   config.came.max_iterations =
       param_int(params, "came_max_iterations", config.came.max_iterations);
+  return config;
+}
+
+dist::DistributedConfig distributed_config_from_params(const Params& params) {
+  dist::DistributedConfig config;
+  config.local = mcdc_config_from_params(params);
+  config.num_workers = param_int(params, "num_workers", config.num_workers);
   return config;
 }
 

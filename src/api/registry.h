@@ -19,6 +19,7 @@
 
 #include "baselines/clusterer.h"
 #include "core/mcdc.h"
+#include "dist/distributed_mcdc.h"
 
 namespace mcdc::api {
 
@@ -42,10 +43,11 @@ struct ParamSpec {
 };
 
 enum class MethodFamily {
-  baseline,  // one of the nine comparison methods
-  mcdc,      // the full pipeline
-  ablation,  // MCDC1-4 (Fig. 4)
-  boosted,   // MCDC+X (Gamma embedding + inner method)
+  baseline,     // one of the nine comparison methods
+  mcdc,         // the full pipeline
+  ablation,     // MCDC1-4 (Fig. 4)
+  boosted,      // MCDC+X (Gamma embedding + inner method)
+  distributed,  // Sec. III-D shard -> local-learn -> merge protocol
 };
 
 std::string to_string(MethodFamily family);
@@ -104,5 +106,10 @@ Registry& registry();
 // "stage_drop_fraction", "came_init", ... parameters — shared by the
 // "mcdc" factory, the ablations, the boosted variants and the Engine.
 core::McdcConfig mcdc_config_from_params(const Params& params);
+
+// Builds a DistributedConfig from "num_workers" plus the MCDC parameters
+// (which configure the workers' local learning) — shared by the
+// "mcdc-dist" factory and the Engine's distributed fit path.
+dist::DistributedConfig distributed_config_from_params(const Params& params);
 
 }  // namespace mcdc::api

@@ -69,6 +69,19 @@ Json RunReport::to_json() const {
     out["external"] = std::move(external_json);
   }
 
+  if (dist.shards > 0) {
+    Json dist_json = Json::object();
+    dist_json["shards"] = dist.shards;
+    Json local_json = Json::array();
+    for (const int c : dist.local_clusters) local_json.push_back(c);
+    dist_json["local_clusters"] = std::move(local_json);
+    dist_json["sketch_cells"] = static_cast<double>(dist.sketch_cells);
+    dist_json["raw_cells"] = static_cast<double>(dist.raw_cells);
+    dist_json["parallel_seconds"] = dist.parallel_seconds;
+    dist_json["sequential_seconds"] = dist.sequential_seconds;
+    out["dist"] = std::move(dist_json);
+  }
+
   Json timings_json = Json::object();
   timings_json["fit_seconds"] = timings.fit_seconds;
   timings_json["evaluate_seconds"] = timings.evaluate_seconds;

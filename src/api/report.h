@@ -7,6 +7,7 @@
 // serialise to JSON for downstream services (api/json.h).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -61,6 +62,18 @@ struct Timings {
   double total_seconds = 0.0;
 };
 
+// Evidence of a distributed run (the "mcdc-dist" method): shard count,
+// per-worker contributions, the communication saving of the sketch
+// protocol and the parallel-vs-sequential wall-clock model.
+struct DistEvidence {
+  int shards = 0;  // 0 = not a distributed run
+  std::vector<int> local_clusters;
+  std::size_t sketch_cells = 0;
+  std::size_t raw_cells = 0;
+  double parallel_seconds = 0.0;
+  double sequential_seconds = 0.0;
+};
+
 struct RunReport {
   Status status;
 
@@ -78,6 +91,9 @@ struct RunReport {
   std::vector<int> kappa;               // granularity staircase k_1..k_sigma
   std::vector<StageValidity> stages;    // per-stage internal validity
   std::vector<double> theta;            // CAME granularity weights
+
+  // Distributed-run evidence; dist.shards == 0 for single-node methods.
+  DistEvidence dist;
 
   metrics::InternalScores internal;     // ground-truth-free validity
   bool has_external = false;            // dataset carried class labels

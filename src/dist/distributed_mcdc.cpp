@@ -1,0 +1,250 @@
+#include "dist/distributed_mcdc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/mgcpl.h"
+
+namespace mcdc::dist {
+
+namespace {
+
+// What a worker ships to the coordinator for one micro-cluster: member
+// count plus per-feature value-frequency histograms. Missing cells are
+// simply not counted.
+struct Sketch {
+  double count = 0.0;
+  std::vector<std::vector<double>> hist;  // hist[r][v]
+};
+
+struct WorkerOutput {
+  std::vector<Sketch> sketches;
+  std::vector<int> local_labels;  // finest-granularity ids, per shard row
+  double seconds = 0.0;
+};
+
+WorkerOutput run_worker(const data::Dataset& shard,
+                        const core::MgcplConfig& config, std::uint64_t seed) {
+  Timer timer;
+  WorkerOutput out;
+  const core::MgcplResult analysis = core::Mgcpl(config).run(shard, seed);
+  out.local_labels = analysis.partitions.front();
+  const int local_k = analysis.kappa.front();
+
+  const std::size_t d = shard.num_features();
+  out.sketches.resize(static_cast<std::size_t>(local_k));
+  for (Sketch& sketch : out.sketches) {
+    sketch.hist.resize(d);
+    for (std::size_t r = 0; r < d; ++r) {
+      sketch.hist[r].assign(static_cast<std::size_t>(shard.cardinality(r)),
+                            0.0);
+    }
+  }
+  for (std::size_t i = 0; i < shard.num_objects(); ++i) {
+    Sketch& sketch = out.sketches[static_cast<std::size_t>(out.local_labels[i])];
+    sketch.count += 1.0;
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = shard.at(i, r);
+      if (v != data::kMissing) sketch.hist[r][static_cast<std::size_t>(v)] += 1.0;
+    }
+  }
+  out.seconds = timer.elapsed_seconds();
+  return out;
+}
+
+// Mean total-variation distance between the per-feature value
+// distributions of two sketches, in [0, 1].
+double sketch_distance(const Sketch& a, const Sketch& b) {
+  const std::size_t d = a.hist.size();
+  if (d == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t r = 0; r < d; ++r) {
+    const double a_mass = std::accumulate(a.hist[r].begin(), a.hist[r].end(), 0.0);
+    const double b_mass = std::accumulate(b.hist[r].begin(), b.hist[r].end(), 0.0);
+    double tv = 0.0;
+    for (std::size_t v = 0; v < a.hist[r].size(); ++v) {
+      const double pa = a_mass > 0.0 ? a.hist[r][v] / a_mass : 0.0;
+      const double pb = b_mass > 0.0 ? b.hist[r][v] / b_mass : 0.0;
+      tv += std::fabs(pa - pb);
+    }
+    total += 0.5 * tv;
+  }
+  return total / static_cast<double>(d);
+}
+
+void merge_into(Sketch& into, const Sketch& from) {
+  into.count += from.count;
+  for (std::size_t r = 0; r < into.hist.size(); ++r) {
+    for (std::size_t v = 0; v < into.hist[r].size(); ++v) {
+      into.hist[r][v] += from.hist[r][v];
+    }
+  }
+}
+
+// Centroid agglomeration of the sketches down to k groups; returns the
+// group id of every input sketch, dense in first-appearance order.
+// Distances are computed once and only the merged sketch's row is
+// refreshed per step — the full histogram scans dominate, so recomputing
+// every pair each iteration would make the coordinator cubic in sketches.
+std::vector<int> merge_sketches(std::vector<Sketch> sketches, int k) {
+  const std::size_t total = sketches.size();
+  std::vector<int> root(total);
+  std::iota(root.begin(), root.end(), 0);
+  std::vector<bool> active(total, true);
+
+  std::vector<double> distance(total * total, 0.0);
+  const auto pair_distance = [&](std::size_t a, std::size_t b) -> double& {
+    return a < b ? distance[a * total + b] : distance[b * total + a];
+  };
+  for (std::size_t a = 0; a < total; ++a) {
+    for (std::size_t b = a + 1; b < total; ++b) {
+      pair_distance(a, b) = sketch_distance(sketches[a], sketches[b]);
+    }
+  }
+
+  std::size_t remaining = total;
+  while (remaining > static_cast<std::size_t>(k)) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_a = 0, best_b = 0;
+    for (std::size_t a = 0; a < total; ++a) {
+      if (!active[a]) continue;
+      for (std::size_t b = a + 1; b < total; ++b) {
+        if (!active[b]) continue;
+        if (pair_distance(a, b) < best) {
+          best = pair_distance(a, b);
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    merge_into(sketches[best_a], sketches[best_b]);
+    active[best_b] = false;
+    for (std::size_t s = 0; s < total; ++s) {
+      if (root[s] == static_cast<int>(best_b)) root[s] = static_cast<int>(best_a);
+      if (active[s] && s != best_a) {
+        pair_distance(best_a, s) = sketch_distance(sketches[best_a], sketches[s]);
+      }
+    }
+    --remaining;
+  }
+
+  // Densify the surviving roots in first-appearance order.
+  std::vector<int> dense(total, -1);
+  std::vector<int> group_of(total);
+  int next = 0;
+  for (std::size_t s = 0; s < total; ++s) {
+    const int r = root[s];
+    if (dense[static_cast<std::size_t>(r)] < 0) {
+      dense[static_cast<std::size_t>(r)] = next++;
+    }
+    group_of[s] = dense[static_cast<std::size_t>(r)];
+  }
+  return group_of;
+}
+
+}  // namespace
+
+DistributedResult DistributedMcdc::cluster(const data::Dataset& ds, int k,
+                                           std::uint64_t seed) const {
+  const std::size_t n = ds.num_objects();
+  if (n == 0) {
+    throw std::invalid_argument("DistributedMcdc: empty dataset");
+  }
+  if (k < 1) {
+    throw std::invalid_argument("DistributedMcdc: k < 1");
+  }
+  if (config_.num_workers < 1) {
+    throw std::invalid_argument("DistributedMcdc: num_workers < 1");
+  }
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(config_.num_workers), n);
+
+  DistributedResult result;
+  result.raw_cells = n * ds.num_features();
+  result.shard_of.resize(n);
+
+  // Contiguous block shards — the "data is already distributed" layout.
+  std::vector<std::vector<std::size_t>> shard_rows(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * n / workers;
+    const std::size_t end = (w + 1) * n / workers;
+    shard_rows[w].reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      shard_rows[w].push_back(i);
+      result.shard_of[i] = static_cast<int>(w);
+    }
+  }
+
+  // Local learning, one task per worker on the shared pool. Workers are
+  // independent, so collecting the futures in order keeps the protocol
+  // deterministic.
+  std::vector<std::future<WorkerOutput>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::uint64_t worker_seed = seed + 0x9E3779B9ULL * (w + 1);
+    futures.push_back(global_pool().submit([this, &ds, &shard_rows, w,
+                                            worker_seed] {
+      return run_worker(ds.subset(shard_rows[w]), config_.local.mgcpl,
+                        worker_seed);
+    }));
+  }
+  std::vector<WorkerOutput> outputs;
+  outputs.reserve(workers);
+  for (auto& future : futures) outputs.push_back(future.get());
+
+  // Gather the sketches; record the communication the gather costs.
+  std::vector<Sketch> sketches;
+  std::vector<std::size_t> base(workers);
+  double max_worker = 0.0, sum_workers = 0.0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    base[w] = sketches.size();
+    result.local_clusters.push_back(
+        static_cast<int>(outputs[w].sketches.size()));
+    for (Sketch& sketch : outputs[w].sketches) {
+      ++result.sketch_cells;  // the member count itself
+      for (const auto& hist : sketch.hist) {
+        for (const double c : hist) {
+          if (c > 0.0) ++result.sketch_cells;
+        }
+      }
+      sketches.push_back(std::move(sketch));
+    }
+    max_worker = std::max(max_worker, outputs[w].seconds);
+    sum_workers += outputs[w].seconds;
+  }
+
+  Timer merge_timer;
+  const std::vector<int> group_of = merge_sketches(std::move(sketches), k);
+  result.merge_time = merge_timer.elapsed_seconds();
+  result.parallel_time = max_worker + result.merge_time;
+  result.sequential_time = sum_workers + result.merge_time;
+
+  result.labels.resize(n);
+  for (std::size_t w = 0; w < workers; ++w) {
+    for (std::size_t j = 0; j < shard_rows[w].size(); ++j) {
+      const std::size_t sketch_id =
+          base[w] + static_cast<std::size_t>(outputs[w].local_labels[j]);
+      result.labels[shard_rows[w][j]] = group_of[sketch_id];
+    }
+  }
+  result.global_clusters =
+      group_of.empty() ? 0 : *std::max_element(group_of.begin(), group_of.end()) + 1;
+  return result;
+}
+
+baselines::ClusterResult DistributedClusterer::cluster(
+    const data::Dataset& ds, int k, std::uint64_t seed) const {
+  const DistributedResult distributed = dist_.cluster(ds, k, seed);
+  baselines::ClusterResult result;
+  result.labels = distributed.labels;
+  baselines::finalize_result(result, k);
+  return result;
+}
+
+}  // namespace mcdc::dist

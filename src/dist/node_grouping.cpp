@@ -1,0 +1,85 @@
+#include "dist/node_grouping.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "core/mcdc.h"
+#include "core/mgcpl.h"
+
+namespace mcdc::dist {
+
+namespace {
+
+// Dominant value and per-feature consistency of one member list.
+NodeGroup profile_group(const data::Dataset& table, int id,
+                        std::vector<std::size_t> members) {
+  const std::size_t d = table.num_features();
+  NodeGroup group;
+  group.id = id;
+  group.members = std::move(members);
+  group.dominant_values.resize(d);
+  group.consistency.resize(d);
+
+  double total = 0.0;
+  for (std::size_t r = 0; r < d; ++r) {
+    std::map<data::Value, std::size_t> counts;
+    for (const std::size_t i : group.members) {
+      const data::Value v = table.at(i, r);
+      if (v != data::kMissing) ++counts[v];
+    }
+    data::Value dominant = data::kMissing;
+    std::size_t best = 0;
+    for (const auto& [value, count] : counts) {
+      if (count > best) {  // ties resolve to the smallest code (map order)
+        best = count;
+        dominant = value;
+      }
+    }
+    group.dominant_values[r] =
+        dominant == data::kMissing ? "?" : table.value_name(r, dominant);
+    group.consistency[r] = group.members.empty()
+                               ? 0.0
+                               : static_cast<double>(best) /
+                                     static_cast<double>(group.members.size());
+    total += group.consistency[r];
+  }
+  group.mean_consistency = d > 0 ? total / static_cast<double>(d) : 0.0;
+  return group;
+}
+
+}  // namespace
+
+NodeGroupingResult group_nodes(const data::Dataset& table, int k,
+                               std::uint64_t seed) {
+  if (table.num_objects() == 0) {
+    throw std::invalid_argument("group_nodes: empty node table");
+  }
+  if (k < 0) {
+    throw std::invalid_argument("group_nodes: k < 0");
+  }
+
+  NodeGroupingResult result;
+  if (k == 0) {
+    // The paper's rule: the coarsest converged granularity is the number
+    // of hardware classes.
+    const core::MgcplResult analysis = core::Mgcpl().run(table, seed);
+    result.kappa = analysis.kappa;
+    result.assignment = analysis.final_partition();
+  } else {
+    const core::McdcOutput output = core::Mcdc().cluster(table, k, seed);
+    result.kappa = output.mgcpl.kappa;
+    result.assignment = output.labels;
+  }
+
+  std::map<int, std::vector<std::size_t>> members;
+  for (std::size_t i = 0; i < result.assignment.size(); ++i) {
+    members[result.assignment[i]].push_back(i);
+  }
+  for (auto& [id, rows] : members) {
+    result.groups.push_back(profile_group(table, id, std::move(rows)));
+  }
+  return result;
+}
+
+}  // namespace mcdc::dist

@@ -1,0 +1,48 @@
+// Compute-node grouping — the paper's Fig. 1 scenario (Sec. III-D claim 2).
+//
+// A fleet described by categorical telemetry (GPU type, memory usage,
+// network tier, ...) is clustered into performance-consistent groups a
+// scheduler can treat as uniform. With k = 0, MGCPL's coarsest converged
+// granularity decides how many hardware classes the fleet naturally has;
+// with k given, the full MCDC pipeline aggregates to exactly k groups.
+// Each group reports its dominant profile and how consistently the
+// members follow it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace mcdc::dist {
+
+struct NodeGroup {
+  int id = 0;
+  // Row indices of the member nodes.
+  std::vector<std::size_t> members;
+  // Most common value per feature, as human-readable names.
+  std::vector<std::string> dominant_values;
+  // Fraction of members carrying the dominant value, per feature.
+  std::vector<double> consistency;
+  // Mean of consistency over the features — the "performance
+  // consistency" of the group.
+  double mean_consistency = 0.0;
+};
+
+struct NodeGroupingResult {
+  // MGCPL granularity staircase of the underlying analysis.
+  std::vector<int> kappa;
+  // assignment[i] = group id of node i.
+  std::vector<int> assignment;
+  // One entry per group, ordered by id.
+  std::vector<NodeGroup> groups;
+};
+
+// Groups the node-profile table into k clusters (k = 0: the MGCPL
+// estimate). Throws std::invalid_argument on an empty table or k < 0.
+NodeGroupingResult group_nodes(const data::Dataset& table, int k,
+                               std::uint64_t seed = 7);
+
+}  // namespace mcdc::dist

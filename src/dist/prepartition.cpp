@@ -1,0 +1,195 @@
+#include "dist/prepartition.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mcdc::dist {
+
+namespace {
+
+// Groups object indices by cluster id; returns one member list per id.
+std::unordered_map<int, std::vector<std::size_t>> members_by_cluster(
+    const std::vector<int>& clusters) {
+  std::unordered_map<int, std::vector<std::size_t>> members;
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    members[clusters[i]].push_back(i);
+  }
+  return members;
+}
+
+void check_same_length(const std::vector<int>& shard,
+                       const std::vector<int>& clusters, const char* what) {
+  if (shard.size() != clusters.size()) {
+    throw std::invalid_argument(std::string(what) +
+                                ": shard and cluster vectors differ in length");
+  }
+}
+
+}  // namespace
+
+std::vector<int> round_robin_shards(std::size_t n, int num_shards) {
+  if (num_shards < 1) {
+    throw std::invalid_argument("round_robin_shards: num_shards < 1");
+  }
+  std::vector<int> shard(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shard[i] = static_cast<int>(i % static_cast<std::size_t>(num_shards));
+  }
+  return shard;
+}
+
+double locality_of(const std::vector<int>& shard,
+                   const std::vector<int>& clusters) {
+  check_same_length(shard, clusters, "locality_of");
+  if (clusters.empty()) return 1.0;
+  std::unordered_map<int, int> home;  // cluster -> shard, -2 = split
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    const auto [it, inserted] = home.emplace(clusters[i], shard[i]);
+    if (!inserted && it->second != shard[i]) it->second = -2;
+  }
+  std::size_t whole = 0;
+  for (const auto& [cluster, s] : home) {
+    if (s != -2) ++whole;
+  }
+  return static_cast<double>(whole) / static_cast<double>(home.size());
+}
+
+std::size_t communication_volume(const std::vector<int>& shard,
+                                 const std::vector<int>& clusters) {
+  check_same_length(shard, clusters, "communication_volume");
+  // Per cluster: shard -> member count; objects outside the plurality
+  // shard must cross the network.
+  std::unordered_map<int, std::unordered_map<int, std::size_t>> counts;
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    ++counts[clusters[i]][shard[i]];
+  }
+  std::size_t volume = 0;
+  for (const auto& [cluster, by_shard] : counts) {
+    std::size_t total = 0;
+    std::size_t largest = 0;
+    for (const auto& [s, c] : by_shard) {
+      total += c;
+      largest = std::max(largest, c);
+    }
+    volume += total - largest;
+  }
+  return volume;
+}
+
+PrepartitionResult MicroClusterPartitioner::partition(
+    const core::MgcplResult& analysis) const {
+  if (analysis.partitions.empty() || analysis.partitions.front().empty()) {
+    throw std::invalid_argument(
+        "MicroClusterPartitioner: analysis has no recorded partitions");
+  }
+  if (config_.num_shards < 1) {
+    throw std::invalid_argument("MicroClusterPartitioner: num_shards < 1");
+  }
+
+  const std::vector<int>& micro = analysis.partitions.front();
+  const std::vector<int>& coarse = analysis.partitions.back();
+  const std::size_t n = micro.size();
+  const auto num_shards = static_cast<std::size_t>(config_.num_shards);
+
+  // One indivisible unit per micro-cluster, tagged with its coarse parent
+  // (the plurality coarse label of its members).
+  struct Unit {
+    std::vector<std::size_t> members;
+    int parent = 0;
+  };
+  std::vector<Unit> units;
+  for (auto& [id, members] : members_by_cluster(micro)) {
+    Unit unit;
+    unit.members = std::move(members);
+    std::unordered_map<int, std::size_t> parent_counts;
+    std::size_t best = 0;
+    for (const std::size_t i : unit.members) {
+      const std::size_t c = ++parent_counts[coarse[i]];
+      if (c > best) {
+        best = c;
+        unit.parent = coarse[i];
+      }
+    }
+    units.push_back(std::move(unit));
+  }
+
+  // Coarse groups of units, largest first, so sibling micro-clusters get
+  // the chance to land on one shard before space runs out.
+  std::unordered_map<int, std::vector<std::size_t>> by_parent;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    by_parent[units[u].parent].push_back(u);
+  }
+  struct Group {
+    std::vector<std::size_t> unit_ids;
+    std::size_t size = 0;
+  };
+  std::vector<Group> groups;
+  for (auto& [parent, unit_ids] : by_parent) {
+    Group group;
+    group.unit_ids = std::move(unit_ids);
+    for (const std::size_t u : group.unit_ids) {
+      group.size += units[u].members.size();
+    }
+    // Big micro-clusters first: the classic LPT ordering bounds imbalance.
+    std::sort(group.unit_ids.begin(), group.unit_ids.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (units[a].members.size() != units[b].members.size()) {
+                  return units[a].members.size() > units[b].members.size();
+                }
+                return units[a].members.front() < units[b].members.front();
+              });
+    groups.push_back(std::move(group));
+  }
+  std::sort(groups.begin(), groups.end(), [&](const Group& a, const Group& b) {
+    if (a.size != b.size) return a.size > b.size;
+    return units[a.unit_ids.front()].members.front() <
+           units[b.unit_ids.front()].members.front();
+  });
+
+  const double ideal =
+      static_cast<double>(n) / static_cast<double>(num_shards);
+  const double capacity = config_.slack * ideal;
+
+  std::vector<std::size_t> load(num_shards, 0);
+  const auto least_loaded = [&]() {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < num_shards; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    return best;
+  };
+
+  PrepartitionResult result;
+  result.shard.assign(n, 0);
+  for (const Group& group : groups) {
+    const std::size_t target = least_loaded();
+    if (static_cast<double>(load[target] + group.size) <= capacity) {
+      // The whole coarse cluster fits on one shard: keep it together.
+      for (const std::size_t u : group.unit_ids) {
+        for (const std::size_t i : units[u].members) {
+          result.shard[i] = static_cast<int>(target);
+        }
+        load[target] += units[u].members.size();
+      }
+    } else {
+      // Spill micro-cluster by micro-cluster, never splitting one.
+      for (const std::size_t u : group.unit_ids) {
+        const std::size_t s = least_loaded();
+        for (const std::size_t i : units[u].members) {
+          result.shard[i] = static_cast<int>(s);
+        }
+        load[s] += units[u].members.size();
+      }
+    }
+  }
+
+  result.shard_sizes = load;
+  result.micro_locality = locality_of(result.shard, micro);
+  result.coarse_locality = locality_of(result.shard, coarse);
+  const std::size_t max_load = *std::max_element(load.begin(), load.end());
+  result.balance = static_cast<double>(max_load) / ideal;
+  return result;
+}
+
+}  // namespace mcdc::dist

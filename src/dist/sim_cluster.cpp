@@ -1,0 +1,73 @@
+#include "dist/sim_cluster.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mcdc::dist {
+
+std::vector<Node> uniform_nodes(std::size_t count) {
+  std::vector<Node> nodes;
+  nodes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    nodes.push_back({"node-" + std::to_string(i), 1.0});
+  }
+  return nodes;
+}
+
+SimCluster::SimCluster(std::vector<Node> nodes) : nodes_(std::move(nodes)) {
+  if (nodes_.empty()) {
+    throw std::invalid_argument("SimCluster: empty fleet");
+  }
+  for (const Node& node : nodes_) {
+    if (!(node.speed > 0.0)) {
+      throw std::invalid_argument("SimCluster: node \"" + node.name +
+                                  "\" has non-positive speed");
+    }
+  }
+}
+
+ScheduleResult SimCluster::schedule(
+    const std::vector<std::size_t>& shard_sizes) const {
+  ScheduleResult result;
+  result.shard_to_node.assign(shard_sizes.size(), 0);
+
+  std::vector<std::size_t> order(shard_sizes.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (shard_sizes[a] != shard_sizes[b]) {
+      return shard_sizes[a] > shard_sizes[b];
+    }
+    return a < b;
+  });
+
+  std::vector<double> busy(nodes_.size(), 0.0);  // time units, per node
+  for (const std::size_t s : order) {
+    const double work = static_cast<double>(shard_sizes[s]);
+    std::size_t best = 0;
+    double best_finish = busy[0] + work / nodes_[0].speed;
+    for (std::size_t m = 1; m < nodes_.size(); ++m) {
+      const double finish = busy[m] + work / nodes_[m].speed;
+      if (finish < best_finish) {
+        best = m;
+        best_finish = finish;
+      }
+    }
+    busy[best] = best_finish;
+    result.shard_to_node[s] = static_cast<int>(best);
+  }
+
+  double total_busy = 0.0;
+  for (const double b : busy) {
+    result.makespan = std::max(result.makespan, b);
+    total_busy += b;
+  }
+  result.utilization =
+      result.makespan > 0.0
+          ? total_busy /
+                (static_cast<double>(nodes_.size()) * result.makespan)
+          : 0.0;
+  return result;
+}
+
+}  // namespace mcdc::dist

@@ -1,0 +1,50 @@
+// Simulated heterogeneous compute cluster — the deployment half of
+// Sec. III-D: once the pre-partitioner has cut locality-preserving shards,
+// something must place them on machines of unequal speed. SimCluster
+// schedules shards with LPT (longest processing time first) over the node
+// speeds and reports makespan and utilization, giving the benches and
+// examples a deterministic stand-in for a real fleet.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mcdc::dist {
+
+struct Node {
+  std::string name;
+  // Work units processed per unit time; a 2.0 node finishes a shard twice
+  // as fast as a 1.0 node.
+  double speed = 1.0;
+};
+
+// count identical nodes of speed 1.0, named "node-0".."node-<count-1>".
+std::vector<Node> uniform_nodes(std::size_t count);
+
+struct ScheduleResult {
+  // shard_to_node[s] = index into nodes() of the node running shard s.
+  std::vector<int> shard_to_node;
+  // Time until the last node finishes (work units / speed).
+  double makespan = 0.0;
+  // Busy time over available time, in [0, 1].
+  double utilization = 0.0;
+};
+
+class SimCluster {
+ public:
+  // Throws std::invalid_argument on an empty fleet or a non-positive
+  // node speed.
+  explicit SimCluster(std::vector<Node> nodes);
+
+  // LPT: shards in decreasing size order, each to the node that finishes
+  // it earliest given its current load. Deterministic.
+  ScheduleResult schedule(const std::vector<std::size_t>& shard_sizes) const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace mcdc::dist

@@ -57,6 +57,53 @@ TEST(Json, DumpIsDeterministic) {
   EXPECT_EQ(doc.dump(), "{\"a\":1,\"b\":2}");
 }
 
+TEST(Json, SurrogatePairsDecodeToOneCodePoint) {
+  // U+1F600 arrives as the pair \uD83D\uDE00 and must come out as one
+  // 4-byte UTF-8 sequence, not two 3-byte CESU-8 surrogates.
+  const Json parsed = Json::parse("\"\\uD83D\\uDE00\"");
+  EXPECT_EQ(parsed.as_string(), "\xF0\x9F\x98\x80");
+  // dump() passes raw UTF-8 bytes through, so the value round-trips.
+  EXPECT_EQ(Json::parse(Json(parsed.as_string()).dump()).as_string(),
+            parsed.as_string());
+  // BMP escapes are unaffected.
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xC3\xA9");
+}
+
+TEST(Json, UnpairedSurrogatesAreRejected) {
+  EXPECT_THROW(Json::parse("\"\\uD800\""), std::runtime_error);       // lone high
+  EXPECT_THROW(Json::parse("\"\\uDC00\""), std::runtime_error);       // lone low
+  EXPECT_THROW(Json::parse("\"\\uD83Dx\""), std::runtime_error);      // high + text
+  EXPECT_THROW(Json::parse("\"\\uD83D\\u0041\""), std::runtime_error);  // high + BMP
+  EXPECT_THROW(Json::parse("\"\\uD83D\\uD83D\""), std::runtime_error);  // high + high
+}
+
+TEST(Json, NumberGrammarFollowsRfc8259) {
+  // Valid numbers parse to their values.
+  EXPECT_DOUBLE_EQ(Json::parse("-0.5e+2").as_double(), -50.0);
+  EXPECT_DOUBLE_EQ(Json::parse("0").as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  // stod would truncate or tolerate all of these.
+  EXPECT_THROW(Json::parse("1..2"), std::runtime_error);
+  EXPECT_THROW(Json::parse("+1"), std::runtime_error);
+  EXPECT_THROW(Json::parse("01"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1."), std::runtime_error);
+  EXPECT_THROW(Json::parse("1e"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1e+"), std::runtime_error);
+  EXPECT_THROW(Json::parse("-"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1-2"), std::runtime_error);
+}
+
+TEST(Json, AsIntRejectsOutOfRangeIntegers) {
+  // 1e18 is integral, passes any nearbyint check, and overflows int —
+  // previously undefined behaviour, now a structured failure.
+  EXPECT_THROW(Json::parse("1e18").as_int(), std::runtime_error);
+  EXPECT_THROW(Json::parse("-1e18").as_int(), std::runtime_error);
+  EXPECT_THROW(Json(2147483648.0).as_int(), std::runtime_error);
+  EXPECT_EQ(Json(2147483647.0).as_int(), 2147483647);
+  EXPECT_EQ(Json(-2147483648.0).as_int(), -2147483648);
+  EXPECT_THROW(Json(1.5).as_int(), std::runtime_error);
+}
+
 // --- Registry ---------------------------------------------------------------
 
 TEST(Registry, KnownKeysResolve) {
@@ -110,6 +157,58 @@ TEST(Registry, PaperRosterMatchesTableThreeColumns) {
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(roster[i]->name(), expected[i]) << "column " << i;
   }
+}
+
+TEST(Registry, TypedParamAccessorsRejectBadValues) {
+  const Params params = {{"i", "12"},      {"junk", "12abc"}, {"huge", "999999999999"},
+                         {"d", "0.25"},    {"djunk", "1.5x"}, {"b", "true"}};
+  EXPECT_EQ(param_int(params, "i", 0), 12);
+  EXPECT_EQ(param_int(params, "absent", 7), 7);
+  EXPECT_THROW(param_int(params, "junk", 0), std::invalid_argument);
+  EXPECT_THROW(param_int(params, "huge", 0), std::invalid_argument);
+  EXPECT_THROW(param_int(params, "d", 0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(param_double(params, "d", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(param_double(params, "absent", 2.5), 2.5);
+  EXPECT_THROW(param_double(params, "djunk", 0.0), std::invalid_argument);
+  EXPECT_THROW(param_double(params, "b", 0.0), std::invalid_argument);
+  EXPECT_THROW(param_bool(params, "i", false), std::invalid_argument);
+}
+
+TEST(Registry, DistributedMethodIsCatalogued) {
+  ASSERT_TRUE(registry().contains("mcdc-dist"));
+  const MethodInfo* info = registry().info("mcdc-dist");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->family, MethodFamily::distributed);
+  const auto clusterer =
+      registry().create("mcdc-dist", {{"num_workers", "2"}});
+  EXPECT_EQ(clusterer->name(), "MCDC-DIST");
+  EXPECT_THROW(registry().create("mcdc-dist", {{"num_workers", "two"}}),
+               std::invalid_argument);
+}
+
+TEST(Engine, DistributedFitCarriesShardEvidence) {
+  const auto ds = data::well_separated({});
+  Engine engine;
+  FitOptions options;
+  options.method = "mcdc-dist";
+  options.k = 3;
+  options.params = {{"num_workers", "3"}};
+  const FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok()) << fit.status.message;
+  EXPECT_EQ(fit.report.labels.size(), ds.num_objects());
+  EXPECT_EQ(fit.report.clusters_found, 3);
+  EXPECT_EQ(fit.report.dist.shards, 3);
+  EXPECT_EQ(fit.report.dist.local_clusters.size(), 3u);
+  EXPECT_GT(fit.report.dist.sketch_cells, 0u);
+  EXPECT_EQ(fit.report.dist.raw_cells,
+            ds.num_objects() * ds.num_features());
+  EXPECT_LE(fit.report.dist.parallel_seconds,
+            fit.report.dist.sequential_seconds);
+
+  const Json doc = Json::parse(fit.report.to_json().dump());
+  ASSERT_TRUE(doc.contains("dist"));
+  EXPECT_EQ(doc.at("dist").at("shards").as_int(), 3);
+  EXPECT_EQ(doc.at("dist").at("local_clusters").size(), 3u);
 }
 
 TEST(Registry, ParametersReachTheMethod) {

@@ -6,13 +6,16 @@
 //       Lists every registered clustering algorithm (baselines, MCDC, the
 //       MCDC1-4 ablations, MCDC+X boosted variants). With a key, prints
 //       that method's parameter schema.
-//   mcdc cluster <data> [--method NAME] [--k K] [--seed S]
+//   mcdc cluster <data> [--method NAME] [--k K] [--seed S] [--shards W]
 //                [--params k1=v1,k2=v2] [--out labels.csv] [--json report.json]
 //       Fits any registered method (default: mcdc). <data> is a built-in
 //       dataset name (see `mcdc datasets`) or a CSV file. Without --k, the
 //       number of clusters is estimated from the multi-granular staircase.
-//       --json writes the full RunReport plus the fitted model; a saved
-//       model can later score unseen rows (see docs/API.md).
+//       --shards W runs the Sec. III-D distributed protocol (method
+//       "mcdc-dist") over W worker shards; the report then carries sketch
+//       traffic and parallel-vs-sequential timings. --json writes the full
+//       RunReport plus the fitted model; a saved model can later score
+//       unseen rows (see docs/API.md).
 //   mcdc predict <model.json> <data> [--out labels.csv]
 //       Loads a fitted model from a --json report and assigns the rows of
 //       <data> to its clusters via the NULL-aware similarity.
@@ -142,6 +145,18 @@ int cmd_cluster(const Cli& cli) {
   options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   options.params = parse_params(cli.get("params", ""));
 
+  // --shards W selects the distributed protocol. An explicit non-dist
+  // --method takes precedence over the shorthand (and must not receive a
+  // num_workers parameter it does not know); an explicit --params
+  // num_workers=... wins over the flag.
+  const long shards = cli.get_int("shards", 0);
+  if (shards > 0) {
+    if (!cli.has("method")) options.method = "mcdc-dist";
+    if (options.method == "mcdc-dist") {
+      options.params.emplace("num_workers", std::to_string(shards));
+    }
+  }
+
   const api::FitResult fit = api::Engine().fit(ds, options);
   const api::RunReport& report = fit.report;
 
@@ -162,6 +177,19 @@ int cmd_cluster(const Cli& cli) {
       std::printf("granularity staircase:");
       for (const int kj : report.kappa) std::printf(" %d", kj);
       std::printf("\n");
+    }
+    if (report.dist.shards > 0) {
+      std::printf("distributed over %d shards:", report.dist.shards);
+      for (const int c : report.dist.local_clusters) std::printf(" %d", c);
+      std::printf(" local clusters\n");
+      std::printf("sketch traffic %zu cells vs %zu raw; parallel %.3fs vs "
+                  "sequential %.3fs (%.1fx)\n",
+                  report.dist.sketch_cells, report.dist.raw_cells,
+                  report.dist.parallel_seconds, report.dist.sequential_seconds,
+                  report.dist.parallel_seconds > 0.0
+                      ? report.dist.sequential_seconds /
+                            report.dist.parallel_seconds
+                      : 0.0);
     }
     std::printf("internal validity: compactness %.3f, silhouette %.3f, "
                 "category utility %.3f\n",
