@@ -1,0 +1,153 @@
+// Batch object-cluster scoring throughput: nested per-cluster ClusterProfile
+// walks vs the flat ProfileSet kernel (live, frozen, and frozen + threaded),
+// at the Fig. 6 synthetic scales (Syn_n: d = 10, cardinality 4).
+//
+//   bench_kernel [--smoke] [--paper] [--n N] [--repeats R]
+//
+// Every path must produce identical argmax labels (the kernel's byte-identity
+// contract); the bench aborts with a non-zero exit if they diverge. --smoke
+// shrinks the sweep for CI and still checks the equivalence.
+//
+// Acceptance target (ISSUE 3): the single-thread frozen flat kernel sustains
+// >= 2x the rows/sec of the nested per-cluster path.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/profile_set.h"
+#include "core/similarity.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace mcdc;
+
+std::vector<int> random_assignment(std::size_t n, int k, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(rng.below(static_cast<std::uint64_t>(k)));
+  }
+  return labels;
+}
+
+// Old path: one nested-histogram profile per cluster, per-cluster walks.
+double time_nested(const data::Dataset& ds,
+                   const std::vector<core::ClusterProfile>& profiles,
+                   int repeats, std::vector<int>& labels) {
+  const std::size_t n = ds.num_objects();
+  const int k = static_cast<int>(profiles.size());
+  Timer timer;
+  for (int rep = 0; rep < repeats; ++rep) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const data::Value* row = ds.row(i);
+      int best = 0;
+      double best_sim = -1.0;
+      for (int l = 0; l < k; ++l) {
+        const double s = profiles[static_cast<std::size_t>(l)].similarity(row);
+        if (s > best_sim) {
+          best_sim = s;
+          best = l;
+        }
+      }
+      labels[i] = best;
+    }
+  }
+  return timer.elapsed_seconds();
+}
+
+double time_flat(const data::Dataset& ds, const core::ProfileSet& set,
+                 int repeats, std::vector<int>& labels) {
+  const std::size_t n = ds.num_objects();
+  Timer timer;
+  std::vector<double> scratch;
+  for (int rep = 0; rep < repeats; ++rep) {
+    for (std::size_t i = 0; i < n; ++i) {
+      labels[i] = set.best_cluster(ds.row(i), scratch);
+    }
+  }
+  return timer.elapsed_seconds();
+}
+
+double time_flat_mt(const data::Dataset& ds, const core::ProfileSet& set,
+                    int repeats, std::vector<int>& labels) {
+  const std::size_t n = ds.num_objects();
+  Timer timer;
+  for (int rep = 0; rep < repeats; ++rep) {
+    parallel_chunks(n, 1024, [&](std::size_t lo, std::size_t hi) {
+      std::vector<double> scratch;
+      for (std::size_t i = lo; i < hi; ++i) {
+        labels[i] = set.best_cluster(ds.row(i), scratch);
+      }
+    });
+  }
+  return timer.elapsed_seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool smoke = cli.has("smoke");
+  const bool paper = cli.has("paper");
+  const std::size_t n = static_cast<std::size_t>(
+      cli.get_int("n", smoke ? 2000 : (paper ? 200000 : 20000)));
+  const int repeats = static_cast<int>(cli.get_int("repeats", smoke ? 1 : 3));
+  const std::vector<int> ks = smoke ? std::vector<int>{4, 16}
+                                    : std::vector<int>{4, 16, 64, 256};
+
+  const data::Dataset ds = data::syn_n(n);
+  std::printf("batch scoring throughput, Syn_n n=%zu d=%zu (repeats=%d)\n", n,
+              ds.num_features(), repeats);
+  std::printf("%-6s %12s %12s %12s %12s %8s %8s\n", "k", "nested(r/s)",
+              "flat(r/s)", "frozen(r/s)", "frozen+mt", "fz/ne", "mt/ne");
+
+  bool all_match = true;
+  bool meets_target = true;
+  for (const int k : ks) {
+    const auto assignment = random_assignment(n, k, 42);
+    const auto profiles = core::build_profiles(ds, assignment, k);
+    core::ProfileSet set = core::ProfileSet::from_assignment(ds, assignment, k);
+
+    std::vector<int> nested_labels(n), flat_labels(n), frozen_labels(n),
+        mt_labels(n);
+    const double t_nested = time_nested(ds, profiles, repeats, nested_labels);
+    const double t_flat = time_flat(ds, set, repeats, flat_labels);
+    set.freeze();
+    const double t_frozen = time_flat(ds, set, repeats, frozen_labels);
+    const double t_mt = time_flat_mt(ds, set, repeats, mt_labels);
+
+    if (flat_labels != nested_labels || frozen_labels != nested_labels ||
+        mt_labels != nested_labels) {
+      all_match = false;
+    }
+    const double rows = static_cast<double>(n) * repeats;
+    const double fz_speedup = t_frozen > 0.0 ? t_nested / t_frozen : 0.0;
+    std::printf("%-6d %12.0f %12.0f %12.0f %12.0f %7.2fx %7.2fx\n", k,
+                rows / t_nested, rows / t_flat, rows / t_frozen, rows / t_mt,
+                fz_speedup, t_mt > 0.0 ? t_nested / t_mt : 0.0);
+    std::fflush(stdout);
+    // The 2x target applies at the Fig. 6(b) cluster counts (the paper
+    // sweeps k = 50..5000; below ~8 clusters there is no k x d loop to
+    // invert and both paths run at row-load speed).
+    if (k >= 16 && fz_speedup < 2.0) meets_target = false;
+  }
+
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FAIL: kernel paths disagree on argmax labels (byte-identity "
+                 "contract broken)\n");
+    return 1;
+  }
+  std::printf("labels identical across all paths: yes\n");
+  std::printf("frozen single-thread >= 2x nested (k >= 16): %s\n",
+              meets_target ? "yes" : "NO");
+  // The 2x acceptance gate is informative under --smoke (tiny inputs, shared
+  // CI runners); it hard-fails only on the full-size run.
+  if (!smoke && !meets_target) return 2;
+  return 0;
+}

@@ -41,6 +41,14 @@ int main() {
     const auto data = regime(phase1 ? 3 : 2,
                              static_cast<std::uint64_t>(chunk) + (phase1 ? 100 : 900));
     learner.observe_chunk(data);
+    if (learner.num_clusters() == 0) {
+      // classify() reports -1 per row when every cluster was pruned (no
+      // structure to assign to) — nothing to score against ground truth.
+      std::printf("%-6d %-13s %-7zu (no live clusters)\n", chunk,
+                  phase1 ? "3 profiles" : "2 profiles",
+                  learner.num_clusters());
+      continue;
+    }
     const auto labels = learner.classify(data);
     std::printf("%-6d %-13s %-7zu %.3f\n", chunk,
                 phase1 ? "3 profiles" : "2 profiles", learner.num_clusters(),

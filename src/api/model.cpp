@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/thread_pool.h"
+
 namespace mcdc::api {
 
 namespace {
@@ -11,28 +13,26 @@ namespace {
 // Batch Lloyd sweeps with the Sec. II-A similarity until the partition is
 // its own predict() image. Returns true on convergence with all k clusters
 // populated; `labels` then holds the fixpoint.
+//
+// Each sweep freezes the histogram bank, so every row is scored against all
+// k clusters with one division-free flat sweep, and rows fan out over the
+// shared pool (disjoint writes -> labels identical to the serial sweep).
 bool refine_to_fixpoint(const data::Dataset& ds, int k,
                         std::vector<int>& labels) {
   constexpr int kMaxSweeps = 100;
   std::vector<int> next(labels.size());
   for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
-    const auto profiles = core::build_profiles(ds, labels, k);
-    for (const core::ClusterProfile& profile : profiles) {
-      if (profile.empty()) return false;
+    core::ProfileSet profiles = core::ProfileSet::from_assignment(ds, labels, k);
+    for (int l = 0; l < k; ++l) {
+      if (profiles.empty(l)) return false;
     }
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      int best = 0;
-      double best_similarity = -1.0;
-      for (int l = 0; l < k; ++l) {
-        const double s =
-            profiles[static_cast<std::size_t>(l)].similarity(ds, i);
-        if (s > best_similarity) {
-          best_similarity = s;
-          best = l;
-        }
+    profiles.freeze();
+    parallel_chunks(labels.size(), 2048, [&](std::size_t lo, std::size_t hi) {
+      std::vector<double> scratch;
+      for (std::size_t i = lo; i < hi; ++i) {
+        next[i] = profiles.best_cluster(ds.row(i), scratch);
       }
-      next[i] = best;
-    }
+    });
     if (next == labels) return true;
     labels.swap(next);
   }
@@ -70,33 +70,21 @@ Model Model::from_fit(std::string method, const data::Dataset& ds,
   model.profiles_ = core::build_profiles(ds, model.training_labels_, k);
   model.kappa_ = std::move(kappa);
   model.theta_ = std::move(theta);
+  model.rebuild_scorer();
   return model;
 }
 
-int Model::best_cluster(const data::Value* row) const {
-  int best = 0;
-  double best_similarity = -1.0;
-  for (int l = 0; l < k_; ++l) {
-    const double s = profiles_[static_cast<std::size_t>(l)].similarity(row);
-    if (s > best_similarity) {
-      best_similarity = s;
-      best = l;
-    }
-  }
-  return best;
+void Model::rebuild_scorer() {
+  scorer_ = core::ProfileSet::from_profiles(profiles_);
+  scorer_.freeze();
 }
 
 int Model::predict_row(const data::Value* row) const {
   if (!fitted()) throw std::logic_error("Model::predict_row: unfitted model");
   // Codes outside the model's domain (unseen categories, kMissing) score
-  // as missing; without this, an out-of-range code would index past the
-  // histogram row.
-  std::vector<data::Value> sanitised(cardinalities_.size());
-  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
-    sanitised[r] =
-        row[r] >= 0 && row[r] < cardinalities_[r] ? row[r] : data::kMissing;
-  }
-  return best_cluster(sanitised.data());
+  // as missing — the scorer clamps them, so no sanitising pass is needed.
+  std::vector<double> scratch;
+  return scorer_.best_cluster(row, scratch);
 }
 
 std::vector<int> Model::predict(const data::Dataset& ds) const {
@@ -136,17 +124,23 @@ std::vector<int> Model::predict(const data::Dataset& ds) const {
     }
   }
 
-  std::vector<data::Value> encoded(ds.num_features());
+  // Scoring is per-row independent against the frozen bank, so rows fan
+  // out over the shared pool; chunks write disjoint label slots, keeping
+  // predict() byte-identical to a serial sweep regardless of thread count.
   std::vector<int> labels(ds.num_objects());
-  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
-    const data::Value* row = ds.row(i);
-    for (std::size_t r = 0; r < ds.num_features(); ++r) {
-      encoded[r] = row[r] == data::kMissing
-                       ? data::kMissing
-                       : remap[r][static_cast<std::size_t>(row[r])];
+  parallel_chunks(ds.num_objects(), 1024, [&](std::size_t lo, std::size_t hi) {
+    std::vector<data::Value> encoded(ds.num_features());
+    std::vector<double> scratch;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const data::Value* row = ds.row(i);
+      for (std::size_t r = 0; r < ds.num_features(); ++r) {
+        encoded[r] = row[r] == data::kMissing
+                         ? data::kMissing
+                         : remap[r][static_cast<std::size_t>(row[r])];
+      }
+      labels[i] = scorer_.best_cluster(encoded.data(), scratch);
     }
-    labels[i] = best_cluster(encoded.data());
-  }
+  });
   return labels;
 }
 
@@ -267,6 +261,7 @@ Model Model::from_json(const Json& json) {
       model.theta_.push_back(theta.at(j).as_double());
     }
   }
+  model.rebuild_scorer();
   return model;
 }
 

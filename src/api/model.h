@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "api/json.h"
+#include "core/profile_set.h"
 #include "core/similarity.h"
 #include "data/dataset.h"
 
@@ -78,9 +79,8 @@ class Model {
   static Model from_json(const Json& json);
 
  private:
-  // Argmax similarity over the cluster profiles; row codes must already
-  // be sanitised into the model's encoding.
-  int best_cluster(const data::Value* row) const;
+  // Rebuilds the flat frozen scorer_ from profiles_ (after fit / JSON load).
+  void rebuild_scorer();
 
   std::string method_;
   int k_ = 0;
@@ -89,7 +89,11 @@ class Model {
   // training dataset so predict() can re-encode foreign datasets.
   std::vector<std::vector<std::string>> values_;
   std::vector<int> training_labels_;
-  std::vector<core::ClusterProfile> profiles_;  // one per cluster
+  std::vector<core::ClusterProfile> profiles_;  // one per cluster (serialised)
+  // The same histograms as one flat frozen bank — the scoring hot path
+  // (see profile_set.h); predict batch-scores all k clusters per row and
+  // fans rows out over the shared thread pool.
+  core::ProfileSet scorer_;
   std::vector<int> kappa_;
   std::vector<double> theta_;
 };

@@ -1,8 +1,48 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 
 namespace mcdc {
+
+namespace {
+
+// Joins every future, then rethrows the first failure. Draining before the
+// rethrow matters: packaged_task futures do not block on destruction, so
+// bailing at the first error would unwind the caller (and the `body` the
+// remaining tasks still reference) while chunks are in flight.
+void join_all(std::vector<std::future<void>>& futures) {
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+// Runs `enqueue` (the submission loop); if submission itself throws
+// (pool stopped, bad_alloc), drains what was already submitted before
+// rethrowing, for the same dangling-`body` reason as join_all.
+template <typename F>
+void submit_then_join(std::vector<std::future<void>>& futures, F&& enqueue) {
+  try {
+    enqueue();
+  } catch (...) {
+    for (auto& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+      }
+    }
+    throw;
+  }
+  join_all(futures);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -23,7 +63,14 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+namespace {
+thread_local bool t_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::in_worker() { return t_pool_worker; }
+
 void ThreadPool::worker_loop() {
+  t_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -46,20 +93,45 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    futures.push_back(submit([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    }));
-  }
-  for (auto& f : futures) f.get();
+  submit_then_join(futures, [&] {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      if (lo >= hi) break;
+      futures.push_back(submit([lo, hi, &body] {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      }));
+    }
+  });
 }
 
 ThreadPool& global_pool() {
   static ThreadPool pool;
   return pool;
+}
+
+void parallel_chunks(std::size_t n, std::size_t grain,
+                     const std::function<void(std::size_t, std::size_t)>&
+                         body) {
+  if (n == 0) return;
+  ThreadPool& pool = global_pool();
+  if (n <= grain || pool.size() <= 1 || ThreadPool::in_worker()) {
+    body(0, n);
+    return;
+  }
+  const std::size_t by_grain = (n + grain - 1) / grain;
+  const std::size_t chunks = std::min(by_grain, pool.size() * 4);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  submit_then_join(futures, [&] {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = c * chunk;
+      const std::size_t hi = std::min(n, lo + chunk);
+      if (lo >= hi) break;
+      futures.push_back(pool.submit([lo, hi, &body] { body(lo, hi); }));
+    }
+  });
 }
 
 }  // namespace mcdc

@@ -48,6 +48,12 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
+  // True when the calling thread is a worker of *any* ThreadPool — used by
+  // parallel helpers to fall back to serial execution instead of risking
+  // deadlock on nested fan-out (a blocked worker waiting on sub-tasks that
+  // no free worker is left to run).
+  static bool in_worker();
+
  private:
   void worker_loop();
 
@@ -60,5 +66,16 @@ class ThreadPool {
 
 // Shared process-wide pool sized to the hardware.
 ThreadPool& global_pool();
+
+// Runs body(lo, hi) over contiguous chunks of [0, n) on the global pool.
+// Falls back to one inline body(0, n) call when the range is below `grain`,
+// the pool has a single thread, or the caller is itself a pool worker
+// (nested fan-out on a fixed pool can deadlock). The chunks partition the
+// index range, so a body that only writes to per-index slots produces
+// results byte-identical to the serial sweep — the determinism contract the
+// batched scoring paths (Model::predict, refine_to_fixpoint, CAME assign,
+// streaming classify) rely on.
+void parallel_chunks(std::size_t n, std::size_t grain,
+                     const std::function<void(std::size_t, std::size_t)>& body);
 
 }  // namespace mcdc

@@ -5,7 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
-#include "core/similarity.h"
+#include "common/thread_pool.h"
+#include "core/profile_set.h"
 
 namespace mcdc::core {
 
@@ -44,28 +45,31 @@ QuerySelection select_queries(const data::Dataset& ds,
   const auto& fine = mgcpl.partitions.front();
   const int k_fine = mgcpl.kappa.front();
 
-  // Margin at the finest granularity.
-  std::vector<ClusterProfile> profiles(static_cast<std::size_t>(k_fine),
-                                       ClusterProfile(ds.cardinalities()));
-  for (std::size_t i = 0; i < n; ++i) {
-    profiles[static_cast<std::size_t>(fine[i])].add(ds, i);
-  }
+  // Margin at the finest granularity: every row batch-scored against all
+  // fine clusters in one flat frozen sweep, rows fanned out over the pool
+  // (disjoint writes, so margins match the serial scan exactly).
   std::vector<double> margin(n, 1.0);
   if (k_fine >= 2) {
-    for (std::size_t i = 0; i < n; ++i) {
-      double best = -1.0;
-      double second = -1.0;
-      for (int l = 0; l < k_fine; ++l) {
-        const double s = profiles[static_cast<std::size_t>(l)].similarity(ds, i);
-        if (s > best) {
-          second = best;
-          best = s;
-        } else if (s > second) {
-          second = s;
+    ProfileSet profiles = ProfileSet::from_assignment(ds, fine, k_fine);
+    profiles.freeze();
+    parallel_chunks(n, 1024, [&](std::size_t lo, std::size_t hi) {
+      std::vector<double> scores(static_cast<std::size_t>(k_fine));
+      for (std::size_t i = lo; i < hi; ++i) {
+        profiles.score_all(ds.row(i), scores.data());
+        double best = -1.0;
+        double second = -1.0;
+        for (int l = 0; l < k_fine; ++l) {
+          const double s = scores[static_cast<std::size_t>(l)];
+          if (s > best) {
+            second = best;
+            best = s;
+          } else if (s > second) {
+            second = s;
+          }
         }
+        margin[i] = std::max(0.0, best - second);
       }
-      margin[i] = std::max(0.0, best - second);
-    }
+    });
   }
 
   // Instability: fraction of stage transitions where the object leaves its

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/profile_set.h"
 #include "data/seeding.h"
 
 namespace mcdc::core {
@@ -60,43 +62,34 @@ CameResult Came::run(const data::Dataset& embedding, int k,
   CameResult result;
   result.labels.assign(n, -1);
 
+  // Rows are independent given frozen modes/theta, so the sweep fans out
+  // over the shared pool; each chunk writes disjoint label slots, keeping
+  // the result byte-identical to the serial sweep.
   auto assign = [&](std::vector<int>& labels) {
-    for (std::size_t i = 0; i < n; ++i) {
-      int best = 0;
-      double best_dist = std::numeric_limits<double>::infinity();
-      for (int l = 0; l < k; ++l) {
-        const double dist =
-            weighted_distance(embedding, i, modes[static_cast<std::size_t>(l)], theta);
-        if (dist < best_dist) {
-          best_dist = dist;
-          best = l;
+    parallel_chunks(n, 2048, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        int best = 0;
+        double best_dist = std::numeric_limits<double>::infinity();
+        for (int l = 0; l < k; ++l) {
+          const double dist = weighted_distance(
+              embedding, i, modes[static_cast<std::size_t>(l)], theta);
+          if (dist < best_dist) {
+            best_dist = dist;
+            best = l;
+          }
         }
+        labels[i] = best;
       }
-      labels[i] = best;
-    }
+    });
   };
 
   auto update_modes = [&](const std::vector<int>& labels) {
-    // Per-cluster value histograms -> per-feature argmax.
-    std::vector<std::vector<std::vector<int>>> hist(
-        static_cast<std::size_t>(k));
-    for (int l = 0; l < k; ++l) {
-      hist[static_cast<std::size_t>(l)].resize(sigma);
-      for (std::size_t r = 0; r < sigma; ++r) {
-        hist[static_cast<std::size_t>(l)][r].assign(
-            static_cast<std::size_t>(embedding.cardinality(r)), 0);
-      }
-    }
+    // Per-cluster value histograms -> per-feature argmax, accumulated into
+    // one flat bank instead of a k x sigma jungle of nested vectors.
+    const ProfileSet hist = ProfileSet::from_assignment(embedding, labels, k);
     std::vector<int> sizes(static_cast<std::size_t>(k), 0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto l = static_cast<std::size_t>(labels[i]);
-      ++sizes[l];
-      const Value* row = embedding.row(i);
-      for (std::size_t r = 0; r < sigma; ++r) {
-        if (row[r] != data::kMissing) {
-          ++hist[l][r][static_cast<std::size_t>(row[r])];
-        }
-      }
+    for (int l = 0; l < k; ++l) {
+      sizes[static_cast<std::size_t>(l)] = static_cast<int>(hist.size(l));
     }
     // Empty clusters are re-seeded with the object farthest from its mode,
     // keeping k alive (k-modes standard remedy).
@@ -118,13 +111,13 @@ CameResult Came::run(const data::Dataset& embedding, int k,
     for (int l = 0; l < k; ++l) {
       if (sizes[static_cast<std::size_t>(l)] == 0) continue;
       for (std::size_t r = 0; r < sigma; ++r) {
-        const auto& counts = hist[static_cast<std::size_t>(l)][r];
-        int best_count = -1;
+        double best_count = -1.0;
         Value best_value = 0;
-        for (std::size_t v = 0; v < counts.size(); ++v) {
-          if (counts[v] > best_count) {
-            best_count = counts[v];
-            best_value = static_cast<Value>(v);
+        for (Value v = 0; v < embedding.cardinality(r); ++v) {
+          const double c = hist.count(l, r, v);
+          if (c > best_count) {
+            best_count = c;
+            best_value = v;
           }
         }
         modes[static_cast<std::size_t>(l)][r] = best_value;

@@ -21,7 +21,7 @@ CompetitiveStage::CompetitiveStage(const data::Dataset& ds,
     throw std::invalid_argument("CompetitiveStage: empty dataset");
   }
   const std::size_t k = seeds.size();
-  profiles_.assign(k, ClusterProfile(ds.cardinalities()));
+  set_ = ProfileSet(ds.cardinalities(), static_cast<int>(k));
   assignment_.assign(ds.num_objects(), -1);
   for (std::size_t l = 0; l < k; ++l) {
     const std::size_t i = seeds[l];
@@ -31,7 +31,7 @@ CompetitiveStage::CompetitiveStage(const data::Dataset& ds,
     if (assignment_[i] != -1) {
       throw std::invalid_argument("CompetitiveStage: duplicate seed row");
     }
-    profiles_[l].add(ds, i);
+    set_.add(static_cast<int>(l), ds.row(i));
     assignment_[i] = static_cast<int>(l);
   }
   omega_.assign(k, std::vector<double>(ds.num_features(),
@@ -42,21 +42,13 @@ CompetitiveStage::CompetitiveStage(const data::Dataset& ds,
   u_.assign(k, config.update == WeightUpdate::sigmoid_rival
                    ? cluster_weight_sigmoid(config.initial_delta)
                    : 1.0);
-}
-
-double CompetitiveStage::score(std::size_t i, std::size_t l,
-                               double g_total) const {
-  // Eq. (7); under cumulative_rho g_prev_ mirrors the stage-cumulative
-  // counts, otherwise it holds the previous sweep's frozen counts.
-  const double rho = g_total > 0.0 ? g_prev_[l] / g_total : 0.0;
-  return (1.0 - rho) * u_[l] *
-         profiles_[l].weighted_similarity(ds_, i, omega_[l]);
+  rebuild_weight_bank();
 }
 
 int CompetitiveStage::run() {
   const std::size_t n = ds_.num_objects();
   int passes = 0;
-  const std::size_t k_start = profiles_.size();
+  const auto k_start = static_cast<std::size_t>(set_.num_clusters());
   // Elimination quota that ends the stage (0 = no quota).
   std::size_t quota = 0;
   if (config_.stage_drop_fraction > 0.0) {
@@ -70,14 +62,16 @@ int CompetitiveStage::run() {
     bool changed = false;
 
     for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t k = profiles_.size();
+      const auto k = static_cast<std::size_t>(set_.num_clusters());
+      const data::Value* row = ds_.row(i);
       if (k == 1) {
         // A lone cluster trivially wins every object.
         if (assignment_[i] != 0) {
           if (assignment_[i] >= 0) {
-            profiles_[static_cast<std::size_t>(assignment_[i])].remove(ds_, i);
+            set_.move(assignment_[i], 0, row);
+          } else {
+            set_.add(0, row);
           }
-          profiles_[0].add(ds_, i);
           assignment_[i] = 0;
           changed = true;
         }
@@ -89,14 +83,22 @@ int CompetitiveStage::run() {
       double g_total = 0.0;
       for (double g : g_prev_) g_total += g;
 
-      // Winner (Eq. 6) and rival (Eq. 9) in one scan; ties resolve to the
-      // lowest cluster id, making runs reproducible.
+      // One batched sweep scores x_i against every cluster (Eq. 14 with the
+      // per-cluster weight columns); winner (Eq. 6) and rival (Eq. 9) then
+      // fall out of one scan. Ties resolve to the lowest cluster id, making
+      // runs reproducible.
+      scores_.resize(k);
+      set_.weighted_score_all(row, wt_.data(), scores_.data());
       std::size_t v = 0;
       std::size_t h = 1;
       double best = -1.0;
       double second = -1.0;
       for (std::size_t l = 0; l < k; ++l) {
-        const double s = score(i, l, g_total);
+        // Eq. (7); under cumulative_rho g_prev_ mirrors the
+        // stage-cumulative counts, otherwise it holds the previous sweep's
+        // frozen counts.
+        const double rho = g_total > 0.0 ? g_prev_[l] / g_total : 0.0;
+        const double s = (1.0 - rho) * u_[l] * scores_[l];
         if (s > best) {
           second = best;
           h = v;
@@ -111,8 +113,11 @@ int CompetitiveStage::run() {
       // Assign x_i to the winner (Eq. 4 row update).
       const int old = assignment_[i];
       if (old != static_cast<int>(v)) {
-        if (old >= 0) profiles_[static_cast<std::size_t>(old)].remove(ds_, i);
-        profiles_[v].add(ds_, i);
+        if (old >= 0) {
+          set_.move(old, static_cast<int>(v), row);
+        } else {
+          set_.add(static_cast<int>(v), row);
+        }
         assignment_[i] = static_cast<int>(v);
         changed = true;
       }
@@ -121,11 +126,13 @@ int CompetitiveStage::run() {
 
       if (config_.update == WeightUpdate::sigmoid_rival) {
         delta_[v] += config_.eta;  // Eq. (12)
-        // Eq. (13): rival pushed away proportionally to closeness.
+        // Eq. (13): rival pushed away proportionally to closeness. The
+        // similarity is re-evaluated after the move because the winner's
+        // (and a moved-from rival's) histogram just changed.
         const double penalty_sim =
             config_.penalty_uses_winner_similarity
-                ? profiles_[v].weighted_similarity(ds_, i, omega_[v])
-                : profiles_[h].weighted_similarity(ds_, i, omega_[h]);
+                ? set_.weighted_score_one(static_cast<int>(v), row, omega_[v])
+                : set_.weighted_score_one(static_cast<int>(h), row, omega_[h]);
         delta_[h] -= config_.eta * penalty_sim;
         u_[v] = cluster_weight_sigmoid(delta_[v]);
         u_[h] = cluster_weight_sigmoid(delta_[h]);
@@ -141,13 +148,16 @@ int CompetitiveStage::run() {
       std::fill(g_cur_.begin(), g_cur_.end(), 0.0);
     }
     if (!changed) break;  // Q_new == Q_old (Alg. 1 lines 8-10)
-    if (quota > 0 && k_start - profiles_.size() >= quota) break;
+    if (quota > 0 &&
+        k_start - static_cast<std::size_t>(set_.num_clusters()) >= quota) {
+      break;
+    }
   }
   return passes;
 }
 
 void CompetitiveStage::reset_learning_state() {
-  const std::size_t k = profiles_.size();
+  const auto k = static_cast<std::size_t>(set_.num_clusters());
   g_prev_.assign(k, 0.0);
   g_cur_.assign(k, 0.0);
   delta_.assign(k, config_.initial_delta);
@@ -156,32 +166,55 @@ void CompetitiveStage::reset_learning_state() {
                    : 1.0);
 }
 
+std::vector<ClusterProfile> CompetitiveStage::profiles() const {
+  std::vector<ClusterProfile> out;
+  out.reserve(static_cast<std::size_t>(set_.num_clusters()));
+  for (int l = 0; l < set_.num_clusters(); ++l) out.push_back(set_.profile(l));
+  return out;
+}
+
 void CompetitiveStage::refresh_feature_weights() {
-  for (std::size_t l = 0; l < profiles_.size(); ++l) {
-    omega_[l] = feature_weights(global_, profiles_[l]);
+  for (int l = 0; l < set_.num_clusters(); ++l) {
+    omega_[static_cast<std::size_t>(l)] = feature_weights(global_, set_, l);
+  }
+  rebuild_weight_bank();
+}
+
+void CompetitiveStage::rebuild_weight_bank() {
+  const auto k = static_cast<std::size_t>(set_.num_clusters());
+  const std::size_t d = ds_.num_features();
+  wt_.resize(d * k);
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t l = 0; l < k; ++l) {
+      wt_[r * k + l] = omega_[l][r];
+    }
   }
 }
 
 void CompetitiveStage::prune_empty_clusters() {
-  const std::size_t k = profiles_.size();
-  std::vector<int> remap(k, -1);
-  std::size_t live = 0;
+  const auto k = static_cast<std::size_t>(set_.num_clusters());
+  std::vector<char> dead(k, 0);
+  bool any = false;
   for (std::size_t l = 0; l < k; ++l) {
-    if (!profiles_[l].empty()) {
-      remap[l] = static_cast<int>(live);
-      if (live != l) {
-        profiles_[live] = std::move(profiles_[l]);
-        omega_[live] = std::move(omega_[l]);
-        g_prev_[live] = g_prev_[l];
-        g_cur_[live] = g_cur_[l];
-        delta_[live] = delta_[l];
-        u_[live] = u_[l];
-      }
-      ++live;
+    if (set_.empty(static_cast<int>(l))) {
+      dead[l] = 1;
+      any = true;
     }
   }
-  if (live == k) return;
-  profiles_.resize(live);
+  if (!any) return;
+  const std::vector<int> remap = set_.remove_clusters(dead);
+  const auto live = static_cast<std::size_t>(set_.num_clusters());
+  for (std::size_t l = 0; l < k; ++l) {
+    if (remap[l] < 0) continue;
+    const auto nl = static_cast<std::size_t>(remap[l]);
+    if (nl != l) {
+      omega_[nl] = std::move(omega_[l]);
+      g_prev_[nl] = g_prev_[l];
+      g_cur_[nl] = g_cur_[l];
+      delta_[nl] = delta_[l];
+      u_[nl] = u_[l];
+    }
+  }
   omega_.resize(live);
   g_prev_.resize(live);
   g_cur_.resize(live);
@@ -190,6 +223,7 @@ void CompetitiveStage::prune_empty_clusters() {
   for (auto& a : assignment_) {
     if (a >= 0) a = remap[static_cast<std::size_t>(a)];
   }
+  rebuild_weight_bank();
 }
 
 }  // namespace mcdc::core

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/feature_weights.h"
+#include "core/profile_set.h"
 #include "core/similarity.h"
 #include "data/dataset.h"
 
@@ -91,27 +92,32 @@ class CompetitiveStage {
   // memberships and (learned) feature weights of surviving clusters.
   void reset_learning_state();
 
-  int num_clusters() const { return static_cast<int>(profiles_.size()); }
+  int num_clusters() const { return set_.num_clusters(); }
   // Dense labels in [0, num_clusters()); every object is assigned after the
   // first run().
   const std::vector<int>& assignment() const { return assignment_; }
-  const std::vector<ClusterProfile>& profiles() const { return profiles_; }
+  // Flat histogram bank of the live clusters (the scoring hot path).
+  const ProfileSet& profile_set() const { return set_; }
+  // Materialised per-cluster view (introspection / tests; O(k * sum m_r)).
+  std::vector<ClusterProfile> profiles() const;
   const std::vector<std::vector<double>>& omega() const { return omega_; }
   const std::vector<double>& cluster_weights() const { return u_; }
 
  private:
-  // (1 - rho_l) * u_l * s_w(x_i, C_l) for live cluster l.
-  double score(std::size_t i, std::size_t l, double g_total) const;
   void refresh_feature_weights();
   // Drops empty clusters, remapping assignment/ids densely.
   void prune_empty_clusters();
+  // Mirrors omega_ into the feature-major wt_ buffer score sweeps consume.
+  void rebuild_weight_bank();
 
   const data::Dataset& ds_;
   StageConfig config_;
   GlobalCounts global_;
 
-  std::vector<ClusterProfile> profiles_;
+  ProfileSet set_;  // all k clusters' histograms, one flat bank
   std::vector<std::vector<double>> omega_;  // [cluster][feature]
+  std::vector<double> wt_;                  // omega_ transposed: [r * k + l]
+  std::vector<double> scores_;              // per-object batched scores
   std::vector<int> assignment_;             // -1 while unassigned
   // Winning counts (Eq. 10): g_prev_ holds the previous sweep's counts —
   // Eq. (7)'s "winning times in the last learning iteration" — and stays

@@ -11,47 +11,60 @@ GlobalCounts::GlobalCounts(const data::Dataset& ds)
   }
 }
 
+// The ClusterProfile overloads delegate to the ProfileSet implementations
+// below (the representation production code scores against), so the Eq.
+// (15)-(18) math exists exactly once. Counts are integral in both
+// representations, hence the results are bit-identical.
 double inter_cluster_difference(const GlobalCounts& global,
                                 const ClusterProfile& cluster, std::size_t r) {
-  const int in_denom = cluster.non_null_count(r);
-  const int out_denom = global.non_null[r] - in_denom;
+  return inter_cluster_difference(global, ProfileSet::from_profiles({cluster}),
+                                  0, r);
+}
+
+double intra_cluster_similarity(const ClusterProfile& cluster, std::size_t r) {
+  return intra_cluster_similarity(ProfileSet::from_profiles({cluster}), 0, r);
+}
+
+double inter_cluster_difference(const GlobalCounts& global,
+                                const ProfileSet& set, int l, std::size_t r) {
+  const double in_denom = set.non_null(l, r);
+  const double out_denom = static_cast<double>(global.non_null[r]) - in_denom;
   double sum_sq = 0.0;
   for (std::size_t v = 0; v < global.counts[r].size(); ++v) {
-    const int in_count = cluster.value_count(r, static_cast<data::Value>(v));
-    const int out_count = global.counts[r][v] - in_count;
-    const double p_in =
-        in_denom > 0 ? static_cast<double>(in_count) / in_denom : 0.0;
-    const double p_out =
-        out_denom > 0 ? static_cast<double>(out_count) / out_denom : 0.0;
+    const double in_count = set.count(l, r, static_cast<data::Value>(v));
+    const double out_count =
+        static_cast<double>(global.counts[r][v]) - in_count;
+    const double p_in = in_denom > 0 ? in_count / in_denom : 0.0;
+    const double p_out = out_denom > 0 ? out_count / out_denom : 0.0;
     const double diff = p_in - p_out;
     sum_sq += diff * diff;
   }
   return std::sqrt(sum_sq) / std::sqrt(2.0);
 }
 
-double intra_cluster_similarity(const ClusterProfile& cluster, std::size_t r) {
+double intra_cluster_similarity(const ProfileSet& set, int l, std::size_t r) {
   // (1/n_l) * sum_{x in C_l} Psi_{Fr=x_r}/Psi_{Fr!=NULL}
   //   = sum_v count_v^2 / (n_l * Psi_{Fr!=NULL})  — members with a missing
   // value on F_r contribute zero, exactly as in the similarity measure.
-  const int n_l = cluster.size();
-  const int denom = cluster.non_null_count(r);
-  if (n_l == 0 || denom == 0) return 0.0;
+  const double n_l = set.size(l);
+  const double denom = set.non_null(l, r);
+  if (n_l <= 0.0 || denom <= 0.0) return 0.0;
   double sum = 0.0;
-  for (std::size_t v = 0; v < cluster.counts()[r].size(); ++v) {
-    const double c = cluster.counts()[r][v];
+  for (data::Value v = 0; v < set.cardinalities()[r]; ++v) {
+    const double c = set.count(l, r, v);
     sum += c * c;
   }
-  return sum / (static_cast<double>(n_l) * static_cast<double>(denom));
+  return sum / (n_l * denom);
 }
 
 std::vector<double> feature_weights(const GlobalCounts& global,
-                                    const ClusterProfile& cluster) {
+                                    const ProfileSet& set, int l) {
   const std::size_t d = global.counts.size();
   std::vector<double> h(d);
   double total = 0.0;
   for (std::size_t r = 0; r < d; ++r) {
-    h[r] = inter_cluster_difference(global, cluster, r) *
-           intra_cluster_similarity(cluster, r);
+    h[r] = inter_cluster_difference(global, set, l, r) *
+           intra_cluster_similarity(set, l, r);
     total += h[r];
   }
   if (total <= 0.0) {
@@ -59,6 +72,11 @@ std::vector<double> feature_weights(const GlobalCounts& global,
   }
   for (double& w : h) w /= total;
   return h;
+}
+
+std::vector<double> feature_weights(const GlobalCounts& global,
+                                    const ClusterProfile& cluster) {
+  return feature_weights(global, ProfileSet::from_profiles({cluster}), 0);
 }
 
 }  // namespace mcdc::core

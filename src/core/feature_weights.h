@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/profile_set.h"
 #include "core/similarity.h"
 #include "data/dataset.h"
 
@@ -39,5 +40,15 @@ double intra_cluster_similarity(const ClusterProfile& cluster, std::size_t r);
 // fully identical rows equal to the global distribution).
 std::vector<double> feature_weights(const GlobalCounts& global,
                                     const ClusterProfile& cluster);
+
+// The same Eqs. (15)-(18) against cluster l of a flat ProfileSet bank (the
+// hot-loop representation — see profile_set.h). Counts there are doubles
+// holding integral values, so the weights are bit-identical to the
+// ClusterProfile overloads.
+double inter_cluster_difference(const GlobalCounts& global,
+                                const ProfileSet& set, int l, std::size_t r);
+double intra_cluster_similarity(const ProfileSet& set, int l, std::size_t r);
+std::vector<double> feature_weights(const GlobalCounts& global,
+                                    const ProfileSet& set, int l);
 
 }  // namespace mcdc::core

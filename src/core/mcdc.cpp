@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "core/profile_set.h"
 
 namespace mcdc::core {
 
@@ -150,25 +151,28 @@ baselines::ClusterResult mcdc_v1(const data::Dataset& ds, int k,
 
   Rng rng(seed);
   std::vector<int> assignment(n, -1);
-  std::vector<ClusterProfile> profiles(
-      static_cast<std::size_t>(k), ClusterProfile(ds.cardinalities()));
+  ProfileSet profiles(ds.cardinalities(), k);
   const auto seeds =
       rng.sample_without_replacement(n, static_cast<std::size_t>(k));
   for (std::size_t l = 0; l < seeds.size(); ++l) {
-    profiles[l].add(ds, seeds[l]);
+    profiles.add(static_cast<int>(l), ds.row(seeds[l]));
     assignment[seeds[l]] = static_cast<int>(l);
   }
 
   // Alternating maximisation of the overall intra-cluster similarity with
-  // the Sec. II-A object-cluster measure: each object moves to its most
-  // similar cluster; histograms update online.
+  // the Sec. II-A object-cluster measure: each object is batch-scored
+  // against all k clusters in one flat sweep and moves to its most similar
+  // one; histograms update online (so the sweep stays sequential).
+  std::vector<double> scores(static_cast<std::size_t>(k));
   for (int pass = 0; pass < max_passes; ++pass) {
     bool changed = false;
     for (std::size_t i = 0; i < n; ++i) {
+      const data::Value* row = ds.row(i);
+      profiles.score_all(row, scores.data());
       int best = 0;
       double best_sim = -1.0;
       for (int l = 0; l < k; ++l) {
-        const double s = profiles[static_cast<std::size_t>(l)].similarity(ds, i);
+        const double s = scores[static_cast<std::size_t>(l)];
         if (s > best_sim) {
           best_sim = s;
           best = l;
@@ -176,9 +180,10 @@ baselines::ClusterResult mcdc_v1(const data::Dataset& ds, int k,
       }
       if (assignment[i] != best) {
         if (assignment[i] >= 0) {
-          profiles[static_cast<std::size_t>(assignment[i])].remove(ds, i);
+          profiles.move(assignment[i], best, row);
+        } else {
+          profiles.add(best, row);
         }
-        profiles[static_cast<std::size_t>(best)].add(ds, i);
         assignment[i] = best;
         changed = true;
       }

@@ -1,0 +1,337 @@
+#include "core/profile_set.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcdc::core {
+
+ProfileSet::ProfileSet(const std::vector<int>& cardinalities, int k)
+    : k_(k), stride_(static_cast<std::size_t>(k)), cardinalities_(cardinalities) {
+  if (k < 0) throw std::invalid_argument("ProfileSet: negative k");
+  offsets_.resize(cardinalities_.size() + 1);
+  offsets_[0] = 0;
+  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
+    if (cardinalities_[r] < 0) {
+      throw std::invalid_argument("ProfileSet: negative cardinality");
+    }
+    offsets_[r + 1] = offsets_[r] + static_cast<std::size_t>(cardinalities_[r]);
+  }
+  total_cells_ = offsets_.back();
+  counts_.assign(total_cells_ * stride_, 0.0);
+  non_null_.assign(cardinalities_.size() * stride_, 0.0);
+  size_.assign(stride_, 0.0);
+}
+
+ProfileSet ProfileSet::from_assignment(const data::Dataset& ds,
+                                       const std::vector<int>& assignment,
+                                       int k) {
+  if (assignment.size() != ds.num_objects()) {
+    throw std::invalid_argument(
+        "ProfileSet::from_assignment: assignment size mismatch");
+  }
+  ProfileSet set(ds.cardinalities(), k);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const int l = assignment[i];
+    if (l < 0) continue;
+    if (l >= k) {
+      throw std::invalid_argument(
+          "ProfileSet::from_assignment: label out of range");
+    }
+    set.add(l, ds.row(i));
+  }
+  return set;
+}
+
+ProfileSet ProfileSet::from_profiles(
+    const std::vector<ClusterProfile>& profiles) {
+  if (profiles.empty()) return {};
+  std::vector<int> cardinalities;
+  cardinalities.reserve(profiles.front().counts().size());
+  for (const auto& feature_counts : profiles.front().counts()) {
+    cardinalities.push_back(static_cast<int>(feature_counts.size()));
+  }
+  ProfileSet set(cardinalities, static_cast<int>(profiles.size()));
+  for (std::size_t l = 0; l < profiles.size(); ++l) {
+    const auto& counts = profiles[l].counts();
+    if (counts.size() != cardinalities.size()) {
+      throw std::invalid_argument("ProfileSet::from_profiles: schema mismatch");
+    }
+    for (std::size_t r = 0; r < counts.size(); ++r) {
+      if (counts[r].size() != static_cast<std::size_t>(cardinalities[r])) {
+        throw std::invalid_argument(
+            "ProfileSet::from_profiles: schema mismatch");
+      }
+      for (std::size_t v = 0; v < counts[r].size(); ++v) {
+        set.counts_[(set.offsets_[r] + v) * set.stride_ + l] =
+            static_cast<double>(counts[r][v]);
+      }
+      set.non_null_[r * set.stride_ + l] =
+          static_cast<double>(profiles[l].non_null_count(r));
+    }
+    set.size_[l] = static_cast<double>(profiles[l].size());
+  }
+  return set;
+}
+
+double ProfileSet::value_similarity(int l, std::size_t r, data::Value v) const {
+  if (!in_domain(r, v)) return 0.0;
+  const double denom = non_null(l, r);
+  if (denom <= 0.0) return 0.0;
+  return count(l, r, v) / denom;
+}
+
+void ProfileSet::add(int l, const data::Value* row) {
+  thaw();
+  const auto lu = static_cast<std::size_t>(l);
+  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
+    const data::Value v = row[r];
+    if (!in_domain(r, v)) continue;
+    counts_[cell(r, v) * stride_ + lu] += 1.0;
+    non_null_[r * stride_ + lu] += 1.0;
+  }
+  size_[lu] += 1.0;
+}
+
+void ProfileSet::remove(int l, const data::Value* row) {
+  thaw();
+  const auto lu = static_cast<std::size_t>(l);
+  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
+    const data::Value v = row[r];
+    if (!in_domain(r, v)) continue;
+    counts_[cell(r, v) * stride_ + lu] -= 1.0;
+    non_null_[r * stride_ + lu] -= 1.0;
+  }
+  size_[lu] -= 1.0;
+}
+
+void ProfileSet::move(int from, int to, const data::Value* row) {
+  if (from == to) return;
+  thaw();
+  const auto fu = static_cast<std::size_t>(from);
+  const auto tu = static_cast<std::size_t>(to);
+  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
+    const data::Value v = row[r];
+    if (!in_domain(r, v)) continue;
+    const std::size_t base = cell(r, v) * stride_;
+    counts_[base + fu] -= 1.0;
+    counts_[base + tu] += 1.0;
+    non_null_[r * stride_ + fu] -= 1.0;
+    non_null_[r * stride_ + tu] += 1.0;
+  }
+  size_[fu] -= 1.0;
+  size_[tu] += 1.0;
+}
+
+void ProfileSet::scale(double factor) {
+  thaw();
+  // Spare slots are zero; scaling keeps them zero, so whole-buffer sweeps
+  // are safe and vectorise.
+  for (double& c : counts_) c *= factor;
+  for (double& n : non_null_) n *= factor;
+  for (double& s : size_) s *= factor;
+}
+
+int ProfileSet::append_cluster() {
+  thaw();
+  if (static_cast<std::size_t>(k_) < stride_) {
+    // Spare slot available — already all-zero by invariant.
+    return k_++;
+  }
+  // Grow the stride geometrically and re-lay the bank once.
+  const std::size_t old_stride = stride_;
+  const std::size_t new_stride = std::max<std::size_t>(1, old_stride * 2);
+  const auto relay = [&](std::vector<double>& bank, std::size_t slots) {
+    std::vector<double> out(slots * new_stride, 0.0);
+    for (std::size_t s = 0; s < slots; ++s) {
+      std::copy_n(bank.data() + s * old_stride, old_stride,
+                  out.data() + s * new_stride);
+    }
+    bank = std::move(out);
+  };
+  relay(counts_, total_cells_);
+  relay(non_null_, cardinalities_.size());
+  size_.resize(new_stride, 0.0);
+  stride_ = new_stride;
+  return k_++;
+}
+
+void ProfileSet::clear_cluster(int l) {
+  thaw();
+  const auto lu = static_cast<std::size_t>(l);
+  for (std::size_t cell = 0; cell < total_cells_; ++cell) {
+    counts_[cell * stride_ + lu] = 0.0;
+  }
+  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
+    non_null_[r * stride_ + lu] = 0.0;
+  }
+  size_[lu] = 0.0;
+}
+
+std::vector<int> ProfileSet::remove_clusters(const std::vector<char>& dead) {
+  if (dead.size() != static_cast<std::size_t>(k_)) {
+    throw std::invalid_argument("ProfileSet::remove_clusters: mask size");
+  }
+  thaw();
+  const auto old_k = static_cast<std::size_t>(k_);
+  std::vector<int> remap(old_k, -1);
+  std::size_t live = 0;
+  for (std::size_t l = 0; l < old_k; ++l) {
+    if (!dead[l]) remap[l] = static_cast<int>(live++);
+  }
+  if (live == old_k) return remap;
+  // In-place left compaction within the existing stride: remap[l] <= l, so
+  // ascending writes never clobber a yet-unread slot. Freed slots go back
+  // to zero (the spare-slot invariant append_cluster relies on).
+  const auto compact = [&](std::vector<double>& bank, std::size_t slots) {
+    for (std::size_t s = 0; s < slots; ++s) {
+      double* p = bank.data() + s * stride_;
+      for (std::size_t l = 0; l < old_k; ++l) {
+        if (remap[l] >= 0) p[static_cast<std::size_t>(remap[l])] = p[l];
+      }
+      std::fill(p + live, p + old_k, 0.0);
+    }
+  };
+  compact(counts_, total_cells_);
+  compact(non_null_, cardinalities_.size());
+  for (std::size_t l = 0; l < old_k; ++l) {
+    if (remap[l] >= 0) size_[static_cast<std::size_t>(remap[l])] = size_[l];
+  }
+  std::fill(size_.begin() + static_cast<std::ptrdiff_t>(live),
+            size_.begin() + static_cast<std::ptrdiff_t>(old_k), 0.0);
+  k_ = static_cast<int>(live);
+  return remap;
+}
+
+void ProfileSet::score_all(const data::Value* row, double* out) const {
+  const auto k = static_cast<std::size_t>(k_);
+  const std::size_t d = cardinalities_.size();
+  std::fill(out, out + k, 0.0);
+  if (frozen_) {
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = row[r];
+      if (!in_domain(r, v)) continue;
+      const double* p = probs_.data() + cell(r, v) * stride_;
+      for (std::size_t l = 0; l < k; ++l) out[l] += p[l];
+    }
+  } else {
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = row[r];
+      if (!in_domain(r, v)) continue;
+      const double* c = counts_.data() + cell(r, v) * stride_;
+      const double* nn = non_null_.data() + r * stride_;
+      for (std::size_t l = 0; l < k; ++l) {
+        out[l] += nn[l] > 0.0 ? c[l] / nn[l] : 0.0;
+      }
+    }
+  }
+  for (std::size_t l = 0; l < k; ++l) out[l] /= static_cast<double>(d);
+}
+
+void ProfileSet::weighted_score_all(const data::Value* row,
+                                    const double* weights, double* out) const {
+  const auto k = static_cast<std::size_t>(k_);
+  const std::size_t d = cardinalities_.size();
+  std::fill(out, out + k, 0.0);
+  if (frozen_) {
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = row[r];
+      if (!in_domain(r, v)) continue;
+      const double* p = probs_.data() + cell(r, v) * stride_;
+      const double* w = weights + r * k;
+      for (std::size_t l = 0; l < k; ++l) out[l] += w[l] * p[l];
+    }
+  } else {
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = row[r];
+      if (!in_domain(r, v)) continue;
+      const double* c = counts_.data() + cell(r, v) * stride_;
+      const double* nn = non_null_.data() + r * stride_;
+      const double* w = weights + r * k;
+      for (std::size_t l = 0; l < k; ++l) {
+        out[l] += nn[l] > 0.0 ? w[l] * (c[l] / nn[l]) : 0.0;
+      }
+    }
+  }
+}
+
+double ProfileSet::score_one(int l, const data::Value* row) const {
+  const std::size_t d = cardinalities_.size();
+  double sum = 0.0;
+  for (std::size_t r = 0; r < d; ++r) {
+    sum += value_similarity(l, r, row[r]);
+  }
+  return sum / static_cast<double>(d);
+}
+
+double ProfileSet::weighted_score_one(
+    int l, const data::Value* row, const std::vector<double>& weights) const {
+  const std::size_t d = cardinalities_.size();
+  double sum = 0.0;
+  for (std::size_t r = 0; r < d; ++r) {
+    sum += weights[r] * value_similarity(l, r, row[r]);
+  }
+  return sum;
+}
+
+int ProfileSet::best_cluster(const data::Value* row,
+                             std::vector<double>& scratch) const {
+  scratch.resize(static_cast<std::size_t>(k_));
+  score_all(row, scratch.data());
+  int best = 0;
+  double best_score = -1.0;
+  for (int l = 0; l < k_; ++l) {
+    const double s = scratch[static_cast<std::size_t>(l)];
+    if (s > best_score) {
+      best_score = s;
+      best = l;
+    }
+  }
+  return best;
+}
+
+void ProfileSet::freeze() const {
+  if (frozen_) return;
+  const auto k = static_cast<std::size_t>(k_);
+  probs_.assign(counts_.size(), 0.0);
+  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
+    const double* nn = non_null_.data() + r * stride_;
+    for (std::size_t v = 0; v < static_cast<std::size_t>(cardinalities_[r]);
+         ++v) {
+      const std::size_t base = (offsets_[r] + v) * stride_;
+      for (std::size_t l = 0; l < k; ++l) {
+        probs_[base + l] = nn[l] > 0.0 ? counts_[base + l] / nn[l] : 0.0;
+      }
+    }
+  }
+  frozen_ = true;
+}
+
+std::vector<data::Value> ProfileSet::mode(int l) const {
+  std::vector<data::Value> modes(cardinalities_.size(), data::kMissing);
+  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
+    double best = 0.0;
+    for (data::Value v = 0; v < cardinalities_[r]; ++v) {
+      const double c = count(l, r, v);
+      if (c > best) {
+        best = c;
+        modes[r] = v;
+      }
+    }
+  }
+  return modes;
+}
+
+ClusterProfile ProfileSet::profile(int l) const {
+  std::vector<std::vector<int>> counts(cardinalities_.size());
+  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
+    counts[r].resize(static_cast<std::size_t>(cardinalities_[r]));
+    for (data::Value v = 0; v < cardinalities_[r]; ++v) {
+      counts[r][static_cast<std::size_t>(v)] =
+          static_cast<int>(count(l, r, v));
+    }
+  }
+  return ClusterProfile::from_counts(std::move(counts),
+                                     static_cast<int>(size(l)));
+}
+
+}  // namespace mcdc::core

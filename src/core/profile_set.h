@@ -1,0 +1,166 @@
+// ProfileSet — flat Structure-of-Arrays histogram bank for k clusters.
+//
+// ClusterProfile (similarity.h) stores one cluster's histograms as nested
+// vector<vector<int>>, so scoring one object against k clusters walks k
+// separately allocated structures — k*d dependent pointer chases. ProfileSet
+// holds *all* k clusters' per-feature value counts in one contiguous buffer,
+// laid out value-major with a slot stride that can exceed k (spare slots are
+// kept zero so append_cluster is amortised O(1) slots instead of a restride
+// per spawn):
+//
+//   counts_[(offset[r] + v) * stride + l]  =  Psi_{Fr = v}(C_l),  l < k
+//
+// so for a fixed cell value (r, v) the k cluster counts are adjacent: one
+// cache line serves the whole cluster sweep, and score_all() inverts the
+// usual k x d loop to sweep each feature once across all clusters. This is
+// the linear-time object-cluster scoring of the paper's Theorem 1 in the
+// layout the hardware wants.
+//
+// Numerics contract: counts are doubles so the decayed (fractional)
+// streaming histograms share the kernel; batch consumers only ever store
+// integral values, for which every quotient count/non_null is bit-identical
+// to ClusterProfile's int arithmetic. score_all accumulates per-feature
+// contributions in ascending feature order — the same order as
+// ClusterProfile::similarity — so batched scores (and therefore argmax
+// labels) are byte-identical to the per-cluster path, not merely close.
+//
+// freeze() additionally precomputes every count/non_null quotient once, so
+// frozen batched sweeps (Model::predict, refine_to_fixpoint, streaming
+// classify, benchmarks) are pure load-multiply-add with no divisions. Each
+// cached quotient is produced by the same division the live path performs,
+// so frozen scores are bit-identical too. Any mutation thaws the cache.
+//
+// Out-of-domain codes (anything outside [0, cardinality(r)), data::kMissing
+// included) are treated as missing by every accessor and mutator — the same
+// clamping Model::predict_row applies — so raw callers can never read or
+// write out of bounds.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/similarity.h"
+#include "data/dataset.h"
+
+namespace mcdc::core {
+
+class ProfileSet {
+ public:
+  ProfileSet() = default;
+  // k empty clusters over the given schema.
+  ProfileSet(const std::vector<int>& cardinalities, int k);
+
+  // One histogram bank from an assignment vector (-1 entries skipped,
+  // ids must lie in [0, k)). The flat analogue of build_profiles().
+  static ProfileSet from_assignment(const data::Dataset& ds,
+                                    const std::vector<int>& assignment, int k);
+  // Converts per-cluster profiles (e.g. a deserialised api::Model) into the
+  // flat layout. All profiles must share one schema.
+  static ProfileSet from_profiles(const std::vector<ClusterProfile>& profiles);
+
+  int num_clusters() const { return k_; }
+  std::size_t num_features() const { return cardinalities_.size(); }
+  const std::vector<int>& cardinalities() const { return cardinalities_; }
+
+  // Member mass of cluster l (decayed and hence fractional under scale()).
+  double size(int l) const { return size_[static_cast<std::size_t>(l)]; }
+  bool empty(int l) const { return size_[static_cast<std::size_t>(l)] <= 0.0; }
+
+  // Psi_{Fr = v}(C_l); 0 for out-of-domain v.
+  double count(int l, std::size_t r, data::Value v) const {
+    if (!in_domain(r, v)) return 0.0;
+    return counts_[cell(r, v) * stride_ + static_cast<std::size_t>(l)];
+  }
+  // Psi_{Fr != NULL}(C_l).
+  double non_null(int l, std::size_t r) const {
+    return non_null_[r * stride_ + static_cast<std::size_t>(l)];
+  }
+  // Eq. (2); zero for missing / out-of-domain v or an all-NULL column.
+  double value_similarity(int l, std::size_t r, data::Value v) const;
+
+  // O(d) membership maintenance. Out-of-domain cells contribute nothing.
+  void add(int l, const data::Value* row);
+  void remove(int l, const data::Value* row);
+  // remove(from) + add(to) fused into one row pass.
+  void move(int from, int to, const data::Value* row);
+  // Multiplies every count, non-null total and size by `factor`
+  // (exponential forgetting of the streaming learner).
+  void scale(double factor);
+
+  // Appends an empty cluster and returns its index. Reuses a spare slot
+  // when one exists; otherwise grows the slot stride geometrically, so a
+  // stream of spawns costs amortised O(sum m_r) each.
+  int append_cluster();
+  // Zeros cluster l in place, O(sum m_r) — for slot reuse (e.g. streaming
+  // eviction), which avoids the O(k * sum m_r) restride of
+  // remove_clusters + append_cluster.
+  void clear_cluster(int l);
+  // Drops every cluster l with dead[l] != 0, compacting the survivors in
+  // order. Returns the dense remap: old id -> new id, or -1 when dropped.
+  std::vector<int> remove_clusters(const std::vector<char>& dead);
+
+  // Batched Eq. (1): out[l] = s(row, C_l) for every cluster, one
+  // feature-major sweep. `out` must hold num_clusters() doubles.
+  void score_all(const data::Value* row, double* out) const;
+  // Batched Eq. (14): weights are feature-major, weights[r * k + l] = w_rl
+  // (each cluster's weight column sums to 1, so no 1/d factor).
+  void weighted_score_all(const data::Value* row, const double* weights,
+                          double* out) const;
+  // Eq. (1) against a single cluster (the streaming rival-penalty path).
+  double score_one(int l, const data::Value* row) const;
+  // Eq. (14) against a single cluster with a length-d weight vector.
+  double weighted_score_one(int l, const data::Value* row,
+                            const std::vector<double>& weights) const;
+
+  // Argmax of score_all with ties resolved to the lowest cluster id.
+  // `scratch` is resized to k; pass a per-thread buffer in parallel sweeps.
+  int best_cluster(const data::Value* row, std::vector<double>& scratch) const;
+
+  // Precomputes every count/non_null quotient so subsequent score sweeps
+  // are division-free. Call when the profiles are frozen for a batch pass;
+  // any mutation invalidates the cache automatically. The cache is lazily
+  // (re)built in place — const, so read-only consumers (e.g. streaming
+  // classify) can freeze without copying the bank — but like every other
+  // member it must not race with a concurrent first freeze() call;
+  // parallel sweeps freeze once before fanning out.
+  void freeze() const;
+  bool frozen() const { return frozen_; }
+
+  // Most frequent value of cluster l per feature (ties -> smallest code;
+  // data::kMissing for an all-NULL column), as ClusterProfile::mode().
+  std::vector<data::Value> mode(int l) const;
+
+  // Materialises cluster l as a ClusterProfile (counts truncated to int) —
+  // for consumers that serialise or keep the nested representation.
+  ClusterProfile profile(int l) const;
+
+ private:
+  bool in_domain(std::size_t r, data::Value v) const {
+    return v >= 0 && v < cardinalities_[r];
+  }
+  // Flat (feature, value) cell index in [0, total_cells_).
+  std::size_t cell(std::size_t r, data::Value v) const {
+    return offsets_[r] + static_cast<std::size_t>(v);
+  }
+  void thaw() {
+    frozen_ = false;
+    probs_.clear();
+  }
+
+  int k_ = 0;
+  // Slots per (feature, value) cell, >= k_; slots in [k_, stride_) are
+  // always all-zero (the append_cluster reuse invariant).
+  std::size_t stride_ = 0;
+  std::vector<int> cardinalities_;
+  std::vector<std::size_t> offsets_;  // offsets_[r] = sum of cardinalities < r
+  std::size_t total_cells_ = 0;       // sum of cardinalities
+  std::vector<double> counts_;        // [cell * stride + l]
+  std::vector<double> non_null_;      // [r * stride + l]
+  std::vector<double> size_;          // [l], length stride_
+  // Lazily built frozen-quotient cache (counts_ layout); mutable so const
+  // read-only consumers can freeze() without copying the bank.
+  mutable std::vector<double> probs_;
+  mutable bool frozen_ = false;
+};
+
+}  // namespace mcdc::core

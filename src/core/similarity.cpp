@@ -17,7 +17,7 @@ void ClusterProfile::add(const data::Dataset& ds, std::size_t i) {
   const data::Value* row = ds.row(i);
   for (std::size_t r = 0; r < d; ++r) {
     const data::Value v = row[r];
-    if (v == data::kMissing) continue;
+    if (v < 0 || static_cast<std::size_t>(v) >= counts_[r].size()) continue;
     ++counts_[r][static_cast<std::size_t>(v)];
     ++non_null_[r];
   }
@@ -30,7 +30,7 @@ void ClusterProfile::remove(const data::Dataset& ds, std::size_t i) {
   const data::Value* row = ds.row(i);
   for (std::size_t r = 0; r < d; ++r) {
     const data::Value v = row[r];
-    if (v == data::kMissing) continue;
+    if (v < 0 || static_cast<std::size_t>(v) >= counts_[r].size()) continue;
     --counts_[r][static_cast<std::size_t>(v)];
     --non_null_[r];
   }
@@ -38,7 +38,10 @@ void ClusterProfile::remove(const data::Dataset& ds, std::size_t i) {
 }
 
 double ClusterProfile::value_similarity(std::size_t r, data::Value v) const {
-  if (v == data::kMissing) return 0.0;
+  // Out-of-domain codes (kMissing included) score as missing; without the
+  // clamp a raw similarity(row) caller holding an unseen category would
+  // read past the histogram row.
+  if (v < 0 || static_cast<std::size_t>(v) >= counts_[r].size()) return 0.0;
   const int denom = non_null_[r];
   if (denom == 0) return 0.0;
   return static_cast<double>(counts_[r][static_cast<std::size_t>(v)]) /

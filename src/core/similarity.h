@@ -19,6 +19,13 @@
 // Profiles support O(1) incremental add/remove of objects, giving the
 // O(d) similarity evaluation the paper's linear-complexity analysis
 // (Theorem 1) relies on.
+//
+// NOTE for hot-path consumers: scoring one object against *many* clusters
+// with a vector<ClusterProfile> is cache-hostile (k nested-vector walks per
+// object). Use core::ProfileSet (profile_set.h) instead — it holds all k
+// histograms in one flat bank and batch-scores every cluster in a single
+// feature-major sweep with byte-identical results. ClusterProfile remains
+// the right type for single-cluster consumers and serialisation.
 #pragma once
 
 #include <cstddef>
@@ -40,14 +47,18 @@ class ClusterProfile {
   int size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  // Psi_{Fr = v}(C_l): members holding value v on feature r.
+  // Psi_{Fr = v}(C_l): members holding value v on feature r. Out-of-domain
+  // codes (data::kMissing, unseen categories from raw callers that bypass
+  // Model::predict_row's sanitising) count as missing: 0.
   int value_count(std::size_t r, data::Value v) const {
+    if (v < 0 || static_cast<std::size_t>(v) >= counts_[r].size()) return 0;
     return counts_[r][static_cast<std::size_t>(v)];
   }
   // Psi_{Fr != NULL}(C_l): members with any value on feature r.
   int non_null_count(std::size_t r) const { return non_null_[r]; }
 
-  // Eq. (2); zero for a missing x_ir or an all-NULL feature column.
+  // Eq. (2); zero for a missing (or out-of-domain) x_ir or an all-NULL
+  // feature column.
   double value_similarity(std::size_t r, data::Value v) const;
 
   // Eq. (1): unweighted mean of per-feature similarities.

@@ -4,13 +4,16 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/thread_pool.h"
 #include "core/competitive.h"
 
 namespace mcdc::core {
 
 StreamingMgcpl::StreamingMgcpl(std::vector<int> cardinalities,
                                const StreamingConfig& config)
-    : cardinalities_(std::move(cardinalities)), config_(config) {
+    : cardinalities_(std::move(cardinalities)),
+      config_(config),
+      set_(cardinalities_, 0) {
   if (cardinalities_.empty()) {
     throw std::invalid_argument("StreamingMgcpl: empty schema");
   }
@@ -22,28 +25,40 @@ StreamingMgcpl::StreamingMgcpl(std::vector<int> cardinalities,
   }
 }
 
-double StreamingMgcpl::similarity(const StreamCluster& cluster,
-                                  const data::Value* row) const {
-  const std::size_t d = cardinalities_.size();
-  double sum = 0.0;
-  for (std::size_t r = 0; r < d; ++r) {
-    const data::Value v = row[r];
-    if (v == data::kMissing || cluster.non_null[r] <= 0.0) continue;
-    sum += cluster.counts[r][static_cast<std::size_t>(v)] / cluster.non_null[r];
+int StreamingMgcpl::slot_of(int id) const {
+  for (std::size_t l = 0; l < ids_.size(); ++l) {
+    if (ids_[l] == id) return static_cast<int>(l);
   }
-  return sum / static_cast<double>(d);
+  return -1;
 }
 
-int StreamingMgcpl::strongest(const data::Value* row, int exclude,
-                              double win_total) const {
+double StreamingMgcpl::cluster_mass(int id) const {
+  const int slot = slot_of(id);
+  return slot < 0 ? 0.0 : mass_[static_cast<std::size_t>(slot)];
+}
+
+std::vector<double> StreamingMgcpl::cluster_histogram(int id,
+                                                      std::size_t r) const {
+  if (r >= cardinalities_.size()) {
+    throw std::out_of_range("StreamingMgcpl::cluster_histogram: bad feature");
+  }
+  const int slot = slot_of(id);
+  if (slot < 0) return {};
+  std::vector<double> hist(static_cast<std::size_t>(cardinalities_[r]), 0.0);
+  for (data::Value v = 0; v < cardinalities_[r]; ++v) {
+    hist[static_cast<std::size_t>(v)] = set_.count(slot, r, v);
+  }
+  return hist;
+}
+
+int StreamingMgcpl::strongest_slot(int exclude, double win_total) const {
   int best = -1;
   double best_score = -1.0;
-  for (std::size_t l = 0; l < clusters_.size(); ++l) {
+  for (std::size_t l = 0; l < ids_.size(); ++l) {
     if (static_cast<int>(l) == exclude) continue;
-    const auto& c = clusters_[l];
-    const double rho = win_total > 0.0 ? c.wins / win_total : 0.0;
+    const double rho = win_total > 0.0 ? wins_[l] / win_total : 0.0;
     const double score =
-        (1.0 - rho) * cluster_weight_sigmoid(c.delta) * similarity(c, row);
+        (1.0 - rho) * cluster_weight_sigmoid(delta_[l]) * scores_[l];
     if (score > best_score) {
       best_score = score;
       best = static_cast<int>(l);
@@ -52,62 +67,64 @@ int StreamingMgcpl::strongest(const data::Value* row, int exclude,
   return best;
 }
 
-void StreamingMgcpl::spawn(const data::Value* row) {
-  if (clusters_.size() >= config_.max_clusters) {
-    // Drop the weakest cluster (lowest mass) to stay within budget.
+int StreamingMgcpl::spawn(const data::Value* row) {
+  int slot;
+  if (ids_.size() >= config_.max_clusters) {
+    // Evict the weakest cluster (lowest mass) in place: zero its slot and
+    // hand it a fresh stable id — O(sum m_r) instead of restriding the
+    // whole bank. Survivors keep their ids, so labels handed out earlier
+    // still resolve correctly; only the evicted id retires.
     std::size_t weakest = 0;
-    for (std::size_t l = 1; l < clusters_.size(); ++l) {
-      if (clusters_[l].mass < clusters_[weakest].mass) weakest = l;
+    for (std::size_t l = 1; l < ids_.size(); ++l) {
+      if (mass_[l] < mass_[weakest]) weakest = l;
     }
-    clusters_.erase(clusters_.begin() + static_cast<std::ptrdiff_t>(weakest));
+    slot = static_cast<int>(weakest);
+    set_.clear_cluster(slot);
+    ids_[weakest] = next_id_++;
+  } else {
+    slot = set_.append_cluster();
+    mass_.push_back(0.0);
+    delta_.push_back(0.0);
+    wins_.push_back(0.0);
+    ids_.push_back(next_id_++);
   }
-  StreamCluster cluster;
-  cluster.counts.resize(cardinalities_.size());
-  cluster.non_null.assign(cardinalities_.size(), 0.0);
-  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
-    cluster.counts[r].assign(static_cast<std::size_t>(cardinalities_[r]), 0.0);
-    const data::Value v = row[r];
-    if (v != data::kMissing) {
-      cluster.counts[r][static_cast<std::size_t>(v)] = 1.0;
-      cluster.non_null[r] = 1.0;
-    }
-  }
-  cluster.mass = 1.0;
-  cluster.delta = config_.initial_delta;
-  clusters_.push_back(std::move(cluster));
+  set_.add(slot, row);
+  const auto lu = static_cast<std::size_t>(slot);
+  mass_[lu] = 1.0;
+  delta_[lu] = config_.initial_delta;
+  wins_[lu] = 0.0;
+  return slot;
 }
 
 int StreamingMgcpl::observe(const data::Value* row) {
   double win_total = 0.0;
-  for (const auto& c : clusters_) win_total += c.wins;
+  for (const double w : wins_) win_total += w;
 
-  const int v = strongest(row, -1, win_total);
-  const double win_sim =
-      v >= 0 ? similarity(clusters_[static_cast<std::size_t>(v)], row) : 0.0;
+  // One flat sweep scores the row against every live cluster (Eq. 1).
+  scores_.resize(ids_.size());
+  set_.score_all(row, scores_.data());
+
+  const int v = strongest_slot(-1, win_total);
+  const double win_sim = v >= 0 ? scores_[static_cast<std::size_t>(v)] : 0.0;
   if (v < 0 || win_sim < config_.novelty_threshold) {
-    spawn(row);
-    return static_cast<int>(clusters_.size()) - 1;
+    return ids_[static_cast<std::size_t>(spawn(row))];
   }
 
   // Winner absorbs the object (Eqs. 10-12).
-  auto& winner = clusters_[static_cast<std::size_t>(v)];
-  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
-    const data::Value val = row[r];
-    if (val == data::kMissing) continue;
-    winner.counts[r][static_cast<std::size_t>(val)] += 1.0;
-    winner.non_null[r] += 1.0;
-  }
-  winner.mass += 1.0;
-  winner.wins += 1.0;
-  winner.delta += config_.eta;
+  set_.add(v, row);
+  mass_[static_cast<std::size_t>(v)] += 1.0;
+  wins_[static_cast<std::size_t>(v)] += 1.0;
+  delta_[static_cast<std::size_t>(v)] += config_.eta;
 
-  // Rival penalization (Eqs. 9, 13).
-  const int h = strongest(row, v, win_total);
+  // Rival penalization (Eqs. 9, 13). The batched scores stay valid: only
+  // the winner's histogram changed and the winner is excluded from the
+  // rival scan.
+  const int h = strongest_slot(v, win_total);
   if (h >= 0) {
-    auto& rival = clusters_[static_cast<std::size_t>(h)];
-    rival.delta -= config_.eta * similarity(rival, row);
+    delta_[static_cast<std::size_t>(h)] -=
+        config_.eta * scores_[static_cast<std::size_t>(h)];
   }
-  return v;
+  return ids_[static_cast<std::size_t>(v)];
 }
 
 std::vector<int> StreamingMgcpl::observe_chunk(const data::Dataset& chunk) {
@@ -127,55 +144,68 @@ std::vector<int> StreamingMgcpl::classify(const data::Dataset& ds) const {
     throw std::invalid_argument("StreamingMgcpl: dataset schema mismatch");
   }
   std::vector<int> labels(ds.num_objects(), -1);
-  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
-    int best = 0;
-    double best_sim = -1.0;
-    for (std::size_t l = 0; l < clusters_.size(); ++l) {
-      const double s = similarity(clusters_[l], ds.row(i));
-      if (s > best_sim) {
-        best_sim = s;
-        best = static_cast<int>(l);
-      }
-    }
-    labels[i] = best;
-  }
+  if (ids_.empty()) return labels;  // nothing to assign to
+  // Classification never learns, so the bank is frozen in place (a lazy
+  // const cache — repeated classify calls between learning steps reuse it)
+  // and the rows fan out over the shared pool (disjoint writes per chunk).
+  set_.freeze();
+  parallel_chunks(ds.num_objects(), 1024,
+                  [&](std::size_t lo, std::size_t hi) {
+                    std::vector<double> scratch;
+                    for (std::size_t i = lo; i < hi; ++i) {
+                      const int slot = set_.best_cluster(ds.row(i), scratch);
+                      labels[i] = ids_[static_cast<std::size_t>(slot)];
+                    }
+                  });
   return labels;
 }
 
 double StreamingMgcpl::total_mass() const {
   double total = 0.0;
-  for (const auto& c : clusters_) total += c.mass;
+  for (const double m : mass_) total += m;
   return total;
 }
 
 void StreamingMgcpl::consolidate() {
   // Exponential forgetting.
   if (config_.decay < 1.0) {
-    for (auto& c : clusters_) {
-      for (std::size_t r = 0; r < c.counts.size(); ++r) {
-        for (double& x : c.counts[r]) x *= config_.decay;
-        c.non_null[r] *= config_.decay;
-      }
-      c.mass *= config_.decay;
-    }
+    set_.scale(config_.decay);
+    for (double& m : mass_) m *= config_.decay;
   }
   // Prune starved clusters: mass below ~one standing object (noise hits
   // alone cannot sustain a cluster against decay), or u driven to zero by
-  // rival penalization.
-  clusters_.erase(
-      std::remove_if(clusters_.begin(), clusters_.end(),
-                     [](const StreamCluster& c) {
-                       return c.mass < 1.5 ||
-                              cluster_weight_sigmoid(c.delta) < 1e-3;
-                     }),
-      clusters_.end());
+  // rival penalization. Surviving clusters keep their stable ids.
+  std::vector<char> dead(ids_.size(), 0);
+  bool any = false;
+  for (std::size_t l = 0; l < ids_.size(); ++l) {
+    if (mass_[l] < 1.5 || cluster_weight_sigmoid(delta_[l]) < 1e-3) {
+      dead[l] = 1;
+      any = true;
+    }
+  }
+  if (any) {
+    set_.remove_clusters(dead);
+    std::size_t live = 0;
+    for (std::size_t l = 0; l < ids_.size(); ++l) {
+      if (dead[l]) continue;
+      mass_[live] = mass_[l];
+      delta_[live] = delta_[l];
+      wins_[live] = wins_[l];
+      ids_[live] = ids_[l];
+      ++live;
+    }
+    mass_.resize(live);
+    delta_.resize(live);
+    wins_.resize(live);
+    ids_.resize(live);
+  }
   // Reset the per-chunk competition state (the streaming analogue of
   // Alg. 1 line 13).
-  for (auto& c : clusters_) {
-    c.wins = 0.0;
-    c.delta = std::max(c.delta, config_.initial_delta);
+  for (std::size_t l = 0; l < ids_.size(); ++l) {
+    wins_[l] = 0.0;
+    delta_[l] = std::max(delta_[l], config_.initial_delta);
   }
-  k_history_.push_back(static_cast<int>(clusters_.size()));
+  k_history_.push_back(static_cast<int>(ids_.size()));
 }
 
 }  // namespace mcdc::core

@@ -10,18 +10,31 @@
 // starved clusters and spawns clusters for poorly-explained objects, so k
 // follows the stream.
 //
+// Cluster identity: observe()/observe_chunk()/classify() label rows with
+// STABLE cluster ids (monotonically increasing spawn ids), not positional
+// indices. Evicting or pruning a cluster therefore never re-aims labels the
+// caller already holds: an id either still resolves (has_cluster) to the
+// same cluster contents or reports as retired. Histograms live in one flat
+// core::ProfileSet bank (see profile_set.h), slot-indexed internally and
+// re-mapped through ids_.
+//
 // The streaming learner trades the multi-stage granularity analysis for
 // bounded memory: it maintains a single granularity (the "live" clusters),
 // and its k estimate corresponds to MGCPL's finest stable granularity.
 // Run the batch Mgcpl on a window snapshot when the full kappa series is
 // needed.
+//
+// Thread-safety: a StreamingMgcpl is a single-writer object; calls on the
+// same instance require external synchronisation. classify() is logically
+// read-only but lazily builds the frozen score cache on its first call
+// after a mutation, so even concurrent classify() calls must be serialised.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
-#include "core/similarity.h"
+#include "core/profile_set.h"
 #include "data/dataset.h"
 
 namespace mcdc::core {
@@ -40,16 +53,6 @@ struct StreamingConfig {
   std::size_t max_clusters = 256;
 };
 
-// One live cluster of the streaming learner.
-struct StreamCluster {
-  // Per-feature value-frequency histogram (decayed, hence fractional).
-  std::vector<std::vector<double>> counts;  // [feature][value]
-  std::vector<double> non_null;             // [feature]
-  double mass = 0.0;                        // decayed member count
-  double delta = 0.5;
-  double wins = 0.0;
-};
-
 class StreamingMgcpl {
  public:
   // The schema (cardinalities) must be fixed up front, as is standard for
@@ -57,34 +60,61 @@ class StreamingMgcpl {
   StreamingMgcpl(std::vector<int> cardinalities,
                  const StreamingConfig& config = {});
 
-  // Processes one object; returns the id of the cluster it joined (ids are
-  // stable until the owning cluster is pruned).
+  // Processes one object; returns the stable id of the cluster it joined.
+  // The id stays valid (and keeps meaning the same cluster) until that
+  // cluster is pruned or evicted — it is never silently re-aimed.
   int observe(const data::Value* row);
 
   // Processes every row of a chunk and then consolidates: decay, prune,
-  // win-count reset. Returns the per-row cluster ids.
+  // win-count reset. Returns the per-row stable cluster ids.
   std::vector<int> observe_chunk(const data::Dataset& chunk);
 
   // Assigns rows of a dataset to the current clusters without learning
-  // (e.g. to label a validation window).
+  // (e.g. to label a validation window), as stable cluster ids. On a model
+  // with no live clusters every row gets -1 — there is nothing to assign
+  // to, and pretending "cluster 0" would alias a future first cluster.
   std::vector<int> classify(const data::Dataset& ds) const;
 
-  std::size_t num_clusters() const { return clusters_.size(); }
+  std::size_t num_clusters() const { return ids_.size(); }
   // Total (decayed) mass across clusters.
   double total_mass() const;
   // History of cluster counts recorded at each consolidation.
   const std::vector<int>& k_history() const { return k_history_; }
 
+  // --- stable-id introspection ---------------------------------------------
+  // Live cluster ids in slot order (an evicted slot is reused in place, so
+  // ids are unique but not necessarily ascending).
+  const std::vector<int>& cluster_ids() const { return ids_; }
+  // True while the cluster a label points at is still alive.
+  bool has_cluster(int id) const { return slot_of(id) >= 0; }
+  // Decayed mass of a live cluster; 0 for retired ids.
+  double cluster_mass(int id) const;
+  // Per-feature value-frequency histogram of a live cluster (empty vector
+  // for retired ids) — lets callers verify a held label still resolves to
+  // the same cluster contents. Throws std::out_of_range for a bad feature.
+  std::vector<double> cluster_histogram(int id, std::size_t r) const;
+
  private:
-  double similarity(const StreamCluster& cluster, const data::Value* row) const;
-  int strongest(const data::Value* row, int exclude, double win_total) const;
-  void spawn(const data::Value* row);
+  // Slot of a stable id, or -1 when the cluster was pruned/evicted.
+  int slot_of(int id) const;
+  // Winner slot by (1 - rho) * u * s over scores_ (already filled for this
+  // row); `exclude` skips the winner during the rival scan.
+  int strongest_slot(int exclude, double win_total) const;
+  // Appends a cluster seeded with `row` (reusing the weakest cluster's
+  // slot in place when the budget is full). Returns the new slot.
+  int spawn(const data::Value* row);
   void consolidate();
 
   std::vector<int> cardinalities_;
   StreamingConfig config_;
-  std::vector<StreamCluster> clusters_;
+  ProfileSet set_;              // slot-indexed flat histogram bank
+  std::vector<double> mass_;    // decayed member count, per slot
+  std::vector<double> delta_;   // sigmoid input (Eqs. 12-13), per slot
+  std::vector<double> wins_;    // per-chunk win counts, per slot
+  std::vector<int> ids_;        // slot -> stable id
+  int next_id_ = 0;
   std::vector<int> k_history_;
+  mutable std::vector<double> scores_;  // batched per-slot similarities
 };
 
 }  // namespace mcdc::core

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/mgcpl.h"
+#include "core/profile_set.h"
 
 namespace mcdc::dist {
 
@@ -37,21 +38,22 @@ WorkerOutput run_worker(const data::Dataset& shard,
   out.local_labels = analysis.partitions.front();
   const int local_k = analysis.kappa.front();
 
+  // Per-shard scoring statistics ride the flat ProfileSet kernel: one
+  // contiguous bank accumulates all local clusters' histograms in a single
+  // pass, then unpacks into the wire-format sketches.
   const std::size_t d = shard.num_features();
+  const core::ProfileSet bank =
+      core::ProfileSet::from_assignment(shard, out.local_labels, local_k);
   out.sketches.resize(static_cast<std::size_t>(local_k));
-  for (Sketch& sketch : out.sketches) {
+  for (int l = 0; l < local_k; ++l) {
+    Sketch& sketch = out.sketches[static_cast<std::size_t>(l)];
+    sketch.count = bank.size(l);
     sketch.hist.resize(d);
     for (std::size_t r = 0; r < d; ++r) {
-      sketch.hist[r].assign(static_cast<std::size_t>(shard.cardinality(r)),
-                            0.0);
-    }
-  }
-  for (std::size_t i = 0; i < shard.num_objects(); ++i) {
-    Sketch& sketch = out.sketches[static_cast<std::size_t>(out.local_labels[i])];
-    sketch.count += 1.0;
-    for (std::size_t r = 0; r < d; ++r) {
-      const data::Value v = shard.at(i, r);
-      if (v != data::kMissing) sketch.hist[r][static_cast<std::size_t>(v)] += 1.0;
+      sketch.hist[r].resize(static_cast<std::size_t>(shard.cardinality(r)));
+      for (data::Value v = 0; v < shard.cardinality(r); ++v) {
+        sketch.hist[r][static_cast<std::size_t>(v)] = bank.count(l, r, v);
+      }
     }
   }
   out.seconds = timer.elapsed_seconds();

@@ -2,35 +2,46 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace mcdc::metrics {
+
+namespace {
+
+// Compacts arbitrary non-negative ids into dense [0, m) in first-seen
+// order. Every index built on the table is relabeling-invariant, and this
+// keeps the table |distinct| wide instead of (max id + 1).
+std::vector<std::size_t> densify(const std::vector<int>& labels,
+                                 std::size_t& count) {
+  std::unordered_map<int, std::size_t> dense;  // holds |distinct|, not n
+  std::vector<std::size_t> out(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) {
+      throw std::invalid_argument("Contingency: labels must be non-negative");
+    }
+    out[i] = dense.emplace(labels[i], dense.size()).first->second;
+  }
+  count = dense.size();
+  return out;
+}
+
+}  // namespace
 
 Contingency::Contingency(const std::vector<int>& a, const std::vector<int>& b) {
   if (a.empty() || a.size() != b.size()) {
     throw std::invalid_argument(
         "Contingency: labelings must be equal-length and non-empty");
   }
-  int max_a = 0;
-  int max_b = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i] < 0 || b[i] < 0) {
-      throw std::invalid_argument("Contingency: labels must be non-negative");
-    }
-    max_a = std::max(max_a, a[i]);
-    max_b = std::max(max_b, b[i]);
-  }
-  rows_ = static_cast<std::size_t>(max_a) + 1;
-  cols_ = static_cast<std::size_t>(max_b) + 1;
+  const std::vector<std::size_t> da = densify(a, rows_);
+  const std::vector<std::size_t> db = densify(b, cols_);
   total_ = static_cast<std::int64_t>(a.size());
   table_.assign(rows_ * cols_, 0);
   row_sums_.assign(rows_, 0);
   col_sums_.assign(cols_, 0);
   for (std::size_t i = 0; i < a.size(); ++i) {
-    const auto r = static_cast<std::size_t>(a[i]);
-    const auto c = static_cast<std::size_t>(b[i]);
-    ++table_[r * cols_ + c];
-    ++row_sums_[r];
-    ++col_sums_[c];
+    ++table_[da[i] * cols_ + db[i]];
+    ++row_sums_[da[i]];
+    ++col_sums_[db[i]];
   }
 }
 

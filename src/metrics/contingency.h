@@ -10,8 +10,12 @@ namespace mcdc::metrics {
 class Contingency {
  public:
   // Builds the r x c table N with N[i][j] = |{objects with a-label i and
-  // b-label j}|. Labels must be dense non-negative ids; both vectors must
-  // have equal non-zero length.
+  // b-label j}|. Labels must be non-negative but need not be dense: sparse
+  // ids (e.g. the streaming learner's stable cluster ids) are compacted in
+  // first-seen order, so the table stays |distinct a| x |distinct b| no
+  // matter how large the ids grow. Every index built on the table is
+  // invariant to that relabeling. Both vectors must have equal non-zero
+  // length.
   Contingency(const std::vector<int>& a, const std::vector<int>& b);
 
   std::size_t rows() const { return rows_; }

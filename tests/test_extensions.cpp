@@ -113,6 +113,78 @@ TEST(StreamingMgcpl, MaxClustersBudgetHolds) {
   EXPECT_LE(learner.num_clusters(), 4u);
 }
 
+// Regression (ISSUE 3): evicting the weakest cluster at the max_clusters
+// budget used to erase() out of the dense cluster vector, shifting every
+// later index — labels already returned by observe()/observe_chunk() then
+// silently pointed at the wrong cluster. Labels are stable ids now: after
+// the budget forces an eviction, earlier-row labels still resolve to the
+// same cluster contents, and only the evicted id retires.
+TEST(StreamingMgcpl, EvictionKeepsEarlierLabelsStable) {
+  // One feature of cardinality 8; rows with disjoint values never overlap,
+  // so a high novelty threshold spawns one cluster per distinct value.
+  core::StreamingConfig config;
+  config.max_clusters = 3;
+  config.novelty_threshold = 0.5;
+  core::StreamingMgcpl learner({8}, config);
+
+  const data::Value row_a[] = {0};
+  const data::Value row_b[] = {1};
+  const data::Value row_c[] = {2};
+  const data::Value row_d[] = {3};
+
+  const int id_a1 = learner.observe(row_a);
+  const int id_a2 = learner.observe(row_a);  // joins A's cluster (mass 2)
+  const int id_b = learner.observe(row_b);
+  const int id_c = learner.observe(row_c);
+  EXPECT_EQ(id_a1, id_a2);
+  EXPECT_EQ(learner.num_clusters(), 3u);
+  ASSERT_NE(id_b, id_a1);
+  ASSERT_NE(id_c, id_b);
+
+  // The budget is full: observing D must evict the weakest cluster (B or C,
+  // mass 1; B spawned first and wins the tie).
+  const int id_d = learner.observe(row_d);
+  EXPECT_EQ(learner.num_clusters(), 3u);
+  EXPECT_NE(id_d, id_b);
+
+  // A's and C's labels still resolve to the same cluster contents...
+  ASSERT_TRUE(learner.has_cluster(id_a1));
+  ASSERT_TRUE(learner.has_cluster(id_c));
+  EXPECT_DOUBLE_EQ(learner.cluster_mass(id_a1), 2.0);
+  const auto hist_a = learner.cluster_histogram(id_a1, 0);
+  EXPECT_DOUBLE_EQ(hist_a[0], 2.0);  // both A rows, value 0
+  const auto hist_c = learner.cluster_histogram(id_c, 0);
+  EXPECT_DOUBLE_EQ(hist_c[2], 1.0);
+  // ...while the evicted id reports as retired instead of aliasing D.
+  EXPECT_FALSE(learner.has_cluster(id_b));
+  EXPECT_TRUE(learner.cluster_histogram(id_b, 0).empty());
+  ASSERT_TRUE(learner.has_cluster(id_d));
+  EXPECT_DOUBLE_EQ(learner.cluster_histogram(id_d, 0)[3], 1.0);
+}
+
+// Regression (ISSUE 3): classify() on a model with no live clusters used to
+// return label 0 for every row — indistinguishable from "assigned to the
+// first cluster". It now reports -1 (no cluster to assign to).
+TEST(StreamingMgcpl, ClassifyOnEmptyModelReturnsMinusOne) {
+  const auto chunk = stream_chunk(50, 1);
+  core::StreamingMgcpl learner(chunk.cardinalities());
+  EXPECT_EQ(learner.num_clusters(), 0u);
+  const auto labels = learner.classify(chunk);
+  ASSERT_EQ(labels.size(), chunk.num_objects());
+  for (int l : labels) EXPECT_EQ(l, -1);
+}
+
+TEST(StreamingMgcpl, ClassifyReturnsLiveStableIds) {
+  const auto chunk = stream_chunk(200, 7);
+  core::StreamingMgcpl learner(chunk.cardinalities());
+  learner.observe_chunk(chunk);
+  ASSERT_GT(learner.num_clusters(), 0u);
+  const auto labels = learner.classify(chunk);
+  const auto& ids = learner.cluster_ids();
+  const std::set<int> live(ids.begin(), ids.end());
+  for (int l : labels) EXPECT_TRUE(live.count(l) > 0);
+}
+
 // --- DistributedMcdc ---------------------------------------------------------------
 
 TEST(DistributedMcdc, MatchesCentralizedOnSeparableData) {

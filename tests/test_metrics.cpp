@@ -31,6 +31,23 @@ TEST(Contingency, TableAndMargins) {
   EXPECT_EQ(ct.col_sums(), (std::vector<std::int64_t>{2, 3}));
 }
 
+TEST(Contingency, SparseIdsAreCompacted) {
+  // Streaming stable cluster ids are sparse and can grow without bound; the
+  // table must stay |distinct| wide and every index must be invariant to
+  // the relabeling.
+  const std::vector<int> dense = {0, 0, 1, 1, 1};
+  const std::vector<int> sparse = {7, 7, 1000000, 1000000, 1000000};
+  const std::vector<int> truth = {0, 1, 1, 1, 0};
+  const Contingency ct(sparse, truth);
+  EXPECT_EQ(ct.rows(), 2u);
+  EXPECT_EQ(ct.total(), 5);
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(sparse, truth),
+                   adjusted_rand_index(dense, truth));
+  EXPECT_DOUBLE_EQ(adjusted_mutual_information(sparse, truth),
+                   adjusted_mutual_information(dense, truth));
+  EXPECT_DOUBLE_EQ(accuracy(sparse, truth), accuracy(dense, truth));
+}
+
 TEST(Contingency, PairCounts) {
   const std::vector<int> a = {0, 0, 1, 1, 1};
   const std::vector<int> b = {0, 1, 1, 1, 0};

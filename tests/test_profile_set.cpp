@@ -1,0 +1,355 @@
+// Tests for the flat ProfileSet scoring kernel (profile_set.h): equivalence
+// with the per-cluster ClusterProfile path on randomised datasets with
+// NULLs, incremental maintenance, cluster append/remove restriding,
+// out-of-domain clamping, and fixed-seed label goldens across every
+// registered method (the byte-identity contract of the kernel rewire).
+#include "core/profile_set.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "common/rng.h"
+#include "core/similarity.h"
+#include "data/noise.h"
+#include "data/synthetic.h"
+
+namespace mcdc {
+namespace {
+
+// Random categorical dataset with ~10% missing cells and random labels.
+struct RandomCase {
+  data::Dataset ds;
+  std::vector<int> labels;
+  int k = 0;
+};
+
+RandomCase random_case(std::uint64_t seed, std::size_t n = 160,
+                       std::size_t d = 6, int k = 5) {
+  Rng rng(seed);
+  std::vector<int> cardinalities(d);
+  for (auto& m : cardinalities) {
+    m = static_cast<int>(rng.uniform_int(2, 6));
+  }
+  std::vector<data::Value> cells(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < d; ++r) {
+      cells[i * d + r] =
+          rng.bernoulli(0.1)
+              ? data::kMissing
+              : static_cast<data::Value>(rng.below(
+                    static_cast<std::uint64_t>(cardinalities[r])));
+    }
+  }
+  RandomCase out{data::Dataset(n, d, std::move(cells), cardinalities), {}, k};
+  out.labels.resize(n);
+  for (auto& l : out.labels) {
+    l = static_cast<int>(rng.below(static_cast<std::uint64_t>(k)));
+  }
+  return out;
+}
+
+TEST(ProfileSet, ScoreAllMatchesPerClusterSimilarity) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const RandomCase c = random_case(seed);
+    const auto profiles = core::build_profiles(c.ds, c.labels, c.k);
+    core::ProfileSet set =
+        core::ProfileSet::from_assignment(c.ds, c.labels, c.k);
+
+    std::vector<double> batched(static_cast<std::size_t>(c.k));
+    for (std::size_t i = 0; i < c.ds.num_objects(); ++i) {
+      set.score_all(c.ds.row(i), batched.data());
+      for (int l = 0; l < c.k; ++l) {
+        const double reference =
+            profiles[static_cast<std::size_t>(l)].similarity(c.ds, i);
+        EXPECT_DOUBLE_EQ(batched[static_cast<std::size_t>(l)], reference);
+        EXPECT_NEAR(batched[static_cast<std::size_t>(l)], reference, 1e-12);
+        EXPECT_DOUBLE_EQ(set.score_one(l, c.ds.row(i)), reference);
+      }
+    }
+    // Frozen quotients come from the same divisions: still identical.
+    set.freeze();
+    for (std::size_t i = 0; i < c.ds.num_objects(); ++i) {
+      set.score_all(c.ds.row(i), batched.data());
+      for (int l = 0; l < c.k; ++l) {
+        EXPECT_DOUBLE_EQ(
+            batched[static_cast<std::size_t>(l)],
+            profiles[static_cast<std::size_t>(l)].similarity(c.ds, i));
+      }
+    }
+  }
+}
+
+TEST(ProfileSet, WeightedScoreAllMatchesWeightedSimilarity) {
+  const RandomCase c = random_case(11);
+  const auto profiles = core::build_profiles(c.ds, c.labels, c.k);
+  core::ProfileSet set = core::ProfileSet::from_assignment(c.ds, c.labels, c.k);
+
+  // Random per-cluster weight vectors, transposed into the feature-major
+  // bank weighted_score_all consumes.
+  Rng rng(99);
+  const std::size_t d = c.ds.num_features();
+  std::vector<std::vector<double>> omega(static_cast<std::size_t>(c.k),
+                                         std::vector<double>(d));
+  std::vector<double> bank(d * static_cast<std::size_t>(c.k));
+  for (int l = 0; l < c.k; ++l) {
+    for (std::size_t r = 0; r < d; ++r) {
+      const double w = rng.uniform();
+      omega[static_cast<std::size_t>(l)][r] = w;
+      bank[r * static_cast<std::size_t>(c.k) + static_cast<std::size_t>(l)] = w;
+    }
+  }
+
+  std::vector<double> batched(static_cast<std::size_t>(c.k));
+  for (std::size_t i = 0; i < c.ds.num_objects(); ++i) {
+    set.weighted_score_all(c.ds.row(i), bank.data(), batched.data());
+    for (int l = 0; l < c.k; ++l) {
+      const double reference =
+          profiles[static_cast<std::size_t>(l)].weighted_similarity(
+              c.ds, i, omega[static_cast<std::size_t>(l)]);
+      EXPECT_DOUBLE_EQ(batched[static_cast<std::size_t>(l)], reference);
+      EXPECT_DOUBLE_EQ(
+          set.weighted_score_one(l, c.ds.row(i),
+                                 omega[static_cast<std::size_t>(l)]),
+          reference);
+    }
+  }
+}
+
+TEST(ProfileSet, IncrementalMaintenanceMatchesRebuild) {
+  RandomCase c = random_case(21);
+  core::ProfileSet set = core::ProfileSet::from_assignment(c.ds, c.labels, c.k);
+  // Shuffle a few objects between clusters with move/remove/add.
+  Rng rng(7);
+  for (int step = 0; step < 200; ++step) {
+    const auto i = static_cast<std::size_t>(rng.below(c.ds.num_objects()));
+    const int to = static_cast<int>(rng.below(static_cast<std::uint64_t>(c.k)));
+    set.move(c.labels[i], to, c.ds.row(i));
+    c.labels[i] = to;
+  }
+  const core::ProfileSet rebuilt =
+      core::ProfileSet::from_assignment(c.ds, c.labels, c.k);
+  for (int l = 0; l < c.k; ++l) {
+    EXPECT_DOUBLE_EQ(set.size(l), rebuilt.size(l));
+    for (std::size_t r = 0; r < c.ds.num_features(); ++r) {
+      EXPECT_DOUBLE_EQ(set.non_null(l, r), rebuilt.non_null(l, r));
+      for (data::Value v = 0; v < c.ds.cardinality(r); ++v) {
+        EXPECT_DOUBLE_EQ(set.count(l, r, v), rebuilt.count(l, r, v));
+      }
+    }
+  }
+}
+
+TEST(ProfileSet, AppendAndRemoveClustersRestrideTheBank) {
+  const RandomCase c = random_case(31, 60, 4, 3);
+  core::ProfileSet set = core::ProfileSet::from_assignment(c.ds, c.labels, c.k);
+  const int fresh = set.append_cluster();
+  EXPECT_EQ(fresh, 3);
+  EXPECT_EQ(set.num_clusters(), 4);
+  EXPECT_TRUE(set.empty(fresh));
+  set.add(fresh, c.ds.row(0));
+  EXPECT_DOUBLE_EQ(set.size(fresh), 1.0);
+
+  // Old clusters kept their histograms across the restride.
+  const core::ProfileSet reference =
+      core::ProfileSet::from_assignment(c.ds, c.labels, c.k);
+  for (int l = 0; l < c.k; ++l) {
+    for (std::size_t r = 0; r < c.ds.num_features(); ++r) {
+      for (data::Value v = 0; v < c.ds.cardinality(r); ++v) {
+        EXPECT_DOUBLE_EQ(set.count(l, r, v), reference.count(l, r, v));
+      }
+    }
+  }
+
+  // Dropping cluster 1 compacts the survivors in order.
+  std::vector<char> dead(4, 0);
+  dead[1] = 1;
+  const std::vector<int> remap = set.remove_clusters(dead);
+  EXPECT_EQ(set.num_clusters(), 3);
+  EXPECT_EQ(remap[0], 0);
+  EXPECT_EQ(remap[1], -1);
+  EXPECT_EQ(remap[2], 1);
+  EXPECT_EQ(remap[3], 2);
+  for (std::size_t r = 0; r < c.ds.num_features(); ++r) {
+    for (data::Value v = 0; v < c.ds.cardinality(r); ++v) {
+      EXPECT_DOUBLE_EQ(set.count(0, r, v), reference.count(0, r, v));
+      EXPECT_DOUBLE_EQ(set.count(1, r, v), reference.count(2, r, v));
+    }
+  }
+}
+
+TEST(ProfileSet, OutOfDomainCodesClampToMissing) {
+  const RandomCase c = random_case(41, 50, 3, 2);
+  core::ProfileSet set = core::ProfileSet::from_assignment(c.ds, c.labels, c.k);
+  EXPECT_DOUBLE_EQ(set.count(0, 0, 999), 0.0);
+  EXPECT_DOUBLE_EQ(set.count(0, 0, data::kMissing), 0.0);
+  EXPECT_DOUBLE_EQ(set.value_similarity(0, 0, 999), 0.0);
+  EXPECT_DOUBLE_EQ(set.value_similarity(0, 0, -7), 0.0);
+
+  // A row full of out-of-domain codes scores zero everywhere (all-missing).
+  std::vector<data::Value> bogus(c.ds.num_features(), 999);
+  std::vector<double> scores(static_cast<std::size_t>(c.k));
+  set.score_all(bogus.data(), scores.data());
+  for (double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
+  // Mutators ignore out-of-domain cells instead of writing out of bounds:
+  // only the member count moves, never a histogram cell.
+  const double nn_before = set.non_null(0, 0);
+  set.add(0, bogus.data());
+  EXPECT_DOUBLE_EQ(set.non_null(0, 0), nn_before);
+  set.remove(0, bogus.data());
+  EXPECT_DOUBLE_EQ(set.non_null(0, 0), nn_before);
+}
+
+TEST(ClusterProfile, OutOfDomainCodesClampToMissing) {
+  core::ClusterProfile profile(std::vector<int>{3, 2});
+  data::Dataset ds(1, 2, {1, 0}, {3, 2});
+  profile.add(ds, 0);
+  EXPECT_EQ(profile.value_count(0, 1), 1);
+  // Out-of-domain reads are missing, not out-of-bounds.
+  EXPECT_EQ(profile.value_count(0, 17), 0);
+  EXPECT_EQ(profile.value_count(0, data::kMissing), 0);
+  EXPECT_DOUBLE_EQ(profile.value_similarity(0, 17), 0.0);
+  EXPECT_DOUBLE_EQ(profile.value_similarity(1, -5), 0.0);
+  // A raw similarity(row) caller with an unseen category gets the
+  // missing-cell semantics instead of undefined behaviour: feature 0 is
+  // treated as missing (0), feature 1 matches fully (1), mean = 0.5.
+  const std::vector<data::Value> unseen{17, 0};
+  EXPECT_DOUBLE_EQ(profile.similarity(unseen.data()), 0.5);
+}
+
+TEST(ProfileSet, ModeMatchesClusterProfileMode) {
+  const RandomCase c = random_case(51);
+  const auto profiles = core::build_profiles(c.ds, c.labels, c.k);
+  const core::ProfileSet set =
+      core::ProfileSet::from_assignment(c.ds, c.labels, c.k);
+  for (int l = 0; l < c.k; ++l) {
+    EXPECT_EQ(set.mode(l), profiles[static_cast<std::size_t>(l)].mode());
+    // Materialised profiles round-trip the histograms.
+    const core::ClusterProfile materialised = set.profile(l);
+    EXPECT_EQ(materialised.counts(), profiles[static_cast<std::size_t>(l)].counts());
+    EXPECT_EQ(materialised.size(), profiles[static_cast<std::size_t>(l)].size());
+  }
+}
+
+TEST(ProfileSet, ScaleAppliesExponentialForgetting) {
+  const RandomCase c = random_case(61, 40, 3, 2);
+  core::ProfileSet set = core::ProfileSet::from_assignment(c.ds, c.labels, c.k);
+  const double size_before = set.size(0);
+  const double nn_before = set.non_null(0, 1);
+  set.scale(0.5);
+  EXPECT_DOUBLE_EQ(set.size(0), 0.5 * size_before);
+  EXPECT_DOUBLE_EQ(set.non_null(0, 1), 0.5 * nn_before);
+}
+
+TEST(ProfileSet, BestClusterBreaksTiesToLowestId) {
+  // Two identical clusters: every row ties; the lower id must win.
+  data::Dataset ds(4, 1, {0, 0, 0, 0}, {2});
+  core::ProfileSet set = core::ProfileSet::from_assignment(ds, {0, 1, 0, 1}, 2);
+  std::vector<double> scratch;
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    EXPECT_EQ(set.best_cluster(ds.row(i), scratch), 0);
+  }
+}
+
+TEST(Model, PredictMatchesPredictRow) {
+  data::WellSeparatedConfig config;
+  config.num_objects = 500;
+  config.purity = 0.85;
+  config.seed = 5;
+  const data::Dataset ds =
+      data::with_missing_cells(data::well_separated(config), 0.05, 3);
+  api::Engine engine;
+  api::FitOptions options;
+  options.method = "mcdc1";
+  options.k = 3;
+  options.seed = 9;
+  options.evaluate = false;
+  const api::FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok());
+  // The parallel batched predict agrees with the row-at-a-time path and is
+  // stable across repeated calls (determinism under threading).
+  const std::vector<int> batched = fit.model.predict(ds);
+  EXPECT_EQ(batched, fit.model.predict(ds));
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    EXPECT_EQ(batched[i], fit.model.predict_row(ds.row(i)));
+  }
+}
+
+#if defined(__linux__) && defined(__GLIBC__)
+// Fixed-seed label goldens for every registered method, captured when the
+// flat ProfileSet kernel landed (byte-identical to the pre-rewire nested
+// path). A mismatch means fixed-seed labels silently drifted — regenerate
+// the table only for a *deliberate* algorithm change. Guarded to glibc
+// Linux: the trajectories pass through libm (exp in Eq. 11), whose last-ulp
+// behaviour differs across C libraries.
+TEST(KernelGoldens, FixedSeedLabelsAreUnchangedAcrossTheRegistry) {
+  data::WellSeparatedConfig config;
+  config.num_objects = 240;
+  config.num_features = 8;
+  config.num_clusters = 3;
+  config.cardinality = 5;
+  config.purity = 0.72;
+  config.seed = 13;
+  const data::Dataset ds =
+      data::with_missing_cells(data::well_separated(config), 0.08, 99);
+
+  const auto fnv1a = [](std::uint64_t h, const std::vector<int>& v) {
+    for (const int x : v) {
+      auto u = static_cast<std::uint32_t>(x);
+      for (int b = 0; b < 4; ++b) {
+        h ^= (u >> (8 * b)) & 0xffu;
+        h *= 0x100000001b3ULL;
+      }
+    }
+    return h;
+  };
+
+  const std::vector<std::pair<std::string, std::uint64_t>> goldens = {
+      {"adc", 0xfa5bc0890dea5a65ULL},
+      {"fkmawcw", 0x952fac84ac019ba7ULL},
+      {"gudmm", 0xbf419d99e5dacda5ULL},
+      {"kmodes", 0xbf419d99e5dacda5ULL},
+      {"linkage-average", 0x2e3c3ee3572bbf45ULL},
+      {"linkage-complete", 0xcade976fe88f13f4ULL},
+      {"linkage-single", 0x2e3c3ee3572bbf45ULL},
+      {"mcdc", 0xb95c6b07541d9f45ULL},
+      {"mcdc+fkmawcw", 0xb95c6b07541d9f45ULL},
+      {"mcdc+gudmm", 0x2e3c3ee3572bbf45ULL},
+      {"mcdc+kmodes", 0xb95c6b07541d9f45ULL},
+      {"mcdc-dist", 0xee915b63ea6ffda5ULL},
+      {"mcdc1", 0xee915b63ea6ffda5ULL},
+      {"mcdc2", 0x4afc7a195d994b85ULL},
+      {"mcdc3", 0x3febd69b0c634a65ULL},
+      {"mcdc4", 0xb95c6b07541d9f45ULL},
+      {"rock", 0x185f76b3430afd22ULL},
+      {"wocil", 0xfa5bc0890dea5a65ULL},
+  };
+
+  api::Engine engine;
+  std::size_t covered = 0;
+  for (const auto& [method, expected] : goldens) {
+    api::FitOptions options;
+    options.method = method;
+    options.k = 3;
+    options.seed = 17;
+    options.evaluate = false;
+    options.stage_reports = false;
+    const api::FitResult fit = engine.fit(ds, options);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    h = fnv1a(h, fit.report.labels);
+    h = fnv1a(h, fit.model.training_labels());
+    if (fit.ok()) h = fnv1a(h, fit.model.predict(ds));
+    EXPECT_EQ(h, expected) << "fixed-seed labels drifted for " << method;
+    ++covered;
+  }
+  // Every registered method must be pinned; a new registration has to add
+  // its golden here.
+  EXPECT_EQ(covered, api::registry().methods().size());
+}
+#endif  // __linux__ && __GLIBC__
+
+}  // namespace
+}  // namespace mcdc
