@@ -13,6 +13,7 @@
 //      micro/coarse locality and the communication volume each sharding
 //      would incur.
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "common/cli.h"
@@ -42,7 +43,7 @@ void bench_protocol(std::size_t n, int repeats, int max_shards) {
               "sequent.(s)", "speedup", "sketch/raw", "ARI");
   for (int shards = 1; shards <= max_shards; shards *= 2) {
     stats::RunningStats parallel, sequential, ari;
-    std::size_t sketch_cells = 0, raw_cells = 0;
+    std::size_t sketch_cells = 0, raw_cells = 0, materialized = 0;
     for (int r = 0; r < repeats; ++r) {
       dist::DistributedConfig dc;
       dc.num_workers = shards;
@@ -53,6 +54,12 @@ void bench_protocol(std::size_t n, int repeats, int max_shards) {
       ari.add(metrics::adjusted_rand_index(result.labels, ds.labels()));
       sketch_cells = result.sketch_cells;
       raw_cells = result.raw_cells;
+      materialized += result.materialized_bytes;
+    }
+    if (materialized != 0) {
+      std::fprintf(stderr, "FAIL: shard setup materialised %zu bytes\n",
+                   materialized);
+      std::exit(1);
     }
     std::printf("%-8d %-12.4f %-12.4f %-9.2f %7zu/%-7zu %-8.3f\n", shards,
                 parallel.mean(), sequential.mean(),
@@ -60,6 +67,7 @@ void bench_protocol(std::size_t n, int repeats, int max_shards) {
                                       : 0.0,
                 sketch_cells, raw_cells, ari.mean());
   }
+  std::printf("bytes materialised per shard setup: 0 (zero-copy views)\n");
 }
 
 void bench_prepartition(std::size_t n, int max_shards) {

@@ -42,9 +42,11 @@ double time_nested(const data::Dataset& ds,
   const std::size_t n = ds.num_objects();
   const int k = static_cast<int>(profiles.size());
   Timer timer;
+  std::vector<data::Value> row_buf(ds.num_features());
   for (int rep = 0; rep < repeats; ++rep) {
     for (std::size_t i = 0; i < n; ++i) {
-      const data::Value* row = ds.row(i);
+      ds.gather_row(i, row_buf.data());
+      const data::Value* row = row_buf.data();
       int best = 0;
       double best_sim = -1.0;
       for (int l = 0; l < k; ++l) {
@@ -67,7 +69,7 @@ double time_flat(const data::Dataset& ds, const core::ProfileSet& set,
   std::vector<double> scratch;
   for (int rep = 0; rep < repeats; ++rep) {
     for (std::size_t i = 0; i < n; ++i) {
-      labels[i] = set.best_cluster(ds.row(i), scratch);
+      labels[i] = set.best_cluster(ds, i, scratch);
     }
   }
   return timer.elapsed_seconds();
@@ -81,7 +83,7 @@ double time_flat_mt(const data::Dataset& ds, const core::ProfileSet& set,
     parallel_chunks(n, 1024, [&](std::size_t lo, std::size_t hi) {
       std::vector<double> scratch;
       for (std::size_t i = lo; i < hi; ++i) {
-        labels[i] = set.best_cluster(ds.row(i), scratch);
+        labels[i] = set.best_cluster(ds, i, scratch);
       }
     });
   }

@@ -13,6 +13,7 @@
 
 #include "core/mgcpl.h"
 #include "data/synthetic.h"
+#include "data/view.h"
 #include "dist/prepartition.h"
 #include "dist/sim_cluster.h"
 
@@ -71,6 +72,20 @@ int main() {
   }
   std::printf("makespan %.1f, utilization %.0f%%\n", schedule.makespan,
               schedule.utilization * 100.0);
+
+  // 4. Hand each worker its shard as a zero-copy DatasetView: every worker
+  // reads the owner's columnar bank through its own row-index window, so
+  // shard setup materialises zero bytes (the old path deep-copied one
+  // Dataset::subset per worker).
+  const auto shard_rows = guided.shard_rows();
+  std::printf("\nPer-shard local learning through zero-copy views:\n");
+  for (std::size_t s = 0; s < shard_rows.size(); ++s) {
+    const data::DatasetView shard_view(nd.dataset, shard_rows[s]);
+    const auto local = core::Mgcpl().run(shard_view, /*seed=*/11);
+    std::printf("  shard %zu: %zu rows viewed, %d local micro-clusters\n", s,
+                shard_view.num_objects(), local.kappa.front());
+  }
+  std::printf("bytes materialised for shard setup: 0\n");
   std::printf(
       "\nMGCPL-guided shards keep every micro-cluster whole (zero intra-"
       "micro-cluster\ncommunication), while round-robin scatters them across "

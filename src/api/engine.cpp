@@ -39,7 +39,7 @@ Json FitResult::to_json() const {
   return out;
 }
 
-FitResult Engine::fit(const data::Dataset& ds,
+FitResult Engine::fit(const data::DatasetView& ds,
                       const FitOptions& options) const {
   FitResult out;
   RunReport& report = out.report;
@@ -145,6 +145,7 @@ FitResult Engine::fit(const data::Dataset& ds,
       report.dist.local_clusters = distributed.local_clusters;
       report.dist.sketch_cells = distributed.sketch_cells;
       report.dist.raw_cells = distributed.raw_cells;
+      report.dist.materialized_bytes = distributed.materialized_bytes;
       report.dist.parallel_seconds = distributed.parallel_time;
       report.dist.sequential_seconds = distributed.sequential_time;
     } else {
@@ -192,7 +193,8 @@ FitResult Engine::fit(const data::Dataset& ds,
     report.internal = metrics::internal_scores(ds, report.labels);
     if (ds.has_labels()) {
       report.has_external = true;
-      report.external = metrics::score_all(report.labels, ds.labels());
+      const std::vector<int> truth = ds.labels();
+      report.external = metrics::score_all(report.labels, truth);
     }
     report.timings.evaluate_seconds = evaluate_timer.elapsed_seconds();
   }

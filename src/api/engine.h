@@ -19,6 +19,7 @@
 #include "api/registry.h"
 #include "api/report.h"
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::api {
 
@@ -54,7 +55,10 @@ class Engine {
   explicit Engine(const Registry& registry = api::registry())
       : registry_(&registry) {}
 
-  FitResult fit(const data::Dataset& ds, const FitOptions& options = {}) const;
+  // Fits the viewed rows (a plain Dataset converts to the identity view;
+  // shards, windows and complete-case subsets arrive as zero-copy views).
+  FitResult fit(const data::DatasetView& ds,
+                const FitOptions& options = {}) const;
 
  private:
   const Registry* registry_;

@@ -17,7 +17,7 @@ namespace {
 // Each sweep freezes the histogram bank, so every row is scored against all
 // k clusters with one division-free flat sweep, and rows fan out over the
 // shared pool (disjoint writes -> labels identical to the serial sweep).
-bool refine_to_fixpoint(const data::Dataset& ds, int k,
+bool refine_to_fixpoint(const data::DatasetView& ds, int k,
                         std::vector<int>& labels) {
   constexpr int kMaxSweeps = 100;
   std::vector<int> next(labels.size());
@@ -30,7 +30,7 @@ bool refine_to_fixpoint(const data::Dataset& ds, int k,
     parallel_chunks(labels.size(), 2048, [&](std::size_t lo, std::size_t hi) {
       std::vector<double> scratch;
       for (std::size_t i = lo; i < hi; ++i) {
-        next[i] = profiles.best_cluster(ds.row(i), scratch);
+        next[i] = profiles.best_cluster(ds, i, scratch);
       }
     });
     if (next == labels) return true;
@@ -41,7 +41,7 @@ bool refine_to_fixpoint(const data::Dataset& ds, int k,
 
 }  // namespace
 
-Model Model::from_fit(std::string method, const data::Dataset& ds,
+Model Model::from_fit(std::string method, const data::DatasetView& ds,
                       const std::vector<int>& labels, int k,
                       std::vector<int> kappa, std::vector<double> theta,
                       bool refine) {
@@ -87,7 +87,7 @@ int Model::predict_row(const data::Value* row) const {
   return scorer_.best_cluster(row, scratch);
 }
 
-std::vector<int> Model::predict(const data::Dataset& ds) const {
+std::vector<int> Model::predict(const data::DatasetView& ds) const {
   if (!fitted()) throw std::logic_error("Model::predict: unfitted model");
   if (ds.num_features() != num_features()) {
     throw std::invalid_argument(
@@ -132,11 +132,11 @@ std::vector<int> Model::predict(const data::Dataset& ds) const {
     std::vector<data::Value> encoded(ds.num_features());
     std::vector<double> scratch;
     for (std::size_t i = lo; i < hi; ++i) {
-      const data::Value* row = ds.row(i);
       for (std::size_t r = 0; r < ds.num_features(); ++r) {
-        encoded[r] = row[r] == data::kMissing
+        const data::Value v = ds.at(i, r);
+        encoded[r] = v == data::kMissing
                          ? data::kMissing
-                         : remap[r][static_cast<std::size_t>(row[r])];
+                         : remap[r][static_cast<std::size_t>(v)];
       }
       labels[i] = scorer_.best_cluster(encoded.data(), scratch);
     }

@@ -20,6 +20,7 @@
 #include "core/profile_set.h"
 #include "core/similarity.h"
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::api {
 
@@ -39,7 +40,7 @@ class Model {
   // expected to honour. Refinement converges within a few sweeps in
   // practice; if it would empty one of the k clusters (or fails to settle
   // within 100 sweeps), the method's original labels are kept verbatim.
-  static Model from_fit(std::string method, const data::Dataset& ds,
+  static Model from_fit(std::string method, const data::DatasetView& ds,
                         const std::vector<int>& labels, int k,
                         std::vector<int> kappa = {},
                         std::vector<double> theta = {}, bool refine = true);
@@ -69,7 +70,7 @@ class Model {
   // through the stored value dictionaries; values the fit never saw score
   // as missing. Throws std::invalid_argument when the dataset's feature
   // count does not match the model's.
-  std::vector<int> predict(const data::Dataset& ds) const;
+  std::vector<int> predict(const data::DatasetView& ds) const;
 
   // `include_training_labels = false` drops the per-object label array —
   // used when the model is embedded next to a RunReport that already

@@ -162,13 +162,13 @@ namespace {
 // Clusterer objects the registry can serve.
 class FunctionClusterer : public baselines::Clusterer {
  public:
-  using Fn = std::function<baselines::ClusterResult(const data::Dataset&, int,
-                                                    std::uint64_t)>;
+  using Fn = std::function<baselines::ClusterResult(const data::DatasetView&,
+                                                    int, std::uint64_t)>;
   FunctionClusterer(std::string name, Fn fn)
       : name_(std::move(name)), fn_(std::move(fn)) {}
 
   std::string name() const override { return name_; }
-  baselines::ClusterResult cluster(const data::Dataset& ds, int k,
+  baselines::ClusterResult cluster(const data::DatasetView& ds, int k,
                                    std::uint64_t seed) const override {
     return fn_(ds, k, seed);
   }
@@ -390,7 +390,7 @@ void register_builtins(Registry& registry) {
     registry.add(std::move(info), [](const Params& params) {
       const core::McdcConfig config = mcdc_config_from_params(params);
       return std::make_shared<FunctionClusterer>(
-          "MCDC4", [config](const data::Dataset& ds, int k,
+          "MCDC4", [config](const data::DatasetView& ds, int k,
                             std::uint64_t seed) {
             return core::mcdc_v4(ds, k, seed, config);
           });
@@ -406,7 +406,7 @@ void register_builtins(Registry& registry) {
     registry.add(std::move(info), [](const Params& params) {
       const core::McdcConfig config = mcdc_config_from_params(params);
       return std::make_shared<FunctionClusterer>(
-          "MCDC3", [config](const data::Dataset& ds, int k,
+          "MCDC3", [config](const data::DatasetView& ds, int k,
                             std::uint64_t seed) {
             return core::mcdc_v3(ds, k, seed, config);
           });
@@ -422,7 +422,7 @@ void register_builtins(Registry& registry) {
     registry.add(std::move(info), [](const Params& params) {
       const double eta = param_double(params, "eta", 0.03);
       return std::make_shared<FunctionClusterer>(
-          "MCDC2", [eta](const data::Dataset& ds, int k, std::uint64_t seed) {
+          "MCDC2", [eta](const data::DatasetView& ds, int k, std::uint64_t seed) {
             return core::mcdc_v2(ds, k, seed, eta);
           });
     });
@@ -437,7 +437,7 @@ void register_builtins(Registry& registry) {
     registry.add(std::move(info), [](const Params& params) {
       const int max_passes = param_int(params, "max_passes", 100);
       return std::make_shared<FunctionClusterer>(
-          "MCDC1", [max_passes](const data::Dataset& ds, int k,
+          "MCDC1", [max_passes](const data::DatasetView& ds, int k,
                                 std::uint64_t seed) {
             return core::mcdc_v1(ds, k, seed, max_passes);
           });

@@ -77,6 +77,8 @@ Json RunReport::to_json() const {
     dist_json["local_clusters"] = std::move(local_json);
     dist_json["sketch_cells"] = static_cast<double>(dist.sketch_cells);
     dist_json["raw_cells"] = static_cast<double>(dist.raw_cells);
+    dist_json["materialized_bytes"] =
+        static_cast<double>(dist.materialized_bytes);
     dist_json["parallel_seconds"] = dist.parallel_seconds;
     dist_json["sequential_seconds"] = dist.sequential_seconds;
     out["dist"] = std::move(dist_json);

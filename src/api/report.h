@@ -70,6 +70,9 @@ struct DistEvidence {
   std::vector<int> local_clusters;
   std::size_t sketch_cells = 0;
   std::size_t raw_cells = 0;
+  // Bytes of raw data copied to hand workers their shards; 0 since workers
+  // consume zero-copy DatasetViews into the coordinator's columnar bank.
+  std::size_t materialized_bytes = 0;
   double parallel_seconds = 0.0;
   double sequential_seconds = 0.0;
 };

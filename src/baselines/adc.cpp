@@ -11,7 +11,7 @@ namespace {
 
 using detail::ValueDistances;
 
-ValueDistances learn_distances(const data::Dataset& ds) {
+ValueDistances learn_distances(const data::DatasetView& ds) {
   const std::size_t d = ds.num_features();
 
   ValueDistances distances;
@@ -88,7 +88,7 @@ ValueDistances learn_distances(const data::Dataset& ds) {
 
 }  // namespace
 
-ClusterResult Adc::cluster(const data::Dataset& ds, int k,
+ClusterResult Adc::cluster(const data::DatasetView& ds, int k,
                            std::uint64_t seed) const {
   const ValueDistances distances = learn_distances(ds);
   detail::KRepConfig config;

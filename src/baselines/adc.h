@@ -29,7 +29,7 @@ class Adc : public Clusterer {
   explicit Adc(const AdcConfig& config = {}) : config_(config) {}
 
   std::string name() const override { return "ADC"; }
-  ClusterResult cluster(const data::Dataset& ds, int k,
+  ClusterResult cluster(const data::DatasetView& ds, int k,
                         std::uint64_t seed) const override;
 
  private:

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::baselines {
 
@@ -27,9 +28,13 @@ class Clusterer {
 
   virtual std::string name() const = 0;
 
-  // Partitions ds into (up to) k clusters. Implementations must be
-  // deterministic given (ds, k, seed).
-  virtual ClusterResult cluster(const data::Dataset& ds, int k,
+  // Partitions the viewed rows into (up to) k clusters; labels are in view
+  // positions. A plain Dataset converts to the identity view; shards,
+  // windows and complete-case subsets arrive as row-index views with zero
+  // copied cells. Implementations must be deterministic given (ds, k, seed)
+  // and must produce identical labels for a view and for the materialised
+  // copy of the same rows.
+  virtual ClusterResult cluster(const data::DatasetView& ds, int k,
                                 std::uint64_t seed) const = 0;
 };
 

@@ -19,7 +19,7 @@ constexpr double kEps = 1e-10;
 
 }  // namespace
 
-ClusterResult Fkmawcw::cluster(const data::Dataset& ds, int k,
+ClusterResult Fkmawcw::cluster(const data::DatasetView& ds, int k,
                                std::uint64_t seed) const {
   ClusterResult result = run_once(
       ds, k, seed, config_.init == FkmawcwConfig::Init::density);
@@ -35,7 +35,7 @@ ClusterResult Fkmawcw::cluster(const data::Dataset& ds, int k,
   return result;
 }
 
-ClusterResult Fkmawcw::run_once(const data::Dataset& ds, int k,
+ClusterResult Fkmawcw::run_once(const data::DatasetView& ds, int k,
                                 std::uint64_t seed, bool density_init) const {
   const std::size_t n = ds.num_objects();
   const std::size_t d = ds.num_features();
@@ -52,7 +52,7 @@ ClusterResult Fkmawcw::run_once(const data::Dataset& ds, int k,
   } else {
     modes.reserve(ku);
     for (std::size_t i : rng.sample_without_replacement(n, ku)) {
-      modes.emplace_back(ds.row(i), ds.row(i) + d);
+      modes.push_back(ds.row_copy(i));
     }
   }
 
@@ -63,10 +63,10 @@ ClusterResult Fkmawcw::run_once(const data::Dataset& ds, int k,
   // Weighted dissimilarity of object i to cluster l:
   //   D_il = w_l^q * sum_r v_rl^p * delta(x_ir, z_lr).
   auto dissimilarity = [&](std::size_t i, std::size_t l) {
-    const Value* row = ds.row(i);
     double sum = 0.0;
     for (std::size_t r = 0; r < d; ++r) {
-      if (row[r] == data::kMissing || row[r] != modes[l][r]) {
+      const Value val = ds.at(i, r);
+      if (val == data::kMissing || val != modes[l][r]) {
         sum += std::pow(v[l][r], config_.p);
       }
     }
@@ -169,17 +169,17 @@ ClusterResult Fkmawcw::run_once(const data::Dataset& ds, int k,
       std::size_t farthest = 0;
       int worst = -1;
       for (std::size_t i = 0; i < n; ++i) {
-        const Value* row = ds.row(i);
         int mismatches = 0;
         for (std::size_t r = 0; r < d; ++r) {
-          if (row[r] == data::kMissing || row[r] != modes[l][r]) ++mismatches;
+          const Value val = ds.at(i, r);
+          if (val == data::kMissing || val != modes[l][r]) ++mismatches;
         }
         if (mismatches > worst) {
           worst = mismatches;
           farthest = i;
         }
       }
-      modes[l].assign(ds.row(farthest), ds.row(farthest) + d);
+      modes[l] = ds.row_copy(farthest);
     }
 
     // --- attribute weights per cluster ---
@@ -187,10 +187,10 @@ ClusterResult Fkmawcw::run_once(const data::Dataset& ds, int k,
     for (std::size_t l = 0; l < ku; ++l) {
       std::vector<double> mismatch(d, 0.0);
       for (std::size_t i = 0; i < n; ++i) {
-        const Value* row = ds.row(i);
         const double um = std::pow(u[i][l], config_.m);
         for (std::size_t r = 0; r < d; ++r) {
-          if (row[r] == data::kMissing || row[r] != modes[l][r]) {
+          const Value val = ds.at(i, r);
+          if (val == data::kMissing || val != modes[l][r]) {
             mismatch[r] += um;
           }
         }
@@ -209,11 +209,11 @@ ClusterResult Fkmawcw::run_once(const data::Dataset& ds, int k,
     {
       std::vector<double> dispersion(ku, 0.0);
       for (std::size_t i = 0; i < n; ++i) {
-        const Value* row = ds.row(i);
         for (std::size_t l = 0; l < ku; ++l) {
           double sum = 0.0;
           for (std::size_t r = 0; r < d; ++r) {
-            if (row[r] == data::kMissing || row[r] != modes[l][r]) {
+            const Value val = ds.at(i, r);
+            if (val == data::kMissing || val != modes[l][r]) {
               sum += std::pow(v[l][r], config_.p);
             }
           }

@@ -54,12 +54,12 @@ class Fkmawcw : public Clusterer {
   explicit Fkmawcw(const FkmawcwConfig& config = {}) : config_(config) {}
 
   std::string name() const override { return "FKMAWCW"; }
-  ClusterResult cluster(const data::Dataset& ds, int k,
+  ClusterResult cluster(const data::DatasetView& ds, int k,
                         std::uint64_t seed) const override;
 
  private:
   // One full alternating optimisation from one seeding.
-  ClusterResult run_once(const data::Dataset& ds, int k, std::uint64_t seed,
+  ClusterResult run_once(const data::DatasetView& ds, int k, std::uint64_t seed,
                          bool density_init) const;
 
   FkmawcwConfig config_;

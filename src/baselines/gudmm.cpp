@@ -13,14 +13,14 @@ namespace {
 using detail::ValueDistances;
 
 // Normalised MI in [0, 1]: MI / min(H_a, H_b); 0 when either is constant.
-double nmi(const data::Dataset& ds, std::size_t a, std::size_t b,
+double nmi(const data::DatasetView& ds, std::size_t a, std::size_t b,
            const std::vector<double>& entropies) {
   const double h = std::min(entropies[a], entropies[b]);
   if (h <= 0.0) return 0.0;
   return std::min(1.0, detail::attribute_mutual_information(ds, a, b) / h);
 }
 
-ValueDistances learn_distances(const data::Dataset& ds) {
+ValueDistances learn_distances(const data::DatasetView& ds) {
   const std::size_t d = ds.num_features();
 
   // Attribute entropies for the NMI normalisation.
@@ -97,7 +97,7 @@ ValueDistances learn_distances(const data::Dataset& ds) {
 
 }  // namespace
 
-ClusterResult Gudmm::cluster(const data::Dataset& ds, int k,
+ClusterResult Gudmm::cluster(const data::DatasetView& ds, int k,
                              std::uint64_t seed) const {
   const ValueDistances distances = learn_distances(ds);
   detail::KRepConfig config;

@@ -30,7 +30,7 @@ class Gudmm : public Clusterer {
   explicit Gudmm(const GudmmConfig& config = {}) : config_(config) {}
 
   std::string name() const override { return "GUDMM"; }
-  ClusterResult cluster(const data::Dataset& ds, int k,
+  ClusterResult cluster(const data::DatasetView& ds, int k,
                         std::uint64_t seed) const override;
 
  private:

@@ -1,5 +1,6 @@
 #include "baselines/kmodes.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -14,18 +15,19 @@ using data::Value;
 
 // Hamming distance to a mode; a missing cell always counts as a mismatch,
 // matching the treatment in Huang's formulation.
-int distance(const Dataset& ds, std::size_t i, const std::vector<Value>& z) {
-  const Value* row = ds.row(i);
+int distance(const data::DatasetView& ds, std::size_t i,
+             const std::vector<Value>& z) {
   int dist = 0;
   for (std::size_t r = 0; r < z.size(); ++r) {
-    if (row[r] == data::kMissing || row[r] != z[r]) ++dist;
+    const Value v = ds.at(i, r);
+    if (v == data::kMissing || v != z[r]) ++dist;
   }
   return dist;
 }
 
 }  // namespace
 
-ClusterResult KModes::cluster(const data::Dataset& ds, int k,
+ClusterResult KModes::cluster(const data::DatasetView& ds, int k,
                               std::uint64_t seed) const {
   const std::size_t n = ds.num_objects();
   const std::size_t d = ds.num_features();
@@ -39,7 +41,7 @@ ClusterResult KModes::cluster(const data::Dataset& ds, int k,
   modes.reserve(static_cast<std::size_t>(k));
   for (std::size_t i :
        rng.sample_without_replacement(n, static_cast<std::size_t>(k))) {
-    modes.emplace_back(ds.row(i), ds.row(i) + d);
+    modes.push_back(ds.row_copy(i));
   }
 
   std::vector<int> labels(n, -1);
@@ -58,26 +60,33 @@ ClusterResult KModes::cluster(const data::Dataset& ds, int k,
     }
   };
 
+  // Flat per-cluster histogram bank in ProfileSet's value-major layout:
+  // hist[(offset[r] + v) * k + l]. One contiguous buffer instead of a
+  // [cluster][feature][value] vector jungle, filled by stride-1 column
+  // sweeps over the columnar dataset bank.
+  const auto ku = static_cast<std::size_t>(k);
+  std::vector<std::size_t> offsets(d + 1, 0);
+  for (std::size_t r = 0; r < d; ++r) {
+    offsets[r + 1] = offsets[r] + static_cast<std::size_t>(ds.cardinality(r));
+  }
+  std::vector<int> hist(offsets[d] * ku, 0);
+
   assign(labels);
   std::vector<int> next(n, -1);
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
     // Recompute modes from the current partition.
-    std::vector<std::vector<std::vector<int>>> hist(static_cast<std::size_t>(k));
-    std::vector<int> sizes(static_cast<std::size_t>(k), 0);
-    for (int l = 0; l < k; ++l) {
-      hist[static_cast<std::size_t>(l)].resize(d);
-      for (std::size_t r = 0; r < d; ++r) {
-        hist[static_cast<std::size_t>(l)][r].assign(
-            static_cast<std::size_t>(ds.cardinality(r)), 0);
-      }
-    }
+    std::fill(hist.begin(), hist.end(), 0);
+    std::vector<int> sizes(ku, 0);
     for (std::size_t i = 0; i < n; ++i) {
-      const auto l = static_cast<std::size_t>(labels[i]);
-      ++sizes[l];
-      const Value* row = ds.row(i);
-      for (std::size_t r = 0; r < d; ++r) {
-        if (row[r] != data::kMissing) {
-          ++hist[l][r][static_cast<std::size_t>(row[r])];
+      ++sizes[static_cast<std::size_t>(labels[i])];
+    }
+    for (std::size_t r = 0; r < d; ++r) {
+      int* cell_block = hist.data() + offsets[r] * ku;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Value v = ds.at(i, r);
+        if (v != data::kMissing) {
+          ++cell_block[static_cast<std::size_t>(v) * ku +
+                       static_cast<std::size_t>(labels[i])];
         }
       }
     }
@@ -94,17 +103,18 @@ ClusterResult KModes::cluster(const data::Dataset& ds, int k,
             farthest = i;
           }
         }
-        modes[static_cast<std::size_t>(l)].assign(ds.row(farthest),
-                                                  ds.row(farthest) + d);
+        modes[static_cast<std::size_t>(l)] = ds.row_copy(farthest);
         continue;
       }
       for (std::size_t r = 0; r < d; ++r) {
-        const auto& counts = hist[static_cast<std::size_t>(l)][r];
+        const int* cell_block = hist.data() + offsets[r] * ku;
         int best_count = -1;
         Value best_value = 0;
-        for (std::size_t v = 0; v < counts.size(); ++v) {
-          if (counts[v] > best_count) {
-            best_count = counts[v];
+        for (std::size_t v = 0;
+             v < static_cast<std::size_t>(ds.cardinality(r)); ++v) {
+          const int c = cell_block[v * ku + static_cast<std::size_t>(l)];
+          if (c > best_count) {
+            best_count = c;
             best_value = static_cast<Value>(v);
           }
         }

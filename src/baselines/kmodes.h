@@ -20,7 +20,7 @@ class KModes : public Clusterer {
   explicit KModes(const KModesConfig& config = {}) : config_(config) {}
 
   std::string name() const override { return "K-MODES"; }
-  ClusterResult cluster(const data::Dataset& ds, int k,
+  ClusterResult cluster(const data::DatasetView& ds, int k,
                         std::uint64_t seed) const override;
 
  private:

@@ -16,7 +16,7 @@ using data::Value;
 
 }  // namespace
 
-std::vector<int> joint_counts(const Dataset& ds, std::size_t a,
+std::vector<int> joint_counts(const data::DatasetView& ds, std::size_t a,
                               std::size_t b) {
   const int ma = ds.cardinality(a);
   const int mb = ds.cardinality(b);
@@ -31,7 +31,7 @@ std::vector<int> joint_counts(const Dataset& ds, std::size_t a,
   return counts;
 }
 
-double attribute_mutual_information(const Dataset& ds, std::size_t a,
+double attribute_mutual_information(const data::DatasetView& ds, std::size_t a,
                                     std::size_t b) {
   const int ma = ds.cardinality(a);
   const int mb = ds.cardinality(b);
@@ -63,7 +63,7 @@ double attribute_mutual_information(const Dataset& ds, std::size_t a,
   return std::max(0.0, mi);
 }
 
-std::vector<double> conditional_distribution(const Dataset& ds, std::size_t a,
+std::vector<double> conditional_distribution(const data::DatasetView& ds, std::size_t a,
                                              std::size_t b) {
   const int ma = ds.cardinality(a);
   const int mb = ds.cardinality(b);
@@ -85,7 +85,7 @@ std::vector<double> conditional_distribution(const Dataset& ds, std::size_t a,
   return cond;
 }
 
-ClusterResult krepresentatives(const Dataset& ds, int k,
+ClusterResult krepresentatives(const data::DatasetView& ds, int k,
                                const ValueDistances& distances,
                                const KRepConfig& config, std::uint64_t seed) {
   const std::size_t n = ds.num_objects();
@@ -126,10 +126,10 @@ ClusterResult krepresentatives(const Dataset& ds, int k,
 
   // Object-representative distance: expected value dissimilarity.
   auto object_distance = [&](std::size_t i, const Representative& rep) {
-    const Value* row = ds.row(i);
     double sum = 0.0;
     for (std::size_t r = 0; r < d; ++r) {
-      if (row[r] == data::kMissing) {
+      const Value val = ds.at(i, r);
+      if (val == data::kMissing) {
         sum += neutral[r];
         continue;
       }
@@ -138,7 +138,7 @@ ClusterResult krepresentatives(const Dataset& ds, int k,
       for (int v = 0; v < m_r; ++v) {
         const double p = rep.dist[r][static_cast<std::size_t>(v)];
         if (p > 0.0) {
-          expectation += p * distances.at(r, row[r], static_cast<Value>(v), m_r);
+          expectation += p * distances.at(r, val, static_cast<Value>(v), m_r);
         }
       }
       sum += expectation;
@@ -153,10 +153,10 @@ ClusterResult krepresentatives(const Dataset& ds, int k,
     const auto counts = ds.value_counts();
     std::vector<double> density(n, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
-      const Value* row = ds.row(i);
       for (std::size_t r = 0; r < d; ++r) {
-        if (row[r] != data::kMissing) {
-          density[i] += counts[r][static_cast<std::size_t>(row[r])];
+        const Value val = ds.at(i, r);
+        if (val != data::kMissing) {
+          density[i] += counts[r][static_cast<std::size_t>(val)];
         }
       }
     }
@@ -229,10 +229,10 @@ ClusterResult krepresentatives(const Dataset& ds, int k,
     for (std::size_t i = 0; i < n; ++i) {
       const auto l = static_cast<std::size_t>(labels[i]);
       ++sizes[l];
-      const Value* row = ds.row(i);
       for (std::size_t r = 0; r < d; ++r) {
-        if (row[r] != data::kMissing) {
-          fresh[l].dist[r][static_cast<std::size_t>(row[r])] += 1.0;
+        const Value val = ds.at(i, r);
+        if (val != data::kMissing) {
+          fresh[l].dist[r][static_cast<std::size_t>(val)] += 1.0;
         }
       }
     }

@@ -29,17 +29,17 @@ struct ValueDistances {
 };
 
 // Joint count table between attributes a and b: counts[va * m_b + vb].
-std::vector<int> joint_counts(const data::Dataset& ds, std::size_t a,
+std::vector<int> joint_counts(const data::DatasetView& ds, std::size_t a,
                               std::size_t b);
 
 // Mutual information between attributes a and b (nats), computed over rows
 // where both are present.
-double attribute_mutual_information(const data::Dataset& ds, std::size_t a,
+double attribute_mutual_information(const data::DatasetView& ds, std::size_t a,
                                     std::size_t b);
 
 // Conditional distribution P(F_b | F_a = v) for all v: rows of the returned
 // matrix (row-major, m_a x m_b). Rows for unseen values are uniform.
-std::vector<double> conditional_distribution(const data::Dataset& ds,
+std::vector<double> conditional_distribution(const data::DatasetView& ds,
                                              std::size_t a, std::size_t b);
 
 struct KRepConfig {
@@ -49,7 +49,7 @@ struct KRepConfig {
 
 // k-representatives clustering under the given value distances. Missing
 // cells contribute the attribute's mean dissimilarity (a neutral vote).
-ClusterResult krepresentatives(const data::Dataset& ds, int k,
+ClusterResult krepresentatives(const data::DatasetView& ds, int k,
                                const ValueDistances& distances,
                                const KRepConfig& config, std::uint64_t seed);
 

@@ -15,14 +15,13 @@ namespace {
 using data::Dataset;
 using data::Value;
 
-double hamming(const Dataset& ds, std::size_t a, std::size_t b) {
-  const Value* ra = ds.row(a);
-  const Value* rb = ds.row(b);
+// Hamming distance over two gathered (contiguous) rows. Missing values
+// mismatch everything, including another missing value (two unknown votes
+// are not evidence of agreement).
+double hamming(const Value* a, const Value* b, std::size_t d) {
   int dist = 0;
-  for (std::size_t r = 0; r < ds.num_features(); ++r) {
-    // Missing values mismatch everything, including another missing value
-    // (two unknown votes are not evidence of agreement).
-    if (ra[r] == data::kMissing || rb[r] == data::kMissing || ra[r] != rb[r]) {
+  for (std::size_t r = 0; r < d; ++r) {
+    if (a[r] == data::kMissing || b[r] == data::kMissing || a[r] != b[r]) {
       ++dist;
     }
   }
@@ -43,7 +42,7 @@ std::string Linkage::name() const {
   return "LINKAGE";
 }
 
-ClusterResult Linkage::cluster(const data::Dataset& ds, int k,
+ClusterResult Linkage::cluster(const data::DatasetView& ds, int k,
                                std::uint64_t seed) const {
   const std::size_t n = ds.num_objects();
   if (n == 0) throw std::invalid_argument("Linkage: empty dataset");
@@ -57,12 +56,24 @@ ClusterResult Linkage::cluster(const data::Dataset& ds, int k,
     std::sort(sample.begin(), sample.end());
   }
   const std::size_t m = sample.size();
+  const std::size_t d = ds.num_features();
+
+  // The O(m^2) pairwise kernel reads rows constantly; one up-front O(m d)
+  // gather of the sample into a row-major scratch keeps the inner loops on
+  // contiguous memory instead of striding the columnar bank per cell.
+  std::vector<Value> sample_rows(m * d);
+  for (std::size_t p = 0; p < m; ++p) {
+    ds.gather_row(sample[p], sample_rows.data() + p * d);
+  }
+  const auto sample_row = [&](std::size_t p) {
+    return sample_rows.data() + p * d;
+  };
 
   // Pairwise distance matrix over the sample.
   std::vector<std::vector<double>> dist(m, std::vector<double>(m, 0.0));
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = i + 1; j < m; ++j) {
-      dist[i][j] = dist[j][i] = hamming(ds, sample[i], sample[j]);
+      dist[i][j] = dist[j][i] = hamming(sample_row(i), sample_row(j), d);
     }
   }
 
@@ -135,12 +146,14 @@ ClusterResult Linkage::cluster(const data::Dataset& ds, int k,
     result.labels[sample[p]] = sample_label[p];
   }
   // Outside points join their nearest sampled neighbour's cluster.
+  std::vector<Value> row(d);
   for (std::size_t i = 0; i < n; ++i) {
     if (result.labels[i] >= 0) continue;
+    ds.gather_row(i, row.data());
     std::size_t nearest = 0;
     double best = std::numeric_limits<double>::infinity();
     for (std::size_t p = 0; p < m; ++p) {
-      const double dd = hamming(ds, i, sample[p]);
+      const double dd = hamming(row.data(), sample_row(p), d);
       if (dd < best) {
         best = dd;
         nearest = p;

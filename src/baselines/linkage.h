@@ -25,7 +25,7 @@ class Linkage : public Clusterer {
   explicit Linkage(const LinkageConfig& config = {}) : config_(config) {}
 
   std::string name() const override;
-  ClusterResult cluster(const data::Dataset& ds, int k,
+  ClusterResult cluster(const data::DatasetView& ds, int k,
                         std::uint64_t seed) const override;
 
  private:

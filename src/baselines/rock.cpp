@@ -17,16 +17,16 @@ using data::Value;
 
 // Jaccard similarity over the sets of (attribute, value) pairs; missing
 // cells belong to neither set.
-double jaccard(const Dataset& ds, std::size_t a, std::size_t b) {
-  const Value* ra = ds.row(a);
-  const Value* rb = ds.row(b);
+// Jaccard similarity over two gathered (contiguous) rows; missing cells
+// belong to neither set.
+double jaccard(const Value* a, const Value* b, std::size_t d) {
   int matches = 0;
   int present_a = 0;
   int present_b = 0;
-  for (std::size_t r = 0; r < ds.num_features(); ++r) {
-    if (ra[r] != data::kMissing) ++present_a;
-    if (rb[r] != data::kMissing) ++present_b;
-    if (ra[r] != data::kMissing && ra[r] == rb[r]) ++matches;
+  for (std::size_t r = 0; r < d; ++r) {
+    if (a[r] != data::kMissing) ++present_a;
+    if (b[r] != data::kMissing) ++present_b;
+    if (a[r] != data::kMissing && a[r] == b[r]) ++matches;
   }
   const int uni = present_a + present_b - matches;
   return uni == 0 ? 0.0 : static_cast<double>(matches) / uni;
@@ -34,7 +34,7 @@ double jaccard(const Dataset& ds, std::size_t a, std::size_t b) {
 
 }  // namespace
 
-ClusterResult Rock::cluster(const data::Dataset& ds, int k,
+ClusterResult Rock::cluster(const data::DatasetView& ds, int k,
                             std::uint64_t seed) const {
   const std::size_t n = ds.num_objects();
   if (n == 0) throw std::invalid_argument("Rock: empty dataset");
@@ -48,12 +48,24 @@ ClusterResult Rock::cluster(const data::Dataset& ds, int k,
     std::sort(sample.begin(), sample.end());
   }
   const std::size_t m = sample.size();
+  const std::size_t d = ds.num_features();
+
+  // The O(m^2) similarity kernel reads rows constantly; one up-front
+  // O(m d) gather of the sample into a row-major scratch keeps the inner
+  // loops on contiguous memory instead of striding the columnar bank.
+  std::vector<Value> sample_rows(m * d);
+  for (std::size_t p = 0; p < m; ++p) {
+    ds.gather_row(sample[p], sample_rows.data() + p * d);
+  }
+  const auto sample_row = [&](std::size_t p) {
+    return sample_rows.data() + p * d;
+  };
 
   // Neighbour lists on the sample.
   std::vector<std::vector<int>> neighbours(m);
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = i + 1; j < m; ++j) {
-      if (jaccard(ds, sample[i], sample[j]) >= config_.theta) {
+      if (jaccard(sample_row(i), sample_row(j), d) >= config_.theta) {
         neighbours[i].push_back(static_cast<int>(j));
         neighbours[j].push_back(static_cast<int>(i));
       }
@@ -139,13 +151,15 @@ ClusterResult Rock::cluster(const data::Dataset& ds, int k,
     result.labels[sample[p]] = sample_label[p];
     ++cluster_sizes[static_cast<std::size_t>(sample_label[p])];
   }
+  std::vector<Value> row(d);
   for (std::size_t i = 0; i < n; ++i) {
     if (result.labels[i] >= 0) continue;
+    ds.gather_row(i, row.data());
     std::vector<int> votes(static_cast<std::size_t>(next_id), 0);
     double best_sim = -1.0;
     int nearest = 0;
     for (std::size_t p = 0; p < m; ++p) {
-      const double sim = jaccard(ds, i, sample[p]);
+      const double sim = jaccard(row.data(), sample_row(p), d);
       if (sim >= config_.theta) {
         ++votes[static_cast<std::size_t>(sample_label[p])];
       }

@@ -32,7 +32,7 @@ class Rock : public Clusterer {
   explicit Rock(const RockConfig& config = {}) : config_(config) {}
 
   std::string name() const override { return "ROCK"; }
-  ClusterResult cluster(const data::Dataset& ds, int k,
+  ClusterResult cluster(const data::DatasetView& ds, int k,
                         std::uint64_t seed) const override;
 
  private:

@@ -18,27 +18,25 @@ using data::Value;
 // Deterministic seeding: densest object first, then objects maximising
 // (Hamming distance to nearest chosen seed) * density — the stable
 // initialisation WOCIL is known for.
-std::vector<std::size_t> stable_seeds(const Dataset& ds, int k) {
+std::vector<std::size_t> stable_seeds(const data::DatasetView& ds, int k) {
   const std::size_t n = ds.num_objects();
   const std::size_t d = ds.num_features();
   const auto counts = ds.value_counts();
 
   std::vector<double> density(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const Value* row = ds.row(i);
-    for (std::size_t r = 0; r < d; ++r) {
-      if (row[r] != data::kMissing) {
-        density[i] += counts[r][static_cast<std::size_t>(row[r])];
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Value v = ds.at(i, r);
+      if (v != data::kMissing) {
+        density[i] += counts[r][static_cast<std::size_t>(v)];
       }
     }
   }
 
   auto hamming = [&](std::size_t a, std::size_t b) {
-    const Value* ra = ds.row(a);
-    const Value* rb = ds.row(b);
     int dist = 0;
     for (std::size_t r = 0; r < d; ++r) {
-      if (ra[r] != rb[r]) ++dist;
+      if (ds.at(a, r) != ds.at(b, r)) ++dist;
     }
     return dist;
   };
@@ -72,7 +70,7 @@ std::vector<std::size_t> stable_seeds(const Dataset& ds, int k) {
 // Subspace weights of one cluster: concentration (1 - normalised entropy)
 // per attribute, normalised to sum 1.
 std::vector<double> subspace_weights(const ClusterProfile& profile,
-                                     const Dataset& ds) {
+                                     const data::DatasetView& ds) {
   const std::size_t d = ds.num_features();
   std::vector<double> w(d, 0.0);
   double total = 0.0;
@@ -102,7 +100,7 @@ std::vector<double> subspace_weights(const ClusterProfile& profile,
 
 }  // namespace
 
-ClusterResult Wocil::cluster(const data::Dataset& ds, int k,
+ClusterResult Wocil::cluster(const data::DatasetView& ds, int k,
                              std::uint64_t /*seed*/) const {
   const std::size_t n = ds.num_objects();
   if (n == 0) throw std::invalid_argument("Wocil: empty dataset");

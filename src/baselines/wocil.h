@@ -30,7 +30,7 @@ class Wocil : public Clusterer {
   explicit Wocil(const WocilConfig& config = {}) : config_(config) {}
 
   std::string name() const override { return "WOCIL"; }
-  ClusterResult cluster(const data::Dataset& ds, int k,
+  ClusterResult cluster(const data::DatasetView& ds, int k,
                         std::uint64_t seed) const override;
 
  private:

@@ -27,6 +27,7 @@
 
 #include "core/mgcpl.h"
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::core {
 
@@ -43,7 +44,7 @@ struct QuerySelection {
   std::vector<double> uncertainty;
 };
 
-QuerySelection select_queries(const data::Dataset& ds,
+QuerySelection select_queries(const data::DatasetView& ds,
                               const MgcplResult& mgcpl,
                               const QuerySelectionConfig& config = {});
 

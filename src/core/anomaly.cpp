@@ -18,7 +18,7 @@ std::vector<std::size_t> AnomalyResult::top_fraction(double fraction) const {
           ranking.begin() + static_cast<std::ptrdiff_t>(count)};
 }
 
-AnomalyResult score_anomalies(const data::Dataset& ds,
+AnomalyResult score_anomalies(const data::DatasetView& ds,
                               const MgcplResult& mgcpl,
                               const AnomalyConfig& config) {
   if (mgcpl.kappa.empty()) {

@@ -21,6 +21,7 @@
 
 #include "core/mgcpl.h"
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::core {
 
@@ -43,7 +44,7 @@ struct AnomalyResult {
 };
 
 // Scores all objects of a completed MGCPL analysis.
-AnomalyResult score_anomalies(const data::Dataset& ds,
+AnomalyResult score_anomalies(const data::DatasetView& ds,
                               const MgcplResult& mgcpl,
                               const AnomalyConfig& config = {});
 

@@ -18,32 +18,30 @@ using data::Dataset;
 using data::Value;
 
 // Weighted Hamming distance of row i to mode z (Eq. 20's inner sum).
-double weighted_distance(const Dataset& ds, std::size_t i,
+double weighted_distance(const data::DatasetView& ds, std::size_t i,
                          const std::vector<Value>& z,
                          const std::vector<double>& theta) {
-  const Value* row = ds.row(i);
   double dist = 0.0;
   for (std::size_t r = 0; r < z.size(); ++r) {
-    if (row[r] != z[r]) dist += theta[r];
+    if (ds.at(i, r) != z[r]) dist += theta[r];
   }
   return dist;
 }
 
-std::vector<std::vector<Value>> random_init(const Dataset& ds, int k,
-                                            Rng& rng) {
-  const std::size_t d = ds.num_features();
+std::vector<std::vector<Value>> random_init(const data::DatasetView& ds,
+                                            int k, Rng& rng) {
   std::vector<std::vector<Value>> modes;
   modes.reserve(static_cast<std::size_t>(k));
   for (std::size_t i :
        rng.sample_without_replacement(ds.num_objects(), static_cast<std::size_t>(k))) {
-    modes.emplace_back(ds.row(i), ds.row(i) + d);
+    modes.push_back(ds.row_copy(i));
   }
   return modes;
 }
 
 }  // namespace
 
-CameResult Came::run(const data::Dataset& embedding, int k,
+CameResult Came::run(const data::DatasetView& embedding, int k,
                      std::uint64_t seed) const {
   const std::size_t n = embedding.num_objects();
   const std::size_t sigma = embedding.num_features();
@@ -105,8 +103,7 @@ CameResult Came::run(const data::Dataset& embedding, int k,
           farthest = i;
         }
       }
-      modes[static_cast<std::size_t>(l)].assign(
-          embedding.row(farthest), embedding.row(farthest) + sigma);
+      modes[static_cast<std::size_t>(l)] = embedding.row_copy(farthest);
     }
     for (int l = 0; l < k; ++l) {
       if (sizes[static_cast<std::size_t>(l)] == 0) continue;
@@ -133,10 +130,9 @@ CameResult Came::run(const data::Dataset& embedding, int k,
         // Eq. (22): intra-cluster match mass per granularity.
         std::vector<double> intra(sigma, 0.0);
         for (std::size_t i = 0; i < n; ++i) {
-          const Value* row = embedding.row(i);
           const auto& z = modes[static_cast<std::size_t>(labels[i])];
           for (std::size_t r = 0; r < sigma; ++r) {
-            if (row[r] == z[r]) intra[r] += 1.0;
+            if (embedding.at(i, r) == z[r]) intra[r] += 1.0;
           }
         }
         double total = 0.0;
@@ -150,10 +146,9 @@ CameResult Came::run(const data::Dataset& embedding, int k,
         // with D_r the mismatch mass of granularity r.
         std::vector<double> mismatch(sigma, 0.0);
         for (std::size_t i = 0; i < n; ++i) {
-          const Value* row = embedding.row(i);
           const auto& z = modes[static_cast<std::size_t>(labels[i])];
           for (std::size_t r = 0; r < sigma; ++r) {
-            if (row[r] != z[r]) mismatch[r] += 1.0;
+            if (embedding.at(i, r) != z[r]) mismatch[r] += 1.0;
           }
         }
         const double exponent = 1.0 / (config_.beta - 1.0);

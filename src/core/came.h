@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::core {
 
@@ -57,7 +58,7 @@ class Came {
 
   // Clusters the embedding into k groups. The seed matters only under
   // Init::random.
-  CameResult run(const data::Dataset& embedding, int k,
+  CameResult run(const data::DatasetView& embedding, int k,
                  std::uint64_t seed = 0) const;
 
   const CameConfig& config() const { return config_; }

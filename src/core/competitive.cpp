@@ -10,7 +10,7 @@ double cluster_weight_sigmoid(double delta) {
   return 1.0 / (1.0 + std::exp(-10.0 * delta + 5.0));
 }
 
-CompetitiveStage::CompetitiveStage(const data::Dataset& ds,
+CompetitiveStage::CompetitiveStage(const data::DatasetView& ds,
                                    const std::vector<std::size_t>& seeds,
                                    const StageConfig& config)
     : ds_(ds), config_(config), global_(ds) {
@@ -31,7 +31,7 @@ CompetitiveStage::CompetitiveStage(const data::Dataset& ds,
     if (assignment_[i] != -1) {
       throw std::invalid_argument("CompetitiveStage: duplicate seed row");
     }
-    set_.add(static_cast<int>(l), ds.row(i));
+    set_.add(static_cast<int>(l), ds, i);
     assignment_[i] = static_cast<int>(l);
   }
   omega_.assign(k, std::vector<double>(ds.num_features(),
@@ -63,14 +63,13 @@ int CompetitiveStage::run() {
 
     for (std::size_t i = 0; i < n; ++i) {
       const auto k = static_cast<std::size_t>(set_.num_clusters());
-      const data::Value* row = ds_.row(i);
       if (k == 1) {
         // A lone cluster trivially wins every object.
         if (assignment_[i] != 0) {
           if (assignment_[i] >= 0) {
-            set_.move(assignment_[i], 0, row);
+            set_.move(assignment_[i], 0, ds_, i);
           } else {
-            set_.add(0, row);
+            set_.add(0, ds_, i);
           }
           assignment_[i] = 0;
           changed = true;
@@ -88,7 +87,7 @@ int CompetitiveStage::run() {
       // fall out of one scan. Ties resolve to the lowest cluster id, making
       // runs reproducible.
       scores_.resize(k);
-      set_.weighted_score_all(row, wt_.data(), scores_.data());
+      set_.weighted_score_all(ds_, i, wt_.data(), scores_.data());
       std::size_t v = 0;
       std::size_t h = 1;
       double best = -1.0;
@@ -114,9 +113,9 @@ int CompetitiveStage::run() {
       const int old = assignment_[i];
       if (old != static_cast<int>(v)) {
         if (old >= 0) {
-          set_.move(old, static_cast<int>(v), row);
+          set_.move(old, static_cast<int>(v), ds_, i);
         } else {
-          set_.add(static_cast<int>(v), row);
+          set_.add(static_cast<int>(v), ds_, i);
         }
         assignment_[i] = static_cast<int>(v);
         changed = true;
@@ -131,8 +130,10 @@ int CompetitiveStage::run() {
         // (and a moved-from rival's) histogram just changed.
         const double penalty_sim =
             config_.penalty_uses_winner_similarity
-                ? set_.weighted_score_one(static_cast<int>(v), row, omega_[v])
-                : set_.weighted_score_one(static_cast<int>(h), row, omega_[h]);
+                ? set_.weighted_score_one(static_cast<int>(v), ds_, i,
+                                          omega_[v])
+                : set_.weighted_score_one(static_cast<int>(h), ds_, i,
+                                          omega_[h]);
         delta_[h] -= config_.eta * penalty_sim;
         u_[v] = cluster_weight_sigmoid(delta_[v]);
         u_[h] = cluster_weight_sigmoid(delta_[h]);

@@ -25,6 +25,7 @@
 #include "core/profile_set.h"
 #include "core/similarity.h"
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::core {
 
@@ -80,8 +81,10 @@ struct StageConfig {
 class CompetitiveStage {
  public:
   // Starts with every object unassigned and the given rows as singleton
-  // seed clusters (Alg. 1 line 3).
-  CompetitiveStage(const data::Dataset& ds, const std::vector<std::size_t>& seeds,
+  // seed clusters (Alg. 1 line 3). The view (and any row-index buffer
+  // behind it) must outlive the stage; seeds are view positions.
+  CompetitiveStage(const data::DatasetView& ds,
+                   const std::vector<std::size_t>& seeds,
                    const StageConfig& config);
 
   // Runs sweeps until the partition stabilises; returns the number of
@@ -110,7 +113,7 @@ class CompetitiveStage {
   // Mirrors omega_ into the feature-major wt_ buffer score sweeps consume.
   void rebuild_weight_bank();
 
-  const data::Dataset& ds_;
+  data::DatasetView ds_;
   StageConfig config_;
   GlobalCounts global_;
 

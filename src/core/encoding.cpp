@@ -30,7 +30,7 @@ data::Dataset build(const MgcplResult& mgcpl, std::vector<int> labels) {
 }  // namespace
 
 data::Dataset encode_gamma(const MgcplResult& mgcpl,
-                           const data::Dataset& source) {
+                           const data::DatasetView& source) {
   return build(mgcpl, source.labels());
 }
 

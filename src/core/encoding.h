@@ -7,6 +7,7 @@
 
 #include "core/mgcpl.h"
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::core {
 
@@ -14,7 +15,7 @@ namespace mcdc::core {
 // labels of the source dataset (when present) are carried over so validity
 // indices can be computed on clusterings of the embedding.
 data::Dataset encode_gamma(const MgcplResult& mgcpl,
-                           const data::Dataset& source);
+                           const data::DatasetView& source);
 
 // Embedding without label carry-over (for unlabeled pipelines).
 data::Dataset encode_gamma(const MgcplResult& mgcpl);

@@ -4,7 +4,7 @@
 
 namespace mcdc::core {
 
-GlobalCounts::GlobalCounts(const data::Dataset& ds)
+GlobalCounts::GlobalCounts(const data::DatasetView& ds)
     : counts(ds.value_counts()), non_null(ds.num_features(), 0) {
   for (std::size_t r = 0; r < ds.num_features(); ++r) {
     for (int c : counts[r]) non_null[r] += c;

@@ -16,13 +16,15 @@
 #include "core/profile_set.h"
 #include "core/similarity.h"
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::core {
 
-// Global per-feature value counts of the full dataset (Psi over X), used to
-// derive the complement distribution X \ C_l without a second pass.
+// Global per-feature value counts of the learning substrate (Psi over X —
+// the viewed rows, not the backing dataset), used to derive the complement
+// distribution X \ C_l without a second pass.
 struct GlobalCounts {
-  explicit GlobalCounts(const data::Dataset& ds);
+  explicit GlobalCounts(const data::DatasetView& ds);
 
   std::vector<std::vector<int>> counts;  // [feature][value]
   std::vector<int> non_null;             // [feature]

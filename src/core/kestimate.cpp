@@ -8,7 +8,7 @@
 
 namespace mcdc::core {
 
-KEstimate estimate_k(const data::Dataset& ds, const MgcplResult& mgcpl,
+KEstimate estimate_k(const data::DatasetView& ds, const MgcplResult& mgcpl,
                      const KEstimateConfig& config) {
   if (mgcpl.kappa.empty()) {
     throw std::invalid_argument("estimate_k: empty MGCPL result");
@@ -58,7 +58,7 @@ KEstimate estimate_k(const data::Dataset& ds, const MgcplResult& mgcpl,
   return out;
 }
 
-KEstimate estimate_k(const data::Dataset& ds, std::uint64_t seed,
+KEstimate estimate_k(const data::DatasetView& ds, std::uint64_t seed,
                      const KEstimateConfig& config) {
   return estimate_k(ds, Mgcpl().run(ds, seed), config);
 }

@@ -19,6 +19,7 @@
 
 #include "core/mgcpl.h"
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::core {
 
@@ -46,11 +47,11 @@ struct KEstimate {
 
 // Scores every granularity of a completed MGCPL analysis against the data
 // it was learned from.
-KEstimate estimate_k(const data::Dataset& ds, const MgcplResult& mgcpl,
+KEstimate estimate_k(const data::DatasetView& ds, const MgcplResult& mgcpl,
                      const KEstimateConfig& config = {});
 
 // Convenience: run MGCPL and estimate in one call.
-KEstimate estimate_k(const data::Dataset& ds, std::uint64_t seed,
+KEstimate estimate_k(const data::DatasetView& ds, std::uint64_t seed,
                      const KEstimateConfig& config = {});
 
 }  // namespace mcdc::core

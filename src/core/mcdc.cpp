@@ -16,8 +16,9 @@ namespace {
 // granularity collapses below k (small-n / large-k corner, e.g. n = 101,
 // k = 7 where k0 = sqrt(n) = 11 barely exceeds k), the learning is
 // re-launched with a doubled k0 so the embedding can support k clusters.
-MgcplResult run_mgcpl_for_k(const MgcplConfig& config, const data::Dataset& ds,
-                            int k, std::uint64_t seed) {
+MgcplResult run_mgcpl_for_k(const MgcplConfig& config,
+                            const data::DatasetView& ds, int k,
+                            std::uint64_t seed) {
   MgcplConfig working = config;
   if (working.k0 <= 0) {
     working.k0 = std::max(default_k0(ds.num_objects()),
@@ -35,7 +36,7 @@ MgcplResult run_mgcpl_for_k(const MgcplConfig& config, const data::Dataset& ds,
 
 }  // namespace
 
-McdcOutput Mcdc::cluster(const data::Dataset& ds, int k,
+McdcOutput Mcdc::cluster(const data::DatasetView& ds, int k,
                          std::uint64_t seed) const {
   McdcOutput out;
   out.mgcpl = analyze(ds, k, seed);
@@ -44,7 +45,7 @@ McdcOutput Mcdc::cluster(const data::Dataset& ds, int k,
   return out;
 }
 
-MgcplResult Mcdc::analyze(const data::Dataset& ds, int k,
+MgcplResult Mcdc::analyze(const data::DatasetView& ds, int k,
                           std::uint64_t seed) const {
   return run_mgcpl_for_k(config_.mgcpl, ds, k, seed);
 }
@@ -56,7 +57,7 @@ CameResult Mcdc::aggregate(const MgcplResult& analysis, int k,
 }
 
 baselines::ClusterResult Mcdc::cluster_with(const baselines::Clusterer& inner,
-                                            const data::Dataset& ds, int k,
+                                            const data::DatasetView& ds, int k,
                                             std::uint64_t seed) const {
   const MgcplResult analysis = run_mgcpl_for_k(config_.mgcpl, ds, k, seed);
   const data::Dataset embedding = encode_gamma(analysis, ds);
@@ -75,7 +76,7 @@ baselines::ClusterResult Mcdc::cluster_with(const baselines::Clusterer& inner,
   return result;
 }
 
-baselines::ClusterResult McdcClusterer::cluster(const data::Dataset& ds, int k,
+baselines::ClusterResult McdcClusterer::cluster(const data::DatasetView& ds, int k,
                                                 std::uint64_t seed) const {
   baselines::ClusterResult result;
   result.labels = mcdc_.cluster(ds, k, seed).labels;
@@ -92,13 +93,13 @@ BoostedClusterer::BoostedClusterer(
   if (!inner_) throw std::invalid_argument("BoostedClusterer: null inner");
 }
 
-baselines::ClusterResult BoostedClusterer::cluster(const data::Dataset& ds,
+baselines::ClusterResult BoostedClusterer::cluster(const data::DatasetView& ds,
                                                    int k,
                                                    std::uint64_t seed) const {
   return mcdc_.cluster_with(*inner_, ds, k, seed);
 }
 
-baselines::ClusterResult mcdc_v4(const data::Dataset& ds, int k,
+baselines::ClusterResult mcdc_v4(const data::DatasetView& ds, int k,
                                  std::uint64_t seed,
                                  const McdcConfig& config) {
   McdcConfig ablated = config;
@@ -110,7 +111,7 @@ baselines::ClusterResult mcdc_v4(const data::Dataset& ds, int k,
   return result;
 }
 
-baselines::ClusterResult mcdc_v3(const data::Dataset& ds, int k,
+baselines::ClusterResult mcdc_v3(const data::DatasetView& ds, int k,
                                  std::uint64_t seed,
                                  const McdcConfig& config) {
   Mgcpl mgcpl(config.mgcpl);
@@ -121,7 +122,7 @@ baselines::ClusterResult mcdc_v3(const data::Dataset& ds, int k,
   return result;
 }
 
-baselines::ClusterResult mcdc_v2(const data::Dataset& ds, int k,
+baselines::ClusterResult mcdc_v2(const data::DatasetView& ds, int k,
                                  std::uint64_t seed, double eta) {
   const std::size_t n = ds.num_objects();
   const auto k_init = static_cast<std::size_t>(
@@ -142,7 +143,7 @@ baselines::ClusterResult mcdc_v2(const data::Dataset& ds, int k,
   return result;
 }
 
-baselines::ClusterResult mcdc_v1(const data::Dataset& ds, int k,
+baselines::ClusterResult mcdc_v1(const data::DatasetView& ds, int k,
                                  std::uint64_t seed, int max_passes) {
   const std::size_t n = ds.num_objects();
   if (k < 1 || static_cast<std::size_t>(k) > n) {
@@ -155,7 +156,7 @@ baselines::ClusterResult mcdc_v1(const data::Dataset& ds, int k,
   const auto seeds =
       rng.sample_without_replacement(n, static_cast<std::size_t>(k));
   for (std::size_t l = 0; l < seeds.size(); ++l) {
-    profiles.add(static_cast<int>(l), ds.row(seeds[l]));
+    profiles.add(static_cast<int>(l), ds, seeds[l]);
     assignment[seeds[l]] = static_cast<int>(l);
   }
 
@@ -167,8 +168,7 @@ baselines::ClusterResult mcdc_v1(const data::Dataset& ds, int k,
   for (int pass = 0; pass < max_passes; ++pass) {
     bool changed = false;
     for (std::size_t i = 0; i < n; ++i) {
-      const data::Value* row = ds.row(i);
-      profiles.score_all(row, scores.data());
+      profiles.score_all(ds, i, scores.data());
       int best = 0;
       double best_sim = -1.0;
       for (int l = 0; l < k; ++l) {
@@ -180,9 +180,9 @@ baselines::ClusterResult mcdc_v1(const data::Dataset& ds, int k,
       }
       if (assignment[i] != best) {
         if (assignment[i] >= 0) {
-          profiles.move(assignment[i], best, row);
+          profiles.move(assignment[i], best, ds, i);
         } else {
-          profiles.add(best, row);
+          profiles.add(best, ds, i);
         }
         assignment[i] = best;
         changed = true;

@@ -41,13 +41,13 @@ class Mcdc {
   // Full pipeline: learn Gamma with MGCPL, aggregate to k clusters with
   // CAME. Deterministic given the seed. Equivalent to
   // aggregate(analyze(ds, k, seed), k, seed).
-  McdcOutput cluster(const data::Dataset& ds, int k, std::uint64_t seed) const;
+  McdcOutput cluster(const data::DatasetView& ds, int k, std::uint64_t seed) const;
 
   // First half of cluster(): the MGCPL analysis, re-launched with a larger
   // k0 whenever the finest recorded granularity cannot support k (the
   // paper's Sec. II-B requirement). Exposed so callers that already need
   // the analysis (k estimation, stage reports) can run it once.
-  MgcplResult analyze(const data::Dataset& ds, int k, std::uint64_t seed) const;
+  MgcplResult analyze(const data::DatasetView& ds, int k, std::uint64_t seed) const;
 
   // Second half of cluster(): CAME aggregation of a completed analysis
   // into k clusters. The analysis must satisfy kappa.front() >= k.
@@ -58,7 +58,7 @@ class Mcdc {
   // that collapse below k clusters are restarted (bounded, deterministic)
   // before the failure is reported.
   baselines::ClusterResult cluster_with(const baselines::Clusterer& inner,
-                                        const data::Dataset& ds, int k,
+                                        const data::DatasetView& ds, int k,
                                         std::uint64_t seed) const;
 
   // Restart budget of cluster_with() for degenerate inner runs.
@@ -77,7 +77,7 @@ class McdcClusterer : public baselines::Clusterer {
  public:
   explicit McdcClusterer(const McdcConfig& config = {}) : mcdc_(config) {}
   std::string name() const override { return "MCDC"; }
-  baselines::ClusterResult cluster(const data::Dataset& ds, int k,
+  baselines::ClusterResult cluster(const data::DatasetView& ds, int k,
                                    std::uint64_t seed) const override;
 
  private:
@@ -90,7 +90,7 @@ class BoostedClusterer : public baselines::Clusterer {
   BoostedClusterer(std::shared_ptr<const baselines::Clusterer> inner,
                    std::string display_name, const McdcConfig& config = {});
   std::string name() const override { return display_name_; }
-  baselines::ClusterResult cluster(const data::Dataset& ds, int k,
+  baselines::ClusterResult cluster(const data::DatasetView& ds, int k,
                                    std::uint64_t seed) const override;
 
  private:
@@ -102,24 +102,24 @@ class BoostedClusterer : public baselines::Clusterer {
 // --- Ablated variants (Fig. 4) ---------------------------------------------
 
 // MCDC4: CAME weighting replaced by fixed identical weights.
-baselines::ClusterResult mcdc_v4(const data::Dataset& ds, int k,
+baselines::ClusterResult mcdc_v4(const data::DatasetView& ds, int k,
                                  std::uint64_t seed,
                                  const McdcConfig& config = {});
 
 // MCDC3: no CAME; clusters = MGCPL's coarsest partition Y_sigma (its k may
 // differ from the requested one — scoring handles that like any clusterer).
-baselines::ClusterResult mcdc_v3(const data::Dataset& ds, int k,
+baselines::ClusterResult mcdc_v3(const data::DatasetView& ds, int k,
                                  std::uint64_t seed,
                                  const McdcConfig& config = {});
 
 // MCDC2: conventional competitive learning (Sec. II-B), initialised with
 // k*+2 clusters, single granularity.
-baselines::ClusterResult mcdc_v2(const data::Dataset& ds, int k,
+baselines::ClusterResult mcdc_v2(const data::DatasetView& ds, int k,
                                  std::uint64_t seed, double eta = 0.03);
 
 // MCDC1: alternating partitional clustering with the Sec. II-A similarity
 // and the true k given.
-baselines::ClusterResult mcdc_v1(const data::Dataset& ds, int k,
+baselines::ClusterResult mcdc_v1(const data::DatasetView& ds, int k,
                                  std::uint64_t seed, int max_passes = 100);
 
 }  // namespace mcdc::core

@@ -14,7 +14,7 @@ int default_k0(std::size_t n) {
   return std::min<int>(static_cast<int>(n), std::max(2, k0));
 }
 
-MgcplResult Mgcpl::run(const data::Dataset& ds, std::uint64_t seed) const {
+MgcplResult Mgcpl::run(const data::DatasetView& ds, std::uint64_t seed) const {
   if (ds.num_objects() == 0) {
     throw std::invalid_argument("Mgcpl::run: empty dataset");
   }

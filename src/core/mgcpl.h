@@ -17,6 +17,7 @@
 
 #include "core/competitive.h"
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::core {
 
@@ -79,8 +80,11 @@ class Mgcpl {
  public:
   explicit Mgcpl(const MgcplConfig& config = {}) : config_(config) {}
 
-  // Runs the full multi-granular learning. Deterministic given the seed.
-  MgcplResult run(const data::Dataset& ds, std::uint64_t seed) const;
+  // Runs the full multi-granular learning over the viewed rows (a plain
+  // Dataset converts to the identity view; distributed shards and
+  // streaming windows pass row-index views — labels come back in view
+  // positions). Deterministic given the seed.
+  MgcplResult run(const data::DatasetView& ds, std::uint64_t seed) const;
 
   const MgcplConfig& config() const { return config_; }
 

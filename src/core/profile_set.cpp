@@ -22,22 +22,62 @@ ProfileSet::ProfileSet(const std::vector<int>& cardinalities, int k)
   size_.assign(stride_, 0.0);
 }
 
-ProfileSet ProfileSet::from_assignment(const data::Dataset& ds,
+ProfileSet ProfileSet::from_assignment(const data::DatasetView& ds,
                                        const std::vector<int>& assignment,
                                        int k) {
-  if (assignment.size() != ds.num_objects()) {
+  const std::size_t n = ds.num_objects();
+  if (assignment.size() != n) {
     throw std::invalid_argument(
         "ProfileSet::from_assignment: assignment size mismatch");
   }
   ProfileSet set(ds.cardinalities(), k);
-  for (std::size_t i = 0; i < assignment.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const int l = assignment[i];
     if (l < 0) continue;
     if (l >= k) {
       throw std::invalid_argument(
           "ProfileSet::from_assignment: label out of range");
     }
-    set.add(l, ds.row(i));
+    set.size_[static_cast<std::size_t>(l)] += 1.0;
+  }
+  // Feature-major accumulation: each dataset column is swept stride-1 and
+  // touches only its own cell block of the bank, instead of every row
+  // scattering writes across the whole bank. Identity views read the
+  // column pointer directly; indirected views gather per position. The
+  // per-feature non-null totals are exactly the column sums of that
+  // feature's cell block (counts are integral), so they are derived in one
+  // cheap post-pass instead of a second scattered add per cell.
+  const std::size_t d = set.cardinalities_.size();
+  const int* a = assignment.data();
+  for (std::size_t r = 0; r < d; ++r) {
+    double* cell_block = set.counts_.data() + set.offsets_[r] * set.stride_;
+    const int m_r = set.cardinalities_[r];
+    if (ds.is_identity()) {
+      const data::Value* column = ds.col(r);
+      for (std::size_t i = 0; i < n; ++i) {
+        const int l = a[i];
+        const data::Value v = column[i];
+        if (l < 0 || v < 0 || v >= m_r) continue;
+        cell_block[static_cast<std::size_t>(v) * set.stride_ +
+                   static_cast<std::size_t>(l)] += 1.0;
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const int l = a[i];
+        if (l < 0) continue;
+        const data::Value v = ds.at(i, r);
+        if (v < 0 || v >= m_r) continue;
+        cell_block[static_cast<std::size_t>(v) * set.stride_ +
+                   static_cast<std::size_t>(l)] += 1.0;
+      }
+    }
+    double* nn = set.non_null_.data() + r * set.stride_;
+    for (std::size_t v = 0; v < static_cast<std::size_t>(m_r); ++v) {
+      const double* slot = cell_block + v * set.stride_;
+      for (std::size_t l = 0; l < static_cast<std::size_t>(k); ++l) {
+        nn[l] += slot[l];
+      }
+    }
   }
   return set;
 }
@@ -111,6 +151,49 @@ void ProfileSet::move(int from, int to, const data::Value* row) {
   const auto tu = static_cast<std::size_t>(to);
   for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
     const data::Value v = row[r];
+    if (!in_domain(r, v)) continue;
+    const std::size_t base = cell(r, v) * stride_;
+    counts_[base + fu] -= 1.0;
+    counts_[base + tu] += 1.0;
+    non_null_[r * stride_ + fu] -= 1.0;
+    non_null_[r * stride_ + tu] += 1.0;
+  }
+  size_[fu] -= 1.0;
+  size_[tu] += 1.0;
+}
+
+void ProfileSet::add(int l, const data::DatasetView& ds, std::size_t i) {
+  thaw();
+  const auto lu = static_cast<std::size_t>(l);
+  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
+    const data::Value v = ds.at(i, r);
+    if (!in_domain(r, v)) continue;
+    counts_[cell(r, v) * stride_ + lu] += 1.0;
+    non_null_[r * stride_ + lu] += 1.0;
+  }
+  size_[lu] += 1.0;
+}
+
+void ProfileSet::remove(int l, const data::DatasetView& ds, std::size_t i) {
+  thaw();
+  const auto lu = static_cast<std::size_t>(l);
+  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
+    const data::Value v = ds.at(i, r);
+    if (!in_domain(r, v)) continue;
+    counts_[cell(r, v) * stride_ + lu] -= 1.0;
+    non_null_[r * stride_ + lu] -= 1.0;
+  }
+  size_[lu] -= 1.0;
+}
+
+void ProfileSet::move(int from, int to, const data::DatasetView& ds,
+                      std::size_t i) {
+  if (from == to) return;
+  thaw();
+  const auto fu = static_cast<std::size_t>(from);
+  const auto tu = static_cast<std::size_t>(to);
+  for (std::size_t r = 0; r < cardinalities_.size(); ++r) {
+    const data::Value v = ds.at(i, r);
     if (!in_domain(r, v)) continue;
     const std::size_t base = cell(r, v) * stride_;
     counts_[base + fu] -= 1.0;
@@ -273,10 +356,100 @@ double ProfileSet::weighted_score_one(
   return sum;
 }
 
+void ProfileSet::score_all(const data::DatasetView& ds, std::size_t i,
+                           double* out) const {
+  const auto k = static_cast<std::size_t>(k_);
+  const std::size_t d = cardinalities_.size();
+  std::fill(out, out + k, 0.0);
+  if (frozen_) {
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = ds.at(i, r);
+      if (!in_domain(r, v)) continue;
+      const double* p = probs_.data() + cell(r, v) * stride_;
+      for (std::size_t l = 0; l < k; ++l) out[l] += p[l];
+    }
+  } else {
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = ds.at(i, r);
+      if (!in_domain(r, v)) continue;
+      const double* c = counts_.data() + cell(r, v) * stride_;
+      const double* nn = non_null_.data() + r * stride_;
+      for (std::size_t l = 0; l < k; ++l) {
+        out[l] += nn[l] > 0.0 ? c[l] / nn[l] : 0.0;
+      }
+    }
+  }
+  for (std::size_t l = 0; l < k; ++l) out[l] /= static_cast<double>(d);
+}
+
+void ProfileSet::weighted_score_all(const data::DatasetView& ds, std::size_t i,
+                                    const double* weights, double* out) const {
+  const auto k = static_cast<std::size_t>(k_);
+  const std::size_t d = cardinalities_.size();
+  std::fill(out, out + k, 0.0);
+  if (frozen_) {
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = ds.at(i, r);
+      if (!in_domain(r, v)) continue;
+      const double* p = probs_.data() + cell(r, v) * stride_;
+      const double* w = weights + r * k;
+      for (std::size_t l = 0; l < k; ++l) out[l] += w[l] * p[l];
+    }
+  } else {
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = ds.at(i, r);
+      if (!in_domain(r, v)) continue;
+      const double* c = counts_.data() + cell(r, v) * stride_;
+      const double* nn = non_null_.data() + r * stride_;
+      const double* w = weights + r * k;
+      for (std::size_t l = 0; l < k; ++l) {
+        out[l] += nn[l] > 0.0 ? w[l] * (c[l] / nn[l]) : 0.0;
+      }
+    }
+  }
+}
+
+double ProfileSet::score_one(int l, const data::DatasetView& ds,
+                             std::size_t i) const {
+  const std::size_t d = cardinalities_.size();
+  double sum = 0.0;
+  for (std::size_t r = 0; r < d; ++r) {
+    sum += value_similarity(l, r, ds.at(i, r));
+  }
+  return sum / static_cast<double>(d);
+}
+
+double ProfileSet::weighted_score_one(
+    int l, const data::DatasetView& ds, std::size_t i,
+    const std::vector<double>& weights) const {
+  const std::size_t d = cardinalities_.size();
+  double sum = 0.0;
+  for (std::size_t r = 0; r < d; ++r) {
+    sum += weights[r] * value_similarity(l, r, ds.at(i, r));
+  }
+  return sum;
+}
+
 int ProfileSet::best_cluster(const data::Value* row,
                              std::vector<double>& scratch) const {
   scratch.resize(static_cast<std::size_t>(k_));
   score_all(row, scratch.data());
+  int best = 0;
+  double best_score = -1.0;
+  for (int l = 0; l < k_; ++l) {
+    const double s = scratch[static_cast<std::size_t>(l)];
+    if (s > best_score) {
+      best_score = s;
+      best = l;
+    }
+  }
+  return best;
+}
+
+int ProfileSet::best_cluster(const data::DatasetView& ds, std::size_t i,
+                             std::vector<double>& scratch) const {
+  scratch.resize(static_cast<std::size_t>(k_));
+  score_all(ds, i, scratch.data());
   int best = 0;
   double best_score = -1.0;
   for (int l = 0; l < k_; ++l) {

@@ -41,6 +41,7 @@
 
 #include "core/similarity.h"
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::core {
 
@@ -52,7 +53,12 @@ class ProfileSet {
 
   // One histogram bank from an assignment vector (-1 entries skipped,
   // ids must lie in [0, k)). The flat analogue of build_profiles().
-  static ProfileSet from_assignment(const data::Dataset& ds,
+  // Accumulates feature-major: one stride-1 sweep over each dataset
+  // column writes only that feature's cell block of the bank — the
+  // columnar fast path (identity views read Dataset::col pointers
+  // directly). Counts are order-independent integral sums, so the bank is
+  // bit-identical to row-wise add() accumulation.
+  static ProfileSet from_assignment(const data::DatasetView& ds,
                                     const std::vector<int>& assignment, int k);
   // Converts per-cluster profiles (e.g. a deserialised api::Model) into the
   // flat layout. All profiles must share one schema.
@@ -83,6 +89,10 @@ class ProfileSet {
   void remove(int l, const data::Value* row);
   // remove(from) + add(to) fused into one row pass.
   void move(int from, int to, const data::Value* row);
+  // The same maintenance reading view position i directly (no row gather).
+  void add(int l, const data::DatasetView& ds, std::size_t i);
+  void remove(int l, const data::DatasetView& ds, std::size_t i);
+  void move(int from, int to, const data::DatasetView& ds, std::size_t i);
   // Multiplies every count, non-null total and size by `factor`
   // (exponential forgetting of the streaming learner).
   void scale(double factor);
@@ -112,9 +122,22 @@ class ProfileSet {
   double weighted_score_one(int l, const data::Value* row,
                             const std::vector<double>& weights) const;
 
+  // View-position overloads of the batched/single scorers: identical
+  // arithmetic in identical (ascending-feature) order, reading cells
+  // straight out of the columnar bank instead of a gathered row.
+  void score_all(const data::DatasetView& ds, std::size_t i,
+                 double* out) const;
+  void weighted_score_all(const data::DatasetView& ds, std::size_t i,
+                          const double* weights, double* out) const;
+  double score_one(int l, const data::DatasetView& ds, std::size_t i) const;
+  double weighted_score_one(int l, const data::DatasetView& ds, std::size_t i,
+                            const std::vector<double>& weights) const;
+
   // Argmax of score_all with ties resolved to the lowest cluster id.
   // `scratch` is resized to k; pass a per-thread buffer in parallel sweeps.
   int best_cluster(const data::Value* row, std::vector<double>& scratch) const;
+  int best_cluster(const data::DatasetView& ds, std::size_t i,
+                   std::vector<double>& scratch) const;
 
   // Precomputes every count/non_null quotient so subsequent score sweeps
   // are division-free. Call when the profiles are frozen for a batch pass;

@@ -12,11 +12,10 @@ ClusterProfile::ClusterProfile(const std::vector<int>& cardinalities)
   }
 }
 
-void ClusterProfile::add(const data::Dataset& ds, std::size_t i) {
+void ClusterProfile::add(const data::DatasetView& ds, std::size_t i) {
   const std::size_t d = counts_.size();
-  const data::Value* row = ds.row(i);
   for (std::size_t r = 0; r < d; ++r) {
-    const data::Value v = row[r];
+    const data::Value v = ds.at(i, r);
     if (v < 0 || static_cast<std::size_t>(v) >= counts_[r].size()) continue;
     ++counts_[r][static_cast<std::size_t>(v)];
     ++non_null_[r];
@@ -24,12 +23,11 @@ void ClusterProfile::add(const data::Dataset& ds, std::size_t i) {
   ++size_;
 }
 
-void ClusterProfile::remove(const data::Dataset& ds, std::size_t i) {
+void ClusterProfile::remove(const data::DatasetView& ds, std::size_t i) {
   assert(size_ > 0);
   const std::size_t d = counts_.size();
-  const data::Value* row = ds.row(i);
   for (std::size_t r = 0; r < d; ++r) {
-    const data::Value v = row[r];
+    const data::Value v = ds.at(i, r);
     if (v < 0 || static_cast<std::size_t>(v) >= counts_[r].size()) continue;
     --counts_[r][static_cast<std::size_t>(v)];
     --non_null_[r];
@@ -48,9 +46,14 @@ double ClusterProfile::value_similarity(std::size_t r, data::Value v) const {
          static_cast<double>(denom);
 }
 
-double ClusterProfile::similarity(const data::Dataset& ds,
+double ClusterProfile::similarity(const data::DatasetView& ds,
                                   std::size_t i) const {
-  return similarity(ds.row(i));
+  const std::size_t d = counts_.size();
+  double sum = 0.0;
+  for (std::size_t r = 0; r < d; ++r) {
+    sum += value_similarity(r, ds.at(i, r));
+  }
+  return sum / static_cast<double>(d);
 }
 
 double ClusterProfile::similarity(const data::Value* row) const {
@@ -77,13 +80,12 @@ ClusterProfile ClusterProfile::from_counts(
 }
 
 double ClusterProfile::weighted_similarity(
-    const data::Dataset& ds, std::size_t i,
+    const data::DatasetView& ds, std::size_t i,
     const std::vector<double>& weights) const {
   const std::size_t d = counts_.size();
-  const data::Value* row = ds.row(i);
   double sum = 0.0;
   for (std::size_t r = 0; r < d; ++r) {
-    sum += weights[r] * value_similarity(r, row[r]);
+    sum += weights[r] * value_similarity(r, ds.at(i, r));
   }
   return sum;
 }
@@ -102,7 +104,7 @@ std::vector<data::Value> ClusterProfile::mode() const {
   return modes;
 }
 
-std::vector<ClusterProfile> build_profiles(const data::Dataset& ds,
+std::vector<ClusterProfile> build_profiles(const data::DatasetView& ds,
                                            const std::vector<int>& assignment,
                                            int k) {
   if (assignment.size() != ds.num_objects()) {

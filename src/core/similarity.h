@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::core {
 
@@ -40,9 +41,10 @@ class ClusterProfile {
   ClusterProfile() = default;
   explicit ClusterProfile(const std::vector<int>& cardinalities);
 
-  // Membership maintenance. Objects are identified by dataset row index.
-  void add(const data::Dataset& ds, std::size_t i);
-  void remove(const data::Dataset& ds, std::size_t i);
+  // Membership maintenance. Objects are identified by view position (a
+  // plain Dataset converts to the identity view).
+  void add(const data::DatasetView& ds, std::size_t i);
+  void remove(const data::DatasetView& ds, std::size_t i);
 
   int size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -62,7 +64,7 @@ class ClusterProfile {
   double value_similarity(std::size_t r, data::Value v) const;
 
   // Eq. (1): unweighted mean of per-feature similarities.
-  double similarity(const data::Dataset& ds, std::size_t i) const;
+  double similarity(const data::DatasetView& ds, std::size_t i) const;
 
   // Eq. (1) against a bare row of d contiguous values — lets consumers
   // (api::Model::predict, streaming classify) score objects that are not
@@ -70,7 +72,7 @@ class ClusterProfile {
   double similarity(const data::Value* row) const;
 
   // Eq. (14) with the weight vector of this cluster (size d, sums to 1).
-  double weighted_similarity(const data::Dataset& ds, std::size_t i,
+  double weighted_similarity(const data::DatasetView& ds, std::size_t i,
                              const std::vector<double>& weights) const;
 
   // Most frequent value per feature (ties -> smallest code; -1 when the
@@ -94,7 +96,7 @@ class ClusterProfile {
 
 // Builds one profile per cluster from an assignment vector (-1 entries are
 // unassigned and skipped). Cluster ids must lie in [0, k).
-std::vector<ClusterProfile> build_profiles(const data::Dataset& ds,
+std::vector<ClusterProfile> build_profiles(const data::DatasetView& ds,
                                            const std::vector<int>& assignment,
                                            int k);
 

@@ -127,19 +127,21 @@ int StreamingMgcpl::observe(const data::Value* row) {
   return ids_[static_cast<std::size_t>(v)];
 }
 
-std::vector<int> StreamingMgcpl::observe_chunk(const data::Dataset& chunk) {
+std::vector<int> StreamingMgcpl::observe_chunk(const data::DatasetView& chunk) {
   if (chunk.num_features() != cardinalities_.size()) {
     throw std::invalid_argument("StreamingMgcpl: chunk schema mismatch");
   }
   std::vector<int> assigned(chunk.num_objects());
+  std::vector<data::Value> row(cardinalities_.size());
   for (std::size_t i = 0; i < chunk.num_objects(); ++i) {
-    assigned[i] = observe(chunk.row(i));
+    chunk.gather_row(i, row.data());
+    assigned[i] = observe(row.data());
   }
   consolidate();
   return assigned;
 }
 
-std::vector<int> StreamingMgcpl::classify(const data::Dataset& ds) const {
+std::vector<int> StreamingMgcpl::classify(const data::DatasetView& ds) const {
   if (ds.num_features() != cardinalities_.size()) {
     throw std::invalid_argument("StreamingMgcpl: dataset schema mismatch");
   }
@@ -153,7 +155,7 @@ std::vector<int> StreamingMgcpl::classify(const data::Dataset& ds) const {
                   [&](std::size_t lo, std::size_t hi) {
                     std::vector<double> scratch;
                     for (std::size_t i = lo; i < hi; ++i) {
-                      const int slot = set_.best_cluster(ds.row(i), scratch);
+                      const int slot = set_.best_cluster(ds, i, scratch);
                       labels[i] = ids_[static_cast<std::size_t>(slot)];
                     }
                   });

@@ -36,6 +36,7 @@
 
 #include "core/profile_set.h"
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::core {
 
@@ -65,15 +66,16 @@ class StreamingMgcpl {
   // cluster is pruned or evicted — it is never silently re-aimed.
   int observe(const data::Value* row);
 
-  // Processes every row of a chunk and then consolidates: decay, prune,
-  // win-count reset. Returns the per-row stable cluster ids.
-  std::vector<int> observe_chunk(const data::Dataset& chunk);
+  // Processes every row of a chunk (a Dataset or a zero-copy window view
+  // over one) and then consolidates: decay, prune, win-count reset.
+  // Returns the per-row stable cluster ids.
+  std::vector<int> observe_chunk(const data::DatasetView& chunk);
 
   // Assigns rows of a dataset to the current clusters without learning
   // (e.g. to label a validation window), as stable cluster ids. On a model
   // with no live clusters every row gets -1 — there is nothing to assign
   // to, and pretending "cluster 0" would alias a future first cluster.
-  std::vector<int> classify(const data::Dataset& ds) const;
+  std::vector<int> classify(const data::DatasetView& ds) const;
 
   std::size_t num_clusters() const { return ids_.size(); }
   // Total (decayed) mass across clusters.

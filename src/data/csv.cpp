@@ -1,7 +1,6 @@
 #include "data/csv.h"
 
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -9,20 +8,54 @@ namespace mcdc::data {
 
 namespace {
 
+// RFC-4180-style field splitting: a field starting with '"' runs to the
+// matching closing quote, keeps embedded delimiters verbatim and decodes
+// the doubled-quote escape ("" -> "). Unquoted fields are trimmed of
+// surrounding whitespace (categorical tokens never contain spaces in the
+// datasets we target); quoted content is taken verbatim, so values may
+// carry spaces or delimiters. An unterminated quote is read leniently to
+// end of line.
 std::vector<std::string> split_line(const std::string& line, char delimiter) {
   std::vector<std::string> fields;
-  std::string field;
-  std::istringstream ss(line);
-  while (std::getline(ss, field, delimiter)) {
-    // Trim surrounding whitespace; categorical tokens never contain spaces
-    // in the datasets we target.
-    const auto first = field.find_first_not_of(" \t\r");
-    const auto last = field.find_last_not_of(" \t\r");
-    fields.push_back(first == std::string::npos
-                         ? std::string{}
-                         : field.substr(first, last - first + 1));
+  const std::size_t len = line.size();
+  std::size_t pos = 0;
+  while (true) {
+    std::string field;
+    while (pos < len &&
+           (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r')) {
+      ++pos;
+    }
+    if (pos < len && line[pos] == '"') {
+      ++pos;  // opening quote
+      while (pos < len) {
+        if (line[pos] == '"') {
+          if (pos + 1 < len && line[pos + 1] == '"') {
+            field += '"';  // escaped quote
+            pos += 2;
+          } else {
+            ++pos;  // closing quote
+            break;
+          }
+        } else {
+          field += line[pos++];
+        }
+      }
+      // Malformed trailer (text between the closing quote and the next
+      // delimiter, e.g. `"ab"c`): keep it verbatim rather than silently
+      // altering the token.
+      while (pos < len && line[pos] != delimiter) field += line[pos++];
+    } else {
+      const std::size_t start = pos;
+      while (pos < len && line[pos] != delimiter) ++pos;
+      field = line.substr(start, pos - start);
+      const auto last = field.find_last_not_of(" \t\r");
+      field = last == std::string::npos ? std::string{}
+                                        : field.substr(0, last + 1);
+    }
+    fields.push_back(std::move(field));
+    if (pos >= len) break;
+    ++pos;  // delimiter; a trailing one yields one more (empty) field
   }
-  if (!line.empty() && line.back() == delimiter) fields.emplace_back();
   return fields;
 }
 

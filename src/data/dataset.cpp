@@ -17,6 +17,17 @@ int intern(std::vector<std::string>& names, const std::string& s) {
   return static_cast<int>(names.size() - 1);
 }
 
+// Row-major staging buffer -> column-major bank.
+std::vector<Value> transpose_to_columns(const std::vector<Value>& row_major,
+                                        std::size_t n, std::size_t d) {
+  std::vector<Value> cols(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Value* row = row_major.data() + i * d;
+    for (std::size_t r = 0; r < d; ++r) cols[r * n + i] = row[r];
+  }
+  return cols;
+}
+
 }  // namespace
 
 DatasetBuilder::DatasetBuilder(std::vector<std::string> feature_names)
@@ -53,7 +64,7 @@ Dataset DatasetBuilder::build() && {
   Dataset ds;
   ds.n_ = n_;
   ds.d_ = feature_names_.size();
-  ds.cells_ = std::move(cells_);
+  ds.cells_ = transpose_to_columns(cells_, ds.n_, ds.d_);
   ds.cardinalities_.reserve(ds.d_);
   for (const auto& names : value_names_) {
     ds.cardinalities_.push_back(static_cast<int>(names.size()));
@@ -69,10 +80,9 @@ Dataset::Dataset(std::size_t n, std::size_t d, std::vector<Value> cells,
                  std::vector<int> cardinalities, std::vector<int> labels)
     : n_(n),
       d_(d),
-      cells_(std::move(cells)),
       cardinalities_(std::move(cardinalities)),
       labels_(std::move(labels)) {
-  if (cells_.size() != n_ * d_) {
+  if (cells.size() != n_ * d_) {
     throw std::invalid_argument("Dataset: cells size != n*d");
   }
   if (cardinalities_.size() != d_) {
@@ -83,12 +93,13 @@ Dataset::Dataset(std::size_t n, std::size_t d, std::vector<Value> cells,
   }
   for (std::size_t i = 0; i < n_; ++i) {
     for (std::size_t r = 0; r < d_; ++r) {
-      const Value v = cells_[i * d_ + r];
+      const Value v = cells[i * d_ + r];
       if (v != kMissing && (v < 0 || v >= cardinalities_[r])) {
         throw std::invalid_argument("Dataset: cell value out of domain");
       }
     }
   }
+  cells_ = transpose_to_columns(cells, n_, d_);
 }
 
 int Dataset::max_cardinality() const {
@@ -116,23 +127,28 @@ bool Dataset::has_missing() const {
   return std::find(cells_.begin(), cells_.end(), kMissing) != cells_.end();
 }
 
-Dataset Dataset::drop_missing_rows() const {
+std::vector<std::size_t> Dataset::complete_rows() const {
+  std::vector<char> complete(n_, 1);
+  for (std::size_t r = 0; r < d_; ++r) {
+    const Value* column = col(r);
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (column[i] == kMissing) complete[i] = 0;
+    }
+  }
   std::vector<std::size_t> keep;
   keep.reserve(n_);
   for (std::size_t i = 0; i < n_; ++i) {
-    bool complete = true;
-    for (std::size_t r = 0; r < d_; ++r) {
-      if (is_missing(i, r)) {
-        complete = false;
-        break;
-      }
-    }
-    if (complete) keep.push_back(i);
+    if (complete[i]) keep.push_back(i);
   }
-  return subset(keep);
+  return keep;
 }
 
+Dataset Dataset::drop_missing_rows() const { return subset(complete_rows()); }
+
 Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {
+  for (std::size_t i : rows) {
+    if (i >= n_) throw std::out_of_range("Dataset::subset: row out of range");
+  }
   Dataset out;
   out.n_ = rows.size();
   out.d_ = d_;
@@ -140,11 +156,11 @@ Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {
   out.feature_names_ = feature_names_;
   out.value_names_ = value_names_;
   out.label_names_ = label_names_;
-  out.cells_.reserve(rows.size() * d_);
-  for (std::size_t i : rows) {
-    if (i >= n_) throw std::out_of_range("Dataset::subset: row out of range");
-    out.cells_.insert(out.cells_.end(), cells_.begin() + i * d_,
-                      cells_.begin() + (i + 1) * d_);
+  out.cells_.resize(rows.size() * d_);
+  for (std::size_t r = 0; r < d_; ++r) {
+    const Value* src = col(r);
+    Value* dst = out.cells_.data() + r * out.n_;
+    for (std::size_t j = 0; j < rows.size(); ++j) dst[j] = src[rows[j]];
   }
   if (has_labels()) {
     out.labels_.reserve(rows.size());
@@ -157,11 +173,11 @@ std::vector<std::vector<int>> Dataset::value_counts() const {
   std::vector<std::vector<int>> counts(d_);
   for (std::size_t r = 0; r < d_; ++r) {
     counts[r].assign(static_cast<std::size_t>(cardinalities_[r]), 0);
-  }
-  for (std::size_t i = 0; i < n_; ++i) {
-    for (std::size_t r = 0; r < d_; ++r) {
-      const Value v = at(i, r);
-      if (v != kMissing) ++counts[r][static_cast<std::size_t>(v)];
+    const Value* column = col(r);
+    auto& feature_counts = counts[r];
+    for (std::size_t i = 0; i < n_; ++i) {
+      const Value v = column[i];
+      if (v != kMissing) ++feature_counts[static_cast<std::size_t>(v)];
     }
   }
   return counts;

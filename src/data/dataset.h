@@ -7,6 +7,16 @@
 // absent entries ('?' in the UCI files the paper uses). Ground-truth class
 // labels, when known, ride along for evaluation only — no algorithm reads
 // them.
+//
+// Storage is COLUMN-MAJOR: the primary bank holds feature r's n values
+// contiguously at col(r), mirroring core::ProfileSet's value-major histogram
+// bank, so frequency-counting kernels (ProfileSet::from_assignment,
+// value_counts, the MGCPL/CAME sweeps) walk stride-1 memory. Constructors
+// and builders still accept row-major cells — the familiar ingestion layout
+// of CSV readers and generators — and transpose once at construction.
+// Row access is a gather: at(i, r) indexes the column bank directly and
+// gather_row(i, out) materialises one object's d values into a caller
+// buffer (the old row(i) pointer cannot exist in a columnar bank).
 #pragma once
 
 #include <cstdint>
@@ -41,7 +51,7 @@ class DatasetBuilder {
   friend class Dataset;
   std::vector<std::string> feature_names_;
   std::vector<std::vector<std::string>> value_names_;  // per feature
-  std::vector<Value> cells_;                           // row-major
+  std::vector<Value> cells_;                           // row-major staging
   std::vector<int> labels_;
   std::vector<std::string> label_names_;
   bool has_labels_ = false;
@@ -52,7 +62,8 @@ class Dataset {
  public:
   Dataset() = default;
 
-  // Direct construction from pre-encoded cells (row-major, n x d).
+  // Direct construction from pre-encoded cells (ROW-major, n x d — the
+  // ingestion layout; transposed into the columnar bank once here).
   // cardinalities[r] = m_r; every non-missing cell must satisfy
   // 0 <= value < m_r. labels may be empty.
   Dataset(std::size_t n, std::size_t d, std::vector<Value> cells,
@@ -68,13 +79,24 @@ class Dataset {
   // Largest cardinality over all features.
   int max_cardinality() const;
 
-  Value at(std::size_t i, std::size_t r) const { return cells_[i * d_ + r]; }
+  Value at(std::size_t i, std::size_t r) const { return cells_[r * n_ + i]; }
   bool is_missing(std::size_t i, std::size_t r) const {
     return at(i, r) == kMissing;
   }
 
-  // Pointer to row i's d contiguous values.
-  const Value* row(std::size_t i) const { return cells_.data() + i * d_; }
+  // Pointer to feature r's n contiguous values (the columnar hot path).
+  const Value* col(std::size_t r) const { return cells_.data() + r * n_; }
+
+  // Materialises row i's d values into out[0..d) (a strided gather).
+  void gather_row(std::size_t i, Value* out) const {
+    for (std::size_t r = 0; r < d_; ++r) out[r] = cells_[r * n_ + i];
+  }
+  // Convenience copy of one row (allocates; use gather_row in loops).
+  std::vector<Value> row_copy(std::size_t i) const {
+    std::vector<Value> out(d_);
+    gather_row(i, out.data());
+    return out;
+  }
 
   bool has_labels() const { return !labels_.empty(); }
   const std::vector<int>& labels() const { return labels_; }
@@ -91,14 +113,22 @@ class Dataset {
   // True if any cell is missing.
   bool has_missing() const;
 
+  // Indices of rows containing no missing value, ascending.
+  std::vector<std::size_t> complete_rows() const;
+
   // Copy with every row containing a missing value removed (the paper's
-  // preprocessing: "data objects with missing values are omitted").
+  // preprocessing: "data objects with missing values are omitted"). When a
+  // copy is not needed, keep the index vector alive and view through it:
+  //   const auto rows = ds.complete_rows();
+  //   data::DatasetView clean(ds, rows);  // borrows `rows` — no temporary
   Dataset drop_missing_rows() const;
 
-  // Copy containing only the given rows (in the given order).
+  // Copy containing only the given rows (in the given order). Prefer a
+  // DatasetView over the same indices when a copy is not needed.
   Dataset subset(const std::vector<std::size_t>& rows) const;
 
   // Per-feature value-frequency table: counts[r][v] = |{i : x_ir = v}|.
+  // One stride-1 column sweep per feature.
   std::vector<std::vector<int>> value_counts() const;
 
  private:
@@ -106,7 +136,7 @@ class Dataset {
 
   std::size_t n_ = 0;
   std::size_t d_ = 0;
-  std::vector<Value> cells_;
+  std::vector<Value> cells_;  // column-major: cells_[r * n_ + i]
   std::vector<int> cardinalities_;
   std::vector<int> labels_;
   std::vector<std::string> feature_names_;

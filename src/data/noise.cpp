@@ -14,14 +14,14 @@ void check_probability(double p, const char* what) {
   }
 }
 
+// Row-major staging copy (the noise loops below mutate cells in the
+// generation order the fixed-seed Rng streams were recorded against).
 std::vector<Value> copy_cells(const Dataset& ds) {
   const std::size_t n = ds.num_objects();
   const std::size_t d = ds.num_features();
-  std::vector<Value> cells;
-  cells.reserve(n * d);
+  std::vector<Value> cells(n * d);
   for (std::size_t i = 0; i < n; ++i) {
-    const Value* row = ds.row(i);
-    cells.insert(cells.end(), row, row + d);
+    ds.gather_row(i, cells.data() + i * d);
   }
   return cells;
 }
@@ -71,9 +71,10 @@ Dataset with_distractor_features(const Dataset& ds, std::size_t extra,
   Rng rng(seed);
   std::vector<Value> cells;
   cells.reserve(n * (d + extra));
+  std::vector<Value> row(d);
   for (std::size_t i = 0; i < n; ++i) {
-    const Value* row = ds.row(i);
-    cells.insert(cells.end(), row, row + d);
+    ds.gather_row(i, row.data());
+    cells.insert(cells.end(), row.begin(), row.end());
     for (std::size_t e = 0; e < extra; ++e) {
       cells.push_back(
           static_cast<Value>(rng.below(static_cast<std::uint64_t>(cardinality))));

@@ -7,19 +7,17 @@ namespace mcdc::data {
 
 namespace {
 
-int hamming(const Dataset& ds, std::size_t a, std::size_t b) {
-  const Value* ra = ds.row(a);
-  const Value* rb = ds.row(b);
+int hamming(const DatasetView& ds, std::size_t a, std::size_t b) {
   int dist = 0;
   for (std::size_t r = 0; r < ds.num_features(); ++r) {
-    if (ra[r] != rb[r]) ++dist;
+    if (ds.at(a, r) != ds.at(b, r)) ++dist;
   }
   return dist;
 }
 
 }  // namespace
 
-std::vector<std::size_t> density_seed_rows(const Dataset& ds, int k) {
+std::vector<std::size_t> density_seed_rows(const DatasetView& ds, int k) {
   const std::size_t n = ds.num_objects();
   const std::size_t d = ds.num_features();
   if (k < 1 || static_cast<std::size_t>(k) > n) {
@@ -29,11 +27,11 @@ std::vector<std::size_t> density_seed_rows(const Dataset& ds, int k) {
 
   std::vector<double> density(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    const Value* row = ds.row(i);
     double sum = 0.0;
     for (std::size_t r = 0; r < d; ++r) {
-      if (row[r] != kMissing) {
-        sum += static_cast<double>(counts[r][static_cast<std::size_t>(row[r])]);
+      const Value v = ds.at(i, r);
+      if (v != kMissing) {
+        sum += static_cast<double>(counts[r][static_cast<std::size_t>(v)]);
       }
     }
     density[i] = sum / (static_cast<double>(n) * static_cast<double>(d));
@@ -68,11 +66,12 @@ std::vector<std::size_t> density_seed_rows(const Dataset& ds, int k) {
   return seeds;
 }
 
-std::vector<std::vector<Value>> density_seed_modes(const Dataset& ds, int k) {
+std::vector<std::vector<Value>> density_seed_modes(const DatasetView& ds,
+                                                   int k) {
   std::vector<std::vector<Value>> modes;
   modes.reserve(static_cast<std::size_t>(k));
   for (std::size_t row : density_seed_rows(ds, k)) {
-    modes.emplace_back(ds.row(row), ds.row(row) + ds.num_features());
+    modes.push_back(ds.row_copy(row));
   }
   return modes;
 }

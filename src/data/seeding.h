@@ -13,13 +13,14 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::data {
 
 // Row indices of k density-spread seeds. Requires 1 <= k <= n.
-std::vector<std::size_t> density_seed_rows(const Dataset& ds, int k);
+std::vector<std::size_t> density_seed_rows(const DatasetView& ds, int k);
 
 // The same seeds materialised as mode vectors (row copies).
-std::vector<std::vector<Value>> density_seed_modes(const Dataset& ds, int k);
+std::vector<std::vector<Value>> density_seed_modes(const DatasetView& ds, int k);
 
 }  // namespace mcdc::data

@@ -30,7 +30,7 @@ struct WorkerOutput {
   double seconds = 0.0;
 };
 
-WorkerOutput run_worker(const data::Dataset& shard,
+WorkerOutput run_worker(const data::DatasetView& shard,
                         const core::MgcplConfig& config, std::uint64_t seed) {
   Timer timer;
   WorkerOutput out;
@@ -152,7 +152,7 @@ std::vector<int> merge_sketches(std::vector<Sketch> sketches, int k) {
 
 }  // namespace
 
-DistributedResult DistributedMcdc::cluster(const data::Dataset& ds, int k,
+DistributedResult DistributedMcdc::cluster(const data::DatasetView& ds, int k,
                                            std::uint64_t seed) const {
   const std::size_t n = ds.num_objects();
   if (n == 0) {
@@ -172,28 +172,34 @@ DistributedResult DistributedMcdc::cluster(const data::Dataset& ds, int k,
   result.shard_of.resize(n);
 
   // Contiguous block shards — the "data is already distributed" layout.
-  std::vector<std::vector<std::size_t>> shard_rows(workers);
+  // shard_src holds the underlying dataset rows worker w's zero-copy view
+  // indirects through; shard positions are w*n/workers + j, so no second
+  // index vector is needed. Not one cell is copied: every worker reads
+  // the coordinator's columnar bank through its own DatasetView.
+  std::vector<std::vector<std::size_t>> shard_src(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     const std::size_t begin = w * n / workers;
     const std::size_t end = (w + 1) * n / workers;
-    shard_rows[w].reserve(end - begin);
+    shard_src[w].reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i) {
-      shard_rows[w].push_back(i);
+      shard_src[w].push_back(ds.row_id(i));
       result.shard_of[i] = static_cast<int>(w);
     }
   }
+  result.materialized_bytes = 0;
 
   // Local learning, one task per worker on the shared pool. Workers are
   // independent, so collecting the futures in order keeps the protocol
-  // deterministic.
+  // deterministic. shard_src outlives the futures (joined below), so the
+  // borrowed row spans stay valid for the workers' lifetime.
   std::vector<std::future<WorkerOutput>> futures;
   futures.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
     const std::uint64_t worker_seed = seed + 0x9E3779B9ULL * (w + 1);
-    futures.push_back(global_pool().submit([this, &ds, &shard_rows, w,
+    futures.push_back(global_pool().submit([this, &ds, &shard_src, w,
                                             worker_seed] {
-      return run_worker(ds.subset(shard_rows[w]), config_.local.mgcpl,
-                        worker_seed);
+      return run_worker(data::DatasetView(ds.dataset(), shard_src[w]),
+                        config_.local.mgcpl, worker_seed);
     }));
   }
   std::vector<WorkerOutput> outputs;
@@ -229,10 +235,11 @@ DistributedResult DistributedMcdc::cluster(const data::Dataset& ds, int k,
 
   result.labels.resize(n);
   for (std::size_t w = 0; w < workers; ++w) {
-    for (std::size_t j = 0; j < shard_rows[w].size(); ++j) {
+    const std::size_t begin = w * n / workers;
+    for (std::size_t j = 0; j < shard_src[w].size(); ++j) {
       const std::size_t sketch_id =
           base[w] + static_cast<std::size_t>(outputs[w].local_labels[j]);
-      result.labels[shard_rows[w][j]] = group_of[sketch_id];
+      result.labels[begin + j] = group_of[sketch_id];
     }
   }
   result.global_clusters =
@@ -241,7 +248,7 @@ DistributedResult DistributedMcdc::cluster(const data::Dataset& ds, int k,
 }
 
 baselines::ClusterResult DistributedClusterer::cluster(
-    const data::Dataset& ds, int k, std::uint64_t seed) const {
+    const data::DatasetView& ds, int k, std::uint64_t seed) const {
   const DistributedResult distributed = dist_.cluster(ds, k, seed);
   baselines::ClusterResult result;
   result.labels = distributed.labels;

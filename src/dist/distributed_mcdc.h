@@ -20,6 +20,7 @@
 #include "baselines/clusterer.h"
 #include "core/mcdc.h"
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::dist {
 
@@ -43,6 +44,11 @@ struct DistributedResult {
   // coordinator vs. the n * d cells a raw-data gather would move.
   std::size_t sketch_cells = 0;
   std::size_t raw_cells = 0;
+  // Bytes of raw data copied while setting up the shards. 0 by
+  // construction: each worker learns through a zero-copy DatasetView into
+  // the coordinator's columnar bank (the old path deep-copied one
+  // Dataset::subset per worker).
+  std::size_t materialized_bytes = 0;
 
   // Wall-clock accounting. parallel_time charges the slowest worker plus
   // the merge; sequential_time charges the sum of all workers plus the
@@ -61,7 +67,7 @@ class DistributedMcdc {
   // given (ds, k, seed); workers execute on the process thread pool.
   // Throws std::invalid_argument on an empty dataset, k < 1 or
   // num_workers < 1.
-  DistributedResult cluster(const data::Dataset& ds, int k,
+  DistributedResult cluster(const data::DatasetView& ds, int k,
                             std::uint64_t seed) const;
 
   const DistributedConfig& config() const { return config_; }
@@ -76,7 +82,7 @@ class DistributedClusterer : public baselines::Clusterer {
   explicit DistributedClusterer(const DistributedConfig& config = {})
       : dist_(config) {}
   std::string name() const override { return "MCDC-DIST"; }
-  baselines::ClusterResult cluster(const data::Dataset& ds, int k,
+  baselines::ClusterResult cluster(const data::DatasetView& ds, int k,
                                    std::uint64_t seed) const override;
 
  private:

@@ -12,7 +12,7 @@ namespace mcdc::dist {
 namespace {
 
 // Dominant value and per-feature consistency of one member list.
-NodeGroup profile_group(const data::Dataset& table, int id,
+NodeGroup profile_group(const data::DatasetView& table, int id,
                         std::vector<std::size_t> members) {
   const std::size_t d = table.num_features();
   NodeGroup group;
@@ -50,7 +50,7 @@ NodeGroup profile_group(const data::Dataset& table, int id,
 
 }  // namespace
 
-NodeGroupingResult group_nodes(const data::Dataset& table, int k,
+NodeGroupingResult group_nodes(const data::DatasetView& table, int k,
                                std::uint64_t seed) {
   if (table.num_objects() == 0) {
     throw std::invalid_argument("group_nodes: empty node table");

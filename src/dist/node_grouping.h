@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::dist {
 
@@ -42,7 +43,7 @@ struct NodeGroupingResult {
 
 // Groups the node-profile table into k clusters (k = 0: the MGCPL
 // estimate). Throws std::invalid_argument on an empty table or k < 0.
-NodeGroupingResult group_nodes(const data::Dataset& table, int k,
+NodeGroupingResult group_nodes(const data::DatasetView& table, int k,
                                std::uint64_t seed = 7);
 
 }  // namespace mcdc::dist

@@ -28,6 +28,17 @@ void check_same_length(const std::vector<int>& shard,
 
 }  // namespace
 
+std::vector<std::vector<std::size_t>> PrepartitionResult::shard_rows() const {
+  std::vector<std::vector<std::size_t>> rows(shard_sizes.size());
+  for (std::size_t w = 0; w < shard_sizes.size(); ++w) {
+    rows[w].reserve(shard_sizes[w]);
+  }
+  for (std::size_t i = 0; i < shard.size(); ++i) {
+    rows[static_cast<std::size_t>(shard[i])].push_back(i);
+  }
+  return rows;
+}
+
 std::vector<int> round_robin_shards(std::size_t n, int num_shards) {
   if (num_shards < 1) {
     throw std::invalid_argument("round_robin_shards: num_shards < 1");

@@ -32,6 +32,11 @@ struct PrepartitionResult {
   std::vector<int> shard;
   // Objects per shard; sums to n.
   std::vector<std::size_t> shard_sizes;
+  // Per-shard row-index lists (ascending within each shard), ready to back
+  // one zero-copy data::DatasetView per worker: not a cell is moved until
+  // a worker reads it through the owner's columnar bank. The caller keeps
+  // the returned lists alive for as long as the views borrow them.
+  std::vector<std::vector<std::size_t>> shard_rows() const;
   // Fraction of finest-granularity clusters kept whole in one shard;
   // 1.0 by construction.
   double micro_locality = 0.0;

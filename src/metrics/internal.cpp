@@ -37,7 +37,7 @@ double mode_distance(const PartitionProfile& profile, std::size_t d, int l,
 }
 
 // Mean member-to-own-mode Hamming distance of cluster l ("scatter").
-double mode_scatter(const data::Dataset& ds, const std::vector<int>& labels,
+double mode_scatter(const data::DatasetView& ds, const std::vector<int>& labels,
                     const PartitionProfile& profile, int l) {
   const std::size_t d = ds.num_features();
   double sum = 0.0;
@@ -63,49 +63,55 @@ double mode_scatter(const data::Dataset& ds, const std::vector<int>& labels,
 
 }  // namespace
 
-PartitionProfile::PartitionProfile(const data::Dataset& ds,
+PartitionProfile::PartitionProfile(const data::DatasetView& ds,
                                    const std::vector<int>& labels) {
   if (labels.size() != ds.num_objects()) {
     throw std::invalid_argument("internal: labels/objects size mismatch");
   }
   k_ = label_count(labels);
+  const auto ku = static_cast<std::size_t>(k_);
+  const std::size_t n = ds.num_objects();
   const std::size_t d = ds.num_features();
-  sizes_.assign(static_cast<std::size_t>(k_), 0);
-  counts_.resize(static_cast<std::size_t>(k_));
-  non_null_.assign(static_cast<std::size_t>(k_), std::vector<int>(d, 0));
-  for (int l = 0; l < k_; ++l) {
-    counts_[static_cast<std::size_t>(l)].resize(d);
-    for (std::size_t r = 0; r < d; ++r) {
-      counts_[static_cast<std::size_t>(l)][r].assign(
-          static_cast<std::size_t>(ds.cardinality(r)), 0);
-    }
+  sizes_.assign(ku, 0);
+  offsets_.assign(d + 1, 0);
+  for (std::size_t r = 0; r < d; ++r) {
+    offsets_[r + 1] = offsets_[r] + static_cast<std::size_t>(ds.cardinality(r));
   }
-  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
-    const auto l = static_cast<std::size_t>(labels[i]);
-    ++sizes_[l];
-    for (std::size_t r = 0; r < d; ++r) {
+  counts_.assign(offsets_[d] * ku, 0);
+  non_null_.assign(d * ku, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++sizes_[static_cast<std::size_t>(labels[i])];
+  }
+  // Feature-major fill: each column is swept stride-1 and writes only its
+  // own cell block of the bank.
+  for (std::size_t r = 0; r < d; ++r) {
+    int* cell_block = counts_.data() + offsets_[r] * ku;
+    int* nn = non_null_.data() + r * ku;
+    for (std::size_t i = 0; i < n; ++i) {
       const data::Value v = ds.at(i, r);
       if (v == data::kMissing) continue;
-      ++counts_[l][r][static_cast<std::size_t>(v)];
-      ++non_null_[l][r];
+      const auto l = static_cast<std::size_t>(labels[i]);
+      ++cell_block[static_cast<std::size_t>(v) * ku + l];
+      ++nn[l];
     }
   }
 }
 
 data::Value PartitionProfile::mode(int l, std::size_t r) const {
-  const auto& hist = counts_[static_cast<std::size_t>(l)][r];
   data::Value best = data::kMissing;
   int best_count = 0;
-  for (std::size_t v = 0; v < hist.size(); ++v) {
-    if (hist[v] > best_count) {
-      best_count = hist[v];
+  const std::size_t m_r = offsets_[r + 1] - offsets_[r];
+  for (std::size_t v = 0; v < m_r; ++v) {
+    const int c = count(l, r, static_cast<data::Value>(v));
+    if (c > best_count) {
+      best_count = c;
       best = static_cast<data::Value>(v);
     }
   }
   return best;
 }
 
-double PartitionProfile::mean_distance(const data::Dataset& ds, std::size_t i,
+double PartitionProfile::mean_distance(const data::DatasetView& ds, std::size_t i,
                                        int l, bool exclude_self) const {
   const std::size_t d = ds.num_features();
   const bool self_member = exclude_self;
@@ -128,7 +134,7 @@ double PartitionProfile::mean_distance(const data::Dataset& ds, std::size_t i,
   return sum / static_cast<double>(compared);
 }
 
-double compactness(const data::Dataset& ds, const std::vector<int>& labels) {
+double compactness(const data::DatasetView& ds, const std::vector<int>& labels) {
   if (ds.num_objects() == 0) return 0.0;
   const PartitionProfile profile(ds, labels);
   double sum = 0.0;
@@ -140,7 +146,7 @@ double compactness(const data::Dataset& ds, const std::vector<int>& labels) {
   return sum / static_cast<double>(ds.num_objects());
 }
 
-double mode_separation(const data::Dataset& ds,
+double mode_separation(const data::DatasetView& ds,
                        const std::vector<int>& labels) {
   const PartitionProfile profile(ds, labels);
   const int k = profile.num_clusters();
@@ -156,7 +162,7 @@ double mode_separation(const data::Dataset& ds,
   return sum / static_cast<double>(pairs);
 }
 
-double categorical_silhouette(const data::Dataset& ds,
+double categorical_silhouette(const data::DatasetView& ds,
                               const std::vector<int>& labels) {
   if (ds.num_objects() == 0) return 0.0;
   const PartitionProfile profile(ds, labels);
@@ -179,7 +185,7 @@ double categorical_silhouette(const data::Dataset& ds,
   return sum / static_cast<double>(ds.num_objects());
 }
 
-double category_utility(const data::Dataset& ds,
+double category_utility(const data::DatasetView& ds,
                         const std::vector<int>& labels) {
   const std::size_t n = ds.num_objects();
   if (n == 0) return 0.0;
@@ -220,7 +226,7 @@ double category_utility(const data::Dataset& ds,
   return cu / static_cast<double>(k);
 }
 
-double davies_bouldin_modes(const data::Dataset& ds,
+double davies_bouldin_modes(const data::DatasetView& ds,
                             const std::vector<int>& labels) {
   const PartitionProfile profile(ds, labels);
   const int k = profile.num_clusters();
@@ -249,7 +255,7 @@ double davies_bouldin_modes(const data::Dataset& ds,
   return sum / static_cast<double>(k);
 }
 
-InternalScores internal_scores(const data::Dataset& ds,
+InternalScores internal_scores(const data::DatasetView& ds,
                                const std::vector<int>& labels) {
   InternalScores out;
   out.compactness = compactness(ds, labels);

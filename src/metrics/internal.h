@@ -18,27 +18,38 @@
 // missing cells the same NULL-aware way as the core similarity (Sec. II-A).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "data/dataset.h"
+#include "data/view.h"
 
 namespace mcdc::metrics {
 
 // Per-cluster per-feature value-frequency histograms — the sufficient
-// statistic every internal index here is computed from.
+// statistic every internal index here is computed from. Stored as one flat
+// bank in core::ProfileSet's value-major layout,
+// counts_[(offset[r] + v) * k + l], filled by stride-1 column sweeps over
+// the dataset bank; the k counts of a fixed (feature, value) cell sit on
+// one cache line for the per-object mean_distance sweeps.
 class PartitionProfile {
  public:
-  PartitionProfile(const data::Dataset& ds, const std::vector<int>& labels);
+  PartitionProfile(const data::DatasetView& ds, const std::vector<int>& labels);
 
   int num_clusters() const { return k_; }
   std::size_t cluster_size(int l) const { return sizes_[l]; }
 
   // |{i in C_l : x_ir = v}|.
   int count(int l, std::size_t r, data::Value v) const {
-    return counts_[l][r][static_cast<std::size_t>(v)];
+    return counts_[(offsets_[r] + static_cast<std::size_t>(v)) *
+                       static_cast<std::size_t>(k_) +
+                   static_cast<std::size_t>(l)];
   }
   // |{i in C_l : x_ir != NULL}|.
-  int non_null(int l, std::size_t r) const { return non_null_[l][r]; }
+  int non_null(int l, std::size_t r) const {
+    return non_null_[r * static_cast<std::size_t>(k_) +
+                     static_cast<std::size_t>(l)];
+  }
 
   // Mode (most frequent value, ties to the smaller code) of feature r in
   // cluster l; kMissing when the cluster has no observed value there.
@@ -48,39 +59,40 @@ class PartitionProfile {
   // (1/d) sum_r (1 - P(x_ir | C_l)); the histogram form of the mean Hamming
   // distance from the object to the cluster's members. `exclude_self` makes
   // the estimate leave-one-out (required by the silhouette's a(i) term).
-  double mean_distance(const data::Dataset& ds, std::size_t i, int l,
+  double mean_distance(const data::DatasetView& ds, std::size_t i, int l,
                        bool exclude_self) const;
 
  private:
   int k_ = 0;
   std::vector<std::size_t> sizes_;
-  std::vector<std::vector<std::vector<int>>> counts_;  // [cluster][feature][value]
-  std::vector<std::vector<int>> non_null_;             // [cluster][feature]
+  std::vector<std::size_t> offsets_;  // offsets_[r] = sum of m_t, t < r
+  std::vector<int> counts_;           // [(offset[r] + v) * k + l]
+  std::vector<int> non_null_;         // [r * k + l]
 };
 
 // Mean over objects of the Sec. II-A similarity to their own cluster.
 // Range [0, 1], higher = tighter clusters.
-double compactness(const data::Dataset& ds, const std::vector<int>& labels);
+double compactness(const data::DatasetView& ds, const std::vector<int>& labels);
 
 // Mean normalised Hamming distance between all pairs of cluster modes.
 // Range [0, 1], higher = better separated. 0 when k < 2.
-double mode_separation(const data::Dataset& ds, const std::vector<int>& labels);
+double mode_separation(const data::DatasetView& ds, const std::vector<int>& labels);
 
 // Histogram-based categorical silhouette, averaged over objects. Range
 // [-1, 1]; objects in singleton clusters contribute 0 (sklearn convention).
-double categorical_silhouette(const data::Dataset& ds,
+double categorical_silhouette(const data::DatasetView& ds,
                               const std::vector<int>& labels);
 
 // Category utility of the partition. Higher is better; 0 for k = 1 and for
 // clusters that match the global value distribution.
-double category_utility(const data::Dataset& ds,
+double category_utility(const data::DatasetView& ds,
                         const std::vector<int>& labels);
 
 // Davies-Bouldin analogue: mean over clusters of the worst
 // (scatter_l + scatter_t) / mode_distance(l, t) ratio, with scatter the
 // mean member-to-mode Hamming distance. Lower is better; +inf when two
 // cluster modes coincide; 0 when k < 2.
-double davies_bouldin_modes(const data::Dataset& ds,
+double davies_bouldin_modes(const data::DatasetView& ds,
                             const std::vector<int>& labels);
 
 struct InternalScores {
@@ -92,7 +104,7 @@ struct InternalScores {
 };
 
 // All internal indices in one pass-friendly call.
-InternalScores internal_scores(const data::Dataset& ds,
+InternalScores internal_scores(const data::DatasetView& ds,
                                const std::vector<int>& labels);
 
 }  // namespace mcdc::metrics

@@ -106,6 +106,79 @@ TEST(Csv, RoundTripPreservesContent) {
   EXPECT_EQ(ds2.labels(), ds.labels());
 }
 
+TEST(Csv, QuotedFieldKeepsEmbeddedDelimiter) {
+  std::istringstream in("\"a,b\",plain,x\n\"c,d\",other,y\n");
+  const Dataset ds = read_csv(in);
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_EQ(ds.value_name(0, 0), "a,b");
+  EXPECT_EQ(ds.value_name(0, 1), "c,d");
+  EXPECT_EQ(ds.value_name(1, 0), "plain");
+}
+
+TEST(Csv, EscapedDoubleQuoteDecodes) {
+  std::istringstream in("\"say \"\"hi\"\"\",u,x\nplain,v,y\n");
+  const Dataset ds = read_csv(in);
+  EXPECT_EQ(ds.value_name(0, 0), "say \"hi\"");
+  EXPECT_EQ(ds.value_name(0, 1), "plain");
+}
+
+TEST(Csv, QuotedFieldPreservesWhitespace) {
+  // Unquoted fields are trimmed; quoted content is verbatim.
+  std::istringstream in("\" a \",b,x\nc,d,y\n");
+  const Dataset ds = read_csv(in);
+  EXPECT_EQ(ds.value_name(0, 0), " a ");
+  EXPECT_EQ(ds.value_name(1, 0), "b");
+}
+
+TEST(Csv, QuotedLabelAndHeader) {
+  std::istringstream in(
+      "\"col,our\",size,class\n\"deep, red\",big,\"A,1\"\nblue,small,B\n");
+  CsvOptions options;
+  options.has_header = true;
+  const Dataset ds = read_csv(in, options);
+  EXPECT_EQ(ds.feature_names()[0], "col,our");
+  EXPECT_EQ(ds.value_name(0, 0), "deep, red");
+  ASSERT_TRUE(ds.has_labels());
+  EXPECT_EQ(ds.label_names()[0], "A,1");
+}
+
+TEST(Csv, QuotedEmptyFieldIsMissing) {
+  // "" encodes an empty token, which the builder treats as missing — the
+  // same convention as an unquoted empty field.
+  std::istringstream in("\"\",b,x\nc,d,y\n");
+  const Dataset ds = read_csv(in);
+  EXPECT_TRUE(ds.is_missing(0, 0));
+}
+
+TEST(Csv, MalformedTrailerAfterClosingQuoteKeptVerbatim) {
+  // `"ab"c` is malformed RFC-4180; the trailer is kept, not dropped, so the
+  // token cannot silently merge with the `ab` category.
+  std::istringstream in("\"ab\"c,y\nab,z\n");
+  const Dataset ds = read_csv(in);
+  EXPECT_EQ(ds.value_name(0, 0), "abc");
+  EXPECT_EQ(ds.value_name(0, 1), "ab");
+}
+
+TEST(Csv, UnterminatedQuoteReadLeniently) {
+  // The open quote swallows the rest of the line as one field.
+  std::istringstream in("\"abc,b\nxy\n");
+  CsvOptions options;
+  options.label_column = -2;
+  const Dataset ds = read_csv(in, options);
+  EXPECT_EQ(ds.num_features(), 1u);
+  EXPECT_EQ(ds.value_name(0, 0), "abc,b");
+  EXPECT_EQ(ds.value_name(0, 1), "xy");
+}
+
+TEST(Csv, TrailingDelimiterYieldsEmptyField) {
+  std::istringstream in("a,b,\nc,d,\n");
+  const Dataset ds = read_csv(in);
+  // Three columns; the last (the default label column) is empty -> no
+  // labels recorded.
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_FALSE(ds.has_labels());
+}
+
 TEST(Csv, AlternateDelimiter) {
   std::istringstream in("a;b;x\nc;d;y\n");
   CsvOptions options;

@@ -6,6 +6,7 @@
 
 #include "core/mgcpl.h"
 #include "data/synthetic.h"
+#include "data/view.h"
 #include "dist/node_grouping.h"
 #include "dist/prepartition.h"
 #include "dist/sim_cluster.h"
@@ -32,6 +33,33 @@ TEST(Prepartition, EveryObjectLandsInExactlyOneShard) {
     ASSERT_GE(s, 0);
     ASSERT_LT(s, 4);
   }
+}
+
+TEST(Prepartition, ShardRowsBackZeroCopyViews) {
+  const auto nd = data::nested({});
+  const auto analysis = core::Mgcpl().run(nd.dataset, 1);
+  PrepartitionConfig config;
+  config.num_shards = 3;
+  const auto result = MicroClusterPartitioner(config).partition(analysis);
+  const auto rows = result.shard_rows();
+  ASSERT_EQ(rows.size(), result.shard_sizes.size());
+  std::size_t covered = 0;
+  for (std::size_t w = 0; w < rows.size(); ++w) {
+    EXPECT_EQ(rows[w].size(), result.shard_sizes[w]);
+    // One zero-copy view per worker; positions map back onto the owner's
+    // rows and every viewed row really belongs to shard w.
+    const data::DatasetView view(nd.dataset, rows[w]);
+    EXPECT_EQ(view.num_objects(), result.shard_sizes[w]);
+    for (std::size_t i = 0; i < view.num_objects(); ++i) {
+      const std::size_t src = view.row_id(i);
+      EXPECT_EQ(result.shard[src], static_cast<int>(w));
+      for (std::size_t r = 0; r < view.num_features(); ++r) {
+        EXPECT_EQ(view.at(i, r), nd.dataset.at(src, r));
+      }
+    }
+    covered += rows[w].size();
+  }
+  EXPECT_EQ(covered, result.shard.size());
 }
 
 TEST(Prepartition, MicroClustersAreNeverSplit) {

@@ -174,7 +174,8 @@ data::Dataset with_planted_outliers(std::size_t* first_outlier) {
   std::vector<data::Value> cells;
   cells.reserve((n + 4) * d);
   for (std::size_t i = 0; i < n; ++i) {
-    cells.insert(cells.end(), ds.row(i), ds.row(i) + d);
+    const std::vector<data::Value> row = ds.row_copy(i);
+    cells.insert(cells.end(), row.begin(), row.end());
   }
   Rng rng(99);
   for (int o = 0; o < 4; ++o) {

@@ -83,7 +83,7 @@ TEST(TicTacToe, BoardsAreDistinct) {
   const Dataset ds = tic_tac_toe();
   std::set<std::vector<Value>> boards;
   for (std::size_t i = 0; i < ds.num_objects(); ++i) {
-    boards.insert(std::vector<Value>(ds.row(i), ds.row(i) + 9));
+    boards.insert(ds.row_copy(i));
   }
   EXPECT_EQ(boards.size(), 958u);
 }
@@ -113,7 +113,7 @@ TEST(Car, GridShape) {
   // 4*4*4*3*3*3 distinct rows.
   std::set<std::vector<Value>> rows;
   for (std::size_t i = 0; i < ds.num_objects(); ++i) {
-    rows.insert(std::vector<Value>(ds.row(i), ds.row(i) + 6));
+    rows.insert(ds.row_copy(i));
   }
   EXPECT_EQ(rows.size(), 1728u);
 }

@@ -61,19 +61,19 @@ TEST(ProfileSet, ScoreAllMatchesPerClusterSimilarity) {
 
     std::vector<double> batched(static_cast<std::size_t>(c.k));
     for (std::size_t i = 0; i < c.ds.num_objects(); ++i) {
-      set.score_all(c.ds.row(i), batched.data());
+      set.score_all(c.ds, i, batched.data());
       for (int l = 0; l < c.k; ++l) {
         const double reference =
             profiles[static_cast<std::size_t>(l)].similarity(c.ds, i);
         EXPECT_DOUBLE_EQ(batched[static_cast<std::size_t>(l)], reference);
         EXPECT_NEAR(batched[static_cast<std::size_t>(l)], reference, 1e-12);
-        EXPECT_DOUBLE_EQ(set.score_one(l, c.ds.row(i)), reference);
+        EXPECT_DOUBLE_EQ(set.score_one(l, c.ds, i), reference);
       }
     }
     // Frozen quotients come from the same divisions: still identical.
     set.freeze();
     for (std::size_t i = 0; i < c.ds.num_objects(); ++i) {
-      set.score_all(c.ds.row(i), batched.data());
+      set.score_all(c.ds, i, batched.data());
       for (int l = 0; l < c.k; ++l) {
         EXPECT_DOUBLE_EQ(
             batched[static_cast<std::size_t>(l)],
@@ -105,14 +105,14 @@ TEST(ProfileSet, WeightedScoreAllMatchesWeightedSimilarity) {
 
   std::vector<double> batched(static_cast<std::size_t>(c.k));
   for (std::size_t i = 0; i < c.ds.num_objects(); ++i) {
-    set.weighted_score_all(c.ds.row(i), bank.data(), batched.data());
+    set.weighted_score_all(c.ds, i, bank.data(), batched.data());
     for (int l = 0; l < c.k; ++l) {
       const double reference =
           profiles[static_cast<std::size_t>(l)].weighted_similarity(
               c.ds, i, omega[static_cast<std::size_t>(l)]);
       EXPECT_DOUBLE_EQ(batched[static_cast<std::size_t>(l)], reference);
       EXPECT_DOUBLE_EQ(
-          set.weighted_score_one(l, c.ds.row(i),
+          set.weighted_score_one(l, c.ds, i,
                                  omega[static_cast<std::size_t>(l)]),
           reference);
     }
@@ -127,7 +127,7 @@ TEST(ProfileSet, IncrementalMaintenanceMatchesRebuild) {
   for (int step = 0; step < 200; ++step) {
     const auto i = static_cast<std::size_t>(rng.below(c.ds.num_objects()));
     const int to = static_cast<int>(rng.below(static_cast<std::uint64_t>(c.k)));
-    set.move(c.labels[i], to, c.ds.row(i));
+    set.move(c.labels[i], to, c.ds, i);
     c.labels[i] = to;
   }
   const core::ProfileSet rebuilt =
@@ -150,7 +150,7 @@ TEST(ProfileSet, AppendAndRemoveClustersRestrideTheBank) {
   EXPECT_EQ(fresh, 3);
   EXPECT_EQ(set.num_clusters(), 4);
   EXPECT_TRUE(set.empty(fresh));
-  set.add(fresh, c.ds.row(0));
+  set.add(fresh, c.ds, 0);
   EXPECT_DOUBLE_EQ(set.size(fresh), 1.0);
 
   // Old clusters kept their histograms across the restride.
@@ -250,7 +250,7 @@ TEST(ProfileSet, BestClusterBreaksTiesToLowestId) {
   core::ProfileSet set = core::ProfileSet::from_assignment(ds, {0, 1, 0, 1}, 2);
   std::vector<double> scratch;
   for (std::size_t i = 0; i < ds.num_objects(); ++i) {
-    EXPECT_EQ(set.best_cluster(ds.row(i), scratch), 0);
+    EXPECT_EQ(set.best_cluster(ds, i, scratch), 0);
   }
 }
 
@@ -274,7 +274,7 @@ TEST(Model, PredictMatchesPredictRow) {
   const std::vector<int> batched = fit.model.predict(ds);
   EXPECT_EQ(batched, fit.model.predict(ds));
   for (std::size_t i = 0; i < ds.num_objects(); ++i) {
-    EXPECT_EQ(batched[i], fit.model.predict_row(ds.row(i)));
+    EXPECT_EQ(batched[i], fit.model.predict_row(ds.row_copy(i).data()));
   }
 }
 
@@ -350,6 +350,57 @@ TEST(KernelGoldens, FixedSeedLabelsAreUnchangedAcrossTheRegistry) {
   EXPECT_EQ(covered, api::registry().methods().size());
 }
 #endif  // __linux__ && __GLIBC__
+
+// The zero-copy analogue of the golden table: every registered method must
+// produce byte-identical labels when fitted through a row-index DatasetView
+// and when fitted on the materialised deep copy of the same rows. This is
+// the contract that lets DistributedMcdc hand workers views instead of
+// Dataset::subset copies without moving a single golden hash. (No libm
+// guard needed: both fits run the exact same trajectory, so the comparison
+// is platform-independent.)
+TEST(KernelGoldens, ViewFitsMatchMaterializedFits) {
+  data::WellSeparatedConfig config;
+  config.num_objects = 180;
+  config.num_features = 6;
+  config.num_clusters = 3;
+  config.cardinality = 4;
+  config.purity = 0.75;
+  config.seed = 29;
+  const data::Dataset ds =
+      data::with_missing_cells(data::well_separated(config), 0.06, 7);
+
+  // A non-trivial selection: drop every fifth row, keep the rest in order.
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    if (i % 5 != 0) rows.push_back(i);
+  }
+  const data::DatasetView view(ds, rows);
+  const data::Dataset copy = view.materialize();
+
+  api::Engine engine;
+  for (const api::MethodInfo& method : api::registry().methods()) {
+    api::FitOptions options;
+    options.method = method.key;
+    options.k = 3;
+    options.seed = 23;
+    options.evaluate = false;
+    options.stage_reports = false;
+    const api::FitResult from_view = engine.fit(view, options);
+    const api::FitResult from_copy = engine.fit(copy, options);
+    EXPECT_EQ(from_view.status.code, from_copy.status.code) << method.key;
+    EXPECT_EQ(from_view.report.labels, from_copy.report.labels)
+        << "view/copy labels diverged for " << method.key;
+    if (from_view.ok() && from_copy.ok()) {
+      EXPECT_EQ(from_view.model.training_labels(),
+                from_copy.model.training_labels())
+          << method.key;
+      // Serving side: predicting through a view matches predicting the
+      // materialised rows.
+      EXPECT_EQ(from_copy.model.predict(view), from_copy.model.predict(copy))
+          << method.key;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace mcdc
