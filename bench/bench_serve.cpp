@@ -1,0 +1,194 @@
+// Concurrent serving throughput: N producer threads firing single-row
+// predict requests at a serve::ModelServer, unbatched (max_batch = 1, every
+// request its own sweep) vs batched (requests coalesced into frozen
+// Model::predict_rows sweeps), plus a swap-storm phase that hot-reloads the
+// snapshot mid-traffic to show publishing never stalls or corrupts the
+// request stream.
+//
+//   bench_serve [--smoke] [--strict] [--n N] [--k K] [--producers P]
+//               [--batch B] [--repeats R]
+//
+// Every phase must answer every request with the label the bulk
+// Model::predict path assigns (the serving determinism contract); the bench
+// exits non-zero on any mismatch. --strict additionally gates batched
+// throughput >= 2x unbatched (the ISSUE 5 acceptance target); --smoke
+// shrinks the workload for CI and keeps the correctness checks.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/model.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "data/synthetic.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace mcdc;
+
+// Replays every row `repeats` times from `producers` threads against the
+// server; returns wall-clock seconds. Labels land in `labels` (last repeat
+// wins; all repeats see the same snapshot contents, so they agree).
+double drive(serve::ModelServer& server, const std::vector<data::Value>& rows,
+             std::size_t n, std::size_t d, int producers, int repeats,
+             std::vector<int>& labels) {
+  Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(producers));
+  for (int t = 0; t < producers; ++t) {
+    threads.emplace_back([&, t] {
+      // Pipelined producer: keep a window of requests in flight so the
+      // dispatcher has something to coalesce (a strictly blocking producer
+      // caps every batch at `producers` rows).
+      std::vector<std::pair<std::size_t, std::future<int>>> window;
+      const std::size_t window_cap = 128;
+      const auto drain = [&] {
+        for (auto& [row, future] : window) labels[row] = future.get();
+        window.clear();
+      };
+      for (int rep = 0; rep < repeats; ++rep) {
+        for (std::size_t i = static_cast<std::size_t>(t); i < n;
+             i += static_cast<std::size_t>(producers)) {
+          window.emplace_back(i, server.submit(rows.data() + i * d));
+          if (window.size() >= window_cap) drain();
+        }
+      }
+      drain();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  return timer.elapsed_seconds();
+}
+
+bool check(const std::vector<int>& got, const std::vector<int>& want,
+           const char* phase) {
+  if (got == want) return true;
+  std::fprintf(stderr,
+               "FAIL: %s labels diverge from bulk Model::predict (serving "
+               "determinism contract broken)\n",
+               phase);
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool smoke = cli.has("smoke");
+  const bool strict = cli.has("strict");
+  const std::size_t n =
+      static_cast<std::size_t>(cli.get_int("n", smoke ? 2000 : 20000));
+  const int k = static_cast<int>(cli.get_int("k", 32));
+  const int producers = static_cast<int>(cli.get_int("producers", 4));
+  const std::size_t batch =
+      static_cast<std::size_t>(cli.get_int("batch", 256));
+  const int repeats = static_cast<int>(cli.get_int("repeats", smoke ? 1 : 2));
+
+  const data::Dataset ds = data::syn_n(n);
+  const std::size_t d = ds.num_features();
+
+  // A fixed random partition is all the server cares about — it serves
+  // whatever frozen histograms it is given.
+  Rng rng(42);
+  std::vector<int> assignment(n);
+  for (auto& l : assignment) {
+    l = static_cast<int>(rng.below(static_cast<std::uint64_t>(k)));
+  }
+  const auto model = std::make_shared<const api::Model>(api::Model::from_fit(
+      "bench-serve", ds, assignment, k, {}, {}, /*refine=*/false));
+
+  // The model was fitted on ds itself, so ds codes are already the model's
+  // encoding: requests can replay raw gathered rows.
+  std::vector<data::Value> rows(n * d);
+  for (std::size_t i = 0; i < n; ++i) ds.gather_row(i, rows.data() + i * d);
+  const std::vector<int> reference = model->predict(ds);
+
+  std::printf(
+      "serving throughput, Syn_n n=%zu d=%zu k=%d, %d producers, %d "
+      "repeat(s)\n",
+      n, d, k, producers, repeats);
+
+  bool ok = true;
+  std::vector<int> labels(n, -2);
+
+  // --- unbatched: every request is its own dispatch + 1-row sweep --------
+  double unbatched_rps = 0.0;
+  {
+    serve::ServeConfig config;
+    config.queue.max_batch = 1;
+    config.queue.linger_us = 0.0;
+    serve::ModelServer server(model, config);
+    const double seconds =
+        drive(server, rows, n, d, producers, repeats, labels);
+    server.stop();
+    unbatched_rps = static_cast<double>(n) * repeats / seconds;
+    const auto stats = server.stats();
+    std::printf("%-10s %12.0f req/s  occupancy %6.1f  p50 %7.1fus  p99 %7.1fus\n",
+                "unbatched", unbatched_rps, stats.batch_occupancy,
+                stats.p50_latency_us, stats.p99_latency_us);
+    ok = check(labels, reference, "unbatched") && ok;
+  }
+
+  // --- batched: coalesced into frozen predict_rows sweeps ----------------
+  double batched_rps = 0.0;
+  {
+    serve::ServeConfig config;
+    config.queue.max_batch = batch;
+    serve::ModelServer server(model, config);
+    labels.assign(n, -2);
+    const double seconds =
+        drive(server, rows, n, d, producers, repeats, labels);
+    server.stop();
+    batched_rps = static_cast<double>(n) * repeats / seconds;
+    const auto stats = server.stats();
+    std::printf("%-10s %12.0f req/s  occupancy %6.1f  p50 %7.1fus  p99 %7.1fus\n",
+                "batched", batched_rps, stats.batch_occupancy,
+                stats.p50_latency_us, stats.p99_latency_us);
+    ok = check(labels, reference, "batched") && ok;
+  }
+
+  // --- swap storm: hot-reload the snapshot while traffic is in flight ----
+  {
+    serve::ServeConfig config;
+    config.queue.max_batch = batch;
+    serve::ModelServer server(model, config);
+    const api::Json reload = model->to_json(false);
+    std::atomic<bool> done{false};
+    std::thread swapper([&] {
+      while (!done.load()) {
+        server.swap_json(reload);  // field-exact reload: labels must hold
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+    labels.assign(n, -2);
+    const double seconds =
+        drive(server, rows, n, d, producers, repeats, labels);
+    done.store(true);
+    swapper.join();
+    server.stop();
+    const auto stats = server.stats();
+    std::printf(
+        "%-10s %12.0f req/s  occupancy %6.1f  %llu swaps mid-traffic\n",
+        "swap-storm", static_cast<double>(n) * repeats / seconds,
+        stats.batch_occupancy,
+        static_cast<unsigned long long>(stats.swaps));
+    ok = check(labels, reference, "swap-storm") && ok;
+  }
+
+  if (!ok) return 1;
+  std::printf("labels identical to bulk predict across all phases: yes\n");
+  const double ratio =
+      unbatched_rps > 0.0 ? batched_rps / unbatched_rps : 0.0;
+  std::printf("batched vs unbatched: %.2fx (target >= 2x)\n", ratio);
+  if (strict && ratio < 2.0) {
+    std::fprintf(stderr, "FAIL: batched < 2x unbatched throughput\n");
+    return 2;
+  }
+  return 0;
+}

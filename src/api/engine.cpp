@@ -200,7 +200,29 @@ FitResult Engine::fit(const data::DatasetView& ds,
   }
 
   report.timings.total_seconds = total.elapsed_seconds();
+  {
+    // Remember the fit for serve(). This copies the model once per
+    // successful fit — small against the fit itself (the same structures
+    // were just built from dozens of dataset passes), and the hot batch
+    // paths (bench harnesses, distributed workers) call clusterers
+    // directly rather than through Engine::fit.
+    std::lock_guard lock(last_fit_mutex_);
+    last_fit_ = std::make_shared<const Model>(out.model);
+  }
   return finish_with(Status::Ok());
+}
+
+std::shared_ptr<serve::ModelServer> Engine::serve(
+    serve::ServeConfig config) const {
+  std::shared_ptr<const Model> model;
+  {
+    std::lock_guard lock(last_fit_mutex_);
+    model = last_fit_;
+  }
+  if (model == nullptr) {
+    throw std::logic_error("Engine::serve: no successful fit to serve");
+  }
+  return std::make_shared<serve::ModelServer>(std::move(model), config);
 }
 
 }  // namespace mcdc::api

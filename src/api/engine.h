@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "api/model.h"
@@ -20,6 +22,7 @@
 #include "api/report.h"
 #include "data/dataset.h"
 #include "data/view.h"
+#include "serve/server.h"
 
 namespace mcdc::api {
 
@@ -60,8 +63,23 @@ class Engine {
   FitResult fit(const data::DatasetView& ds,
                 const FitOptions& options = {}) const;
 
+  // Spins up a serve::ModelServer whose first snapshot is this engine's
+  // most recent successful fit (each successful fit() also remembers its
+  // model for exactly this call). Later swaps — refits, streaming drains,
+  // JSON hot-reloads — go through ModelServer::swap. Throws
+  // std::logic_error when no fit has succeeded yet: there is nothing to
+  // bind the server to.
+  std::shared_ptr<serve::ModelServer> serve(
+      serve::ServeConfig config = {}) const;
+
  private:
   const Registry* registry_;
+  // Snapshot source for serve(); written under the mutex by fit() (which
+  // stays const and thread-safe — an Engine may be shared across fitting
+  // threads). The mutex member makes Engine non-copyable, which is fine:
+  // it is two pointers, construct another.
+  mutable std::mutex last_fit_mutex_;
+  mutable std::shared_ptr<const Model> last_fit_;
 };
 
 }  // namespace mcdc::api

@@ -222,7 +222,13 @@ class Parser {
     return true;
   }
 
+  // Containers recurse, so hostile input like ten thousand '[' would walk
+  // the parser (and later the value's destructor) off the stack; no
+  // legitimate report or model nests anywhere near this deep.
+  static constexpr int kMaxDepth = 256;
+
   Json parse_value() {
+    if (depth_ >= kMaxDepth) error("nesting too deep");
     const char c = peek();
     switch (c) {
       case '{': return parse_object();
@@ -243,8 +249,9 @@ class Parser {
 
   Json parse_object() {
     expect('{');
+    ++depth_;
     Json out = Json::object();
-    if (peek() == '}') { ++pos_; return out; }
+    if (peek() == '}') { ++pos_; --depth_; return out; }
     while (true) {
       if (peek() != '"') error("expected object key");
       std::string key = parse_string();
@@ -252,20 +259,21 @@ class Parser {
       out[key] = parse_value();
       const char c = peek();
       if (c == ',') { ++pos_; continue; }
-      if (c == '}') { ++pos_; return out; }
+      if (c == '}') { ++pos_; --depth_; return out; }
       error("expected ',' or '}'");
     }
   }
 
   Json parse_array() {
     expect('[');
+    ++depth_;
     Json out = Json::array();
-    if (peek() == ']') { ++pos_; return out; }
+    if (peek() == ']') { ++pos_; --depth_; return out; }
     while (true) {
       out.push_back(parse_value());
       const char c = peek();
       if (c == ',') { ++pos_; continue; }
-      if (c == ']') { ++pos_; return out; }
+      if (c == ']') { ++pos_; --depth_; return out; }
       error("expected ',' or ']'");
     }
   }
@@ -390,6 +398,7 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -87,12 +87,25 @@ int Model::predict_row(const data::Value* row) const {
   return scorer_.best_cluster(row, scratch);
 }
 
-std::vector<int> Model::predict(const data::DatasetView& ds) const {
-  if (!fitted()) throw std::logic_error("Model::predict: unfitted model");
+void Model::predict_rows(const data::Value* rows, std::size_t n,
+                         int* out) const {
+  if (!fitted()) throw std::logic_error("Model::predict_rows: unfitted model");
+  const std::size_t d = num_features();
+  parallel_chunks(n, 64, [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> scratch;
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[i] = scorer_.best_cluster(rows + i * d, scratch);
+    }
+  });
+}
+
+std::vector<std::vector<data::Value>> Model::encoding_map(
+    const data::DatasetView& ds) const {
   if (ds.num_features() != num_features()) {
     throw std::invalid_argument(
-        "Model::predict: dataset has " + std::to_string(ds.num_features()) +
-        " features, model expects " + std::to_string(num_features()));
+        "Model::encoding_map: dataset has " +
+        std::to_string(ds.num_features()) + " features, model expects " +
+        std::to_string(num_features()));
   }
 
   // Datasets are dictionary-encoded per source in first-seen order, so the
@@ -123,6 +136,12 @@ std::vector<int> Model::predict(const data::DatasetView& ds) const {
       }
     }
   }
+  return remap;
+}
+
+std::vector<int> Model::predict(const data::DatasetView& ds) const {
+  if (!fitted()) throw std::logic_error("Model::predict: unfitted model");
+  const std::vector<std::vector<data::Value>> remap = encoding_map(ds);
 
   // Scoring is per-row independent against the frozen bank, so rows fan
   // out over the shared pool; chunks write disjoint label slots, keeping

@@ -64,6 +64,14 @@ class Model {
   // when the model is unfitted.
   int predict_row(const data::Value* row) const;
 
+  // Batched predict_row: `rows` packs n rows of num_features() values each
+  // (row-major, already in the model's encoding), labels land in
+  // out[0..n). One frozen score_all sweep per row, fanned over the shared
+  // pool in disjoint chunks — byte-identical to n predict_row calls at any
+  // thread count. This is the serving hot path (serve::BatchQueue drains
+  // coalesced requests through it).
+  void predict_rows(const data::Value* rows, std::size_t n, int* out) const;
+
   // Vectorised predict over a whole dataset. Because datasets are
   // dictionary-encoded per source in first-seen order, codes of an
   // independently loaded dataset are re-mapped into the model's encoding
@@ -71,6 +79,15 @@ class Model {
   // as missing. Throws std::invalid_argument when the dataset's feature
   // count does not match the model's.
   std::vector<int> predict(const data::DatasetView& ds) const;
+
+  // Translation tables from `ds`'s encoding into the model's, by value
+  // name: map[r][v] is the model code of ds code v (data::kMissing when
+  // the fit never saw that value). predict() applies this internally; a
+  // serving layer replaying single rows from a foreign source builds the
+  // map once and translates per row. Throws std::invalid_argument on a
+  // feature-count mismatch.
+  std::vector<std::vector<data::Value>> encoding_map(
+      const data::DatasetView& ds) const;
 
   // `include_training_labels = false` drops the per-object label array —
   // used when the model is embedded next to a RunReport that already

@@ -84,6 +84,18 @@ Json RunReport::to_json() const {
     out["dist"] = std::move(dist_json);
   }
 
+  if (serve.requests > 0) {
+    Json serve_json = Json::object();
+    serve_json["requests"] = static_cast<double>(serve.requests);
+    serve_json["batches"] = static_cast<double>(serve.batches);
+    serve_json["swaps"] = static_cast<double>(serve.swaps);
+    serve_json["batch_occupancy"] = serve.batch_occupancy;
+    serve_json["throughput_rps"] = serve.throughput_rps;
+    serve_json["p50_latency_us"] = serve.p50_latency_us;
+    serve_json["p99_latency_us"] = serve.p99_latency_us;
+    out["serve"] = std::move(serve_json);
+  }
+
   Json timings_json = Json::object();
   timings_json["fit_seconds"] = timings.fit_seconds;
   timings_json["evaluate_seconds"] = timings.evaluate_seconds;

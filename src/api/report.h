@@ -77,6 +77,19 @@ struct DistEvidence {
   double sequential_seconds = 0.0;
 };
 
+// Evidence of a serving session (filled from serve::ModelServer::stats):
+// request/batch counters, snapshot swap count and the latency distribution
+// of the batched predict path. requests == 0 means nothing was served.
+struct ServeEvidence {
+  std::uint64_t requests = 0;    // single-row predicts answered
+  std::uint64_t batches = 0;     // coalesced score sweeps dispatched
+  std::uint64_t swaps = 0;       // snapshots published over the session
+  double batch_occupancy = 0.0;  // mean rows per dispatched sweep
+  double throughput_rps = 0.0;   // requests per second of serving wall-clock
+  double p50_latency_us = 0.0;   // submit-to-label latency percentiles
+  double p99_latency_us = 0.0;
+};
+
 struct RunReport {
   Status status;
 
@@ -97,6 +110,10 @@ struct RunReport {
 
   // Distributed-run evidence; dist.shards == 0 for single-node methods.
   DistEvidence dist;
+
+  // Serving-session evidence; serve.requests == 0 until the model behind
+  // this report has answered traffic through a serve::ModelServer.
+  ServeEvidence serve;
 
   metrics::InternalScores internal;     // ground-truth-free validity
   bool has_external = false;            // dataset carried class labels

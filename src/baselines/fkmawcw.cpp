@@ -59,6 +59,9 @@ ClusterResult Fkmawcw::run_once(const data::DatasetView& ds, int k,
   std::vector<std::vector<double>> v(ku, std::vector<double>(d, 1.0 / static_cast<double>(d)));
   std::vector<double> w(ku, 1.0 / static_cast<double>(k));
   std::vector<std::vector<double>> u(n, std::vector<double>(ku, 0.0));
+  // Per-feature global value frequencies — the presentation-invariant
+  // tie-break key of the mode update below.
+  const std::vector<std::vector<int>> frequency = ds.value_counts();
 
   // Weighted dissimilarity of object i to cluster l:
   //   D_il = w_l^q * sum_r v_rl^p * delta(x_ir, z_lr).
@@ -145,11 +148,22 @@ ClusterResult Fkmawcw::run_once(const data::DatasetView& ds, int k,
           if (val == data::kMissing) continue;
           mass[static_cast<std::size_t>(val)] += std::pow(u[i][l], config_.m);
         }
+        // Exact mass ties break to the globally more frequent value, not
+        // the smaller code: a bijective re-coding of the categories must
+        // not be able to steer the mode (and through it the partition) —
+        // frequencies survive any renaming, code order does not. (Two
+        // values tying on BOTH keys still fall back to the smaller code;
+        // no deterministic code-space choice can be recode-equivariant
+        // there, and such values are near-interchangeable anyway.)
         double best_mass = -1.0;
+        int best_freq = -1;
         Value best_value = 0;
         for (std::size_t t = 0; t < mass.size(); ++t) {
-          if (mass[t] > best_mass) {
+          const int freq = frequency[r][t];
+          if (mass[t] > best_mass ||
+              (mass[t] == best_mass && freq > best_freq)) {
             best_mass = mass[t];
+            best_freq = freq;
             best_value = static_cast<Value>(t);
           }
         }
@@ -242,17 +256,28 @@ ClusterResult Fkmawcw::run_once(const data::DatasetView& ds, int k,
 
   ClusterResult result;
   result.labels.assign(n, 0);
+  // Defuzzify by maximal membership. Exact ties (frequent with integer
+  // Hamming distances) break to the cluster with the larger total
+  // membership mass: the key is derived from cluster *content*, so the
+  // choice commutes with row shuffling and category re-coding — an object
+  // index or cluster id in the tie-break would leak the presentation into
+  // the partition (it did; see test_metamorphic.cpp).
+  std::vector<double> total_mass(ku, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    // Defuzzify by maximal membership; exact ties (frequent with integer
-    // Hamming distances) are spread by object index rather than funnelled
-    // into the lowest cluster id.
+    for (std::size_t l = 0; l < ku; ++l) total_mass[l] += u[i][l];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // The true maximum first, then the mass tie-break among clusters
+    // within tolerance of *it* — comparing against a running best would
+    // let a chain of pairwise near-ties drift below the real maximum.
     double best_u = u[i][0];
     for (std::size_t l = 1; l < ku; ++l) best_u = std::max(best_u, u[i][l]);
-    std::vector<std::size_t> argmax;
+    std::size_t best_l = ku;
     for (std::size_t l = 0; l < ku; ++l) {
-      if (u[i][l] >= best_u - 1e-12) argmax.push_back(l);
+      if (u[i][l] < best_u - 1e-12) continue;
+      if (best_l == ku || total_mass[l] > total_mass[best_l]) best_l = l;
     }
-    result.labels[i] = static_cast<int>(argmax[i % argmax.size()]);
+    result.labels[i] = static_cast<int>(best_l);
   }
   finalize_result(result, k);
   return result;

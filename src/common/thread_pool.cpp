@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <exception>
 
 namespace mcdc {
@@ -106,21 +108,41 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    const char* env = std::getenv("MCDC_THREADS");
+    if (env != nullptr) {
+      const long threads = std::strtol(env, nullptr, 10);
+      if (threads > 0) return static_cast<std::size_t>(threads);
+    }
+    return std::size_t{0};  // 0 = hardware concurrency
+  }());
   return pool;
 }
+
+namespace {
+std::atomic<std::size_t> g_parallel_width{0};
+}  // namespace
+
+std::size_t set_parallel_width(std::size_t width) {
+  return g_parallel_width.exchange(width);
+}
+
+std::size_t parallel_width() { return g_parallel_width.load(); }
 
 void parallel_chunks(std::size_t n, std::size_t grain,
                      const std::function<void(std::size_t, std::size_t)>&
                          body) {
   if (n == 0) return;
   ThreadPool& pool = global_pool();
-  if (n <= grain || pool.size() <= 1 || ThreadPool::in_worker()) {
+  const std::size_t cap = g_parallel_width.load();
+  const std::size_t width =
+      cap == 0 ? pool.size() : std::min(cap, pool.size());
+  if (n <= grain || width <= 1 || ThreadPool::in_worker()) {
     body(0, n);
     return;
   }
   const std::size_t by_grain = (n + grain - 1) / grain;
-  const std::size_t chunks = std::min(by_grain, pool.size() * 4);
+  const std::size_t chunks = std::min(by_grain, width * 4);
   const std::size_t chunk = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);

@@ -64,8 +64,19 @@ class ThreadPool {
   bool stopped_ = false;
 };
 
-// Shared process-wide pool sized to the hardware.
+// Shared process-wide pool sized to the hardware, or to the MCDC_THREADS
+// environment variable when it is set to a positive integer (read once at
+// first use — the determinism tests and single-core CI runners use it to
+// pin the worker count independently of the machine).
 ThreadPool& global_pool();
+
+// Caps how many workers parallel_chunks fans out over (0 = all of
+// global_pool()). The cap is process-global and read at each call, so a
+// test can sweep widths 1/2/8 over one pool and assert byte-identical
+// results — the chunks always partition the index range, whatever the
+// width. Returns the previous cap.
+std::size_t set_parallel_width(std::size_t width);
+std::size_t parallel_width();
 
 // Runs body(lo, hi) over contiguous chunks of [0, n) on the global pool.
 // Falls back to one inline body(0, n) call when the range is below `grain`,

@@ -1,0 +1,156 @@
+// Adversarial I/O corpus: every loader must either parse a malformed input
+// deliberately (the documented lenient recoveries) or reject it with the
+// documented exception type — never crash, never read out of bounds, never
+// let an unexpected exception type cross the API boundary. The corpus
+// lives in tests/corpus/ (checked in; MCDC_CORPUS_DIR points at it) and
+// regression-pins the PR 2 JSON fixes (surrogate pairs, RFC 8259 number
+// grammar, as_int range checks), the PR 4 CSV quote handling, and the
+// parser depth cap this PR adds (deep nesting used to walk the recursive
+// parser off the stack).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "api/json.h"
+#include "api/model.h"
+#include "data/csv.h"
+
+namespace mcdc {
+namespace {
+
+std::string corpus_path(const std::string& name) {
+  return std::string(MCDC_CORPUS_DIR) + "/" + name;
+}
+
+std::string slurp(const std::string& name) {
+  std::ifstream file(corpus_path(name), std::ios::binary);
+  EXPECT_TRUE(file.is_open()) << "missing corpus file " << name;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+// Outcome of feeding one corpus entry to a loader: parsed, or rejected
+// with a std::exception subclass. Anything else (a crash terminates the
+// test binary; a non-std exception propagates out of the harness) fails.
+enum class Outcome { parsed, rejected };
+
+template <typename F>
+Outcome guarded(F&& load) {
+  try {
+    load();
+    return Outcome::parsed;
+  } catch (const std::exception&) {
+    return Outcome::rejected;
+  }
+}
+
+// --- CSV ---------------------------------------------------------------
+
+TEST(AdversarialCsv, UnterminatedQuoteRecoversLeniently) {
+  // PR 4 contract: an unterminated quote reads to end of line instead of
+  // throwing — the row still loads.
+  const data::Dataset ds = data::read_csv_file(
+      corpus_path("csv_unterminated_quote.csv"));
+  EXPECT_EQ(ds.num_objects(), 2u);
+}
+
+TEST(AdversarialCsv, RaggedRowsAreRejected) {
+  EXPECT_THROW(data::read_csv_file(corpus_path("csv_ragged_rows.csv")),
+               std::runtime_error);
+}
+
+TEST(AdversarialCsv, EmptyAndBlankFilesAreRejected) {
+  EXPECT_THROW(data::read_csv_file(corpus_path("csv_empty.csv")),
+               std::runtime_error);
+  EXPECT_THROW(data::read_csv_file(corpus_path("csv_only_newlines.csv")),
+               std::runtime_error);
+}
+
+TEST(AdversarialCsv, QuotedFieldsParseExactly) {
+  const data::Dataset ds =
+      data::read_csv_file(corpus_path("csv_quoted_ok.csv"));
+  EXPECT_EQ(ds.num_objects(), 2u);
+  EXPECT_EQ(ds.num_features(), 2u);           // last column is the label
+  EXPECT_EQ(ds.value_name(1, ds.at(0, 1)), "b\"c");
+  EXPECT_EQ(ds.value_name(1, ds.at(1, 1)), "f,g");
+}
+
+TEST(AdversarialCsv, RemainingCorpusNeverEscapesTheApiBoundary) {
+  for (const char* name :
+       {"csv_lone_quotes.csv", "csv_binary_junk.csv", "csv_huge_field.csv",
+        "csv_all_missing.csv", "csv_crlf.csv"}) {
+    SCOPED_TRACE(name);
+    guarded([&] { data::read_csv_file(corpus_path(name)); });
+  }
+}
+
+TEST(AdversarialCsv, AllMissingRowsStillLoadAsMissing) {
+  const data::Dataset ds =
+      data::read_csv_file(corpus_path("csv_all_missing.csv"));
+  EXPECT_EQ(ds.num_objects(), 2u);
+  EXPECT_TRUE(ds.is_missing(0, 0));
+}
+
+// --- JSON --------------------------------------------------------------
+
+TEST(AdversarialJson, TruncatedDocumentIsRejected) {
+  EXPECT_THROW(api::Json::parse(slurp("json_truncated.json")),
+               std::runtime_error);
+}
+
+TEST(AdversarialJson, UnpairedSurrogateIsRejectedPairedAccepted) {
+  // PR 2 contract: an unpaired surrogate is garbage, a proper pair decodes
+  // to one 4-byte UTF-8 code point.
+  EXPECT_THROW(api::Json::parse(slurp("json_unpaired_surrogate.json")),
+               std::runtime_error);
+  const api::Json ok = api::Json::parse(slurp("json_surrogate_pair_ok.json"));
+  EXPECT_EQ(ok.at("s").as_string(), "\xF0\x9F\x98\x80");  // U+1F600
+}
+
+TEST(AdversarialJson, NumberGrammarViolationsAreRejected) {
+  // PR 2 contract: the RFC 8259 grammar is walked explicitly.
+  EXPECT_THROW(api::Json::parse(slurp("json_bad_number_grammar.json")),
+               std::runtime_error);
+  EXPECT_THROW(api::Json::parse(slurp("json_infinity.json")),
+               std::runtime_error);
+}
+
+TEST(AdversarialJson, OverflowingIntegersParseButRefuseAsInt) {
+  // PR 2 contract: the value parses as a double; as_int range-checks
+  // instead of overflowing (UB).
+  const api::Json doc = api::Json::parse(slurp("json_overflow_int.json"));
+  EXPECT_THROW(doc.at("k").as_int(), std::runtime_error);
+}
+
+TEST(AdversarialJson, DeepNestingIsRejectedNotAStackOverflow) {
+  // This PR's fix: ten thousand '[' used to recurse the parser (and the
+  // parsed value's destructor) straight off the stack.
+  EXPECT_THROW(api::Json::parse(slurp("json_deep_nesting.json")),
+               std::runtime_error);
+}
+
+TEST(AdversarialJson, GarbageInputsNeverEscapeTheApiBoundary) {
+  for (const char* name : {"json_binary_junk.json", "json_empty.json"}) {
+    SCOPED_TRACE(name);
+    EXPECT_EQ(guarded([&] { api::Json::parse(slurp(name)); }),
+              Outcome::rejected);
+  }
+}
+
+// --- Model hot-reload boundary -----------------------------------------
+
+TEST(AdversarialModelJson, StructurallyInvalidModelsAreRejected) {
+  for (const char* name :
+       {"json_model_missing_cluster.json", "json_model_counts_mismatch.json",
+        "json_model_size_not_int.json"}) {
+    SCOPED_TRACE(name);
+    const api::Json doc = api::Json::parse(slurp(name));  // valid JSON...
+    EXPECT_THROW(api::Model::from_json(doc), std::runtime_error);  // ...bad model
+  }
+}
+
+}  // namespace
+}  // namespace mcdc

@@ -1,0 +1,220 @@
+// Thread-count determinism: every parallel_chunks consumer in the library
+// must produce byte-identical results at 1, 2 and 8 workers. The chunks
+// partition the index range and bodies write disjoint slots, so this is a
+// contract, not a hope — the suite sweeps set_parallel_width over a pool
+// forced to 8 workers (MCDC_THREADS, set before the pool exists) and
+// compares:
+//
+//   - Engine::fit of "mcdc1" (Model::from_fit refinement sweeps) and of
+//     "mcdc" (CAME assignment sweeps + refinement),
+//   - Model::predict over a foreign dataset (dictionary re-coding path),
+//   - StreamingMgcpl::classify over a window,
+//   - active-learning select_queries (margin sweeps),
+//   - serve::ModelServer batched predicts (BatchQueue -> predict_rows).
+//
+// The width-1 results are additionally pinned as FNV-1a goldens (the same
+// hash and guard as the 18-method table in test_profile_set.cpp): a moved
+// hash means single-thread behaviour itself drifted, which is a different
+// failure than a thread-count divergence and must be just as deliberate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "api/engine.h"
+#include "common/thread_pool.h"
+#include "core/active.h"
+#include "core/mgcpl.h"
+#include "core/streaming.h"
+#include "data/noise.h"
+#include "data/synthetic.h"
+#include "serve/server.h"
+
+namespace mcdc {
+namespace {
+
+// An 8-worker pool regardless of the machine (single-core CI runners would
+// otherwise collapse every width to the inline path). Runs before main(),
+// hence before the first global_pool() call anywhere in this binary; an
+// explicit MCDC_THREADS in the environment wins.
+const bool kForcePoolWidth = [] {
+  ::setenv("MCDC_THREADS", "8", /*overwrite=*/0);
+  return true;
+}();
+
+constexpr std::size_t kWidths[] = {1, 2, 8};
+
+std::uint64_t fnv1a(std::uint64_t h, const std::vector<int>& v) {
+  for (const int x : v) {
+    auto u = static_cast<std::uint32_t>(x);
+    for (int b = 0; b < 4; ++b) {
+      h ^= (u >> (8 * b)) & 0xffu;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvSeed = 0xcbf29ce484222325ULL;
+
+// Runs `consumer` at each width, asserts byte-identity against width 1 and
+// returns the width-1 labels (for the golden pins).
+std::vector<int> sweep_widths(
+    const char* what, const std::function<std::vector<int>()>& consumer) {
+  std::vector<int> reference;
+  for (const std::size_t width : kWidths) {
+    const std::size_t previous = set_parallel_width(width);
+    std::vector<int> got = consumer();
+    set_parallel_width(previous);
+    if (width == kWidths[0]) {
+      reference = std::move(got);
+    } else {
+      EXPECT_EQ(got, reference)
+          << what << ": labels diverged between 1 and " << width
+          << " workers";
+    }
+  }
+  return reference;
+}
+
+data::Dataset fit_dataset() {
+  data::WellSeparatedConfig config;
+  config.num_objects = 240;
+  config.num_features = 8;
+  config.num_clusters = 3;
+  config.cardinality = 5;
+  config.purity = 0.72;
+  config.seed = 13;
+  return data::with_missing_cells(data::well_separated(config), 0.08, 99);
+}
+
+data::Dataset foreign_dataset() {
+  data::WellSeparatedConfig config;
+  config.num_objects = 300;
+  config.num_features = 8;
+  config.num_clusters = 3;
+  config.cardinality = 5;
+  config.purity = 0.6;
+  config.seed = 31;
+  return data::with_missing_cells(data::well_separated(config), 0.1, 7);
+}
+
+api::FitResult fit(const data::DatasetView& ds, const char* method) {
+  api::Engine engine;
+  api::FitOptions options;
+  options.method = method;
+  options.k = 3;
+  options.seed = 17;
+  options.evaluate = false;
+  options.stage_reports = false;
+  return engine.fit(ds, options);
+}
+
+TEST(ThreadDeterminism, PoolHasEightWorkers) {
+  ASSERT_TRUE(kForcePoolWidth);
+  EXPECT_GE(global_pool().size(), 8u);
+}
+
+TEST(ThreadDeterminism, EngineFitsAreWidthInvariant) {
+  const data::Dataset ds = fit_dataset();
+  std::uint64_t h = kFnvSeed;
+  for (const char* method : {"mcdc1", "mcdc"}) {
+    const std::vector<int> labels = sweep_widths(method, [&] {
+      const api::FitResult result = fit(ds, method);
+      EXPECT_TRUE(result.ok()) << method;
+      return result.report.labels;
+    });
+    h = fnv1a(h, labels);
+  }
+#if defined(__linux__) && defined(__GLIBC__)
+  EXPECT_EQ(h, 0x4551e46199e0a005ULL) << "single-thread fit labels drifted";
+#endif
+}
+
+TEST(ThreadDeterminism, ModelPredictIsWidthInvariant) {
+  const data::Dataset ds = fit_dataset();
+  const data::Dataset foreign = foreign_dataset();
+  const api::FitResult result = fit(ds, "mcdc1");
+  ASSERT_TRUE(result.ok());
+  const std::vector<int> labels = sweep_widths(
+      "Model::predict", [&] { return result.model.predict(foreign); });
+#if defined(__linux__) && defined(__GLIBC__)
+  EXPECT_EQ(fnv1a(kFnvSeed, labels), 0x7f1d7b9d3972d665ULL)
+      << "single-thread predict labels drifted";
+#endif
+}
+
+TEST(ThreadDeterminism, StreamingClassifyIsWidthInvariant) {
+  const data::Dataset ds = fit_dataset();
+  core::StreamingMgcpl stream(ds.cardinalities());
+  stream.observe_chunk(ds);
+  const data::Dataset window = foreign_dataset();
+  const std::vector<int> labels = sweep_widths(
+      "StreamingMgcpl::classify", [&] { return stream.classify(window); });
+#if defined(__linux__) && defined(__GLIBC__)
+  EXPECT_EQ(fnv1a(kFnvSeed, labels), 0x3e88a1b7bdc27525ULL)
+      << "single-thread classify labels drifted";
+#endif
+}
+
+TEST(ThreadDeterminism, ActiveLearningMarginsAreWidthInvariant) {
+  const data::Dataset ds = fit_dataset();
+  const core::MgcplResult mgcpl = core::Mgcpl().run(ds, 17);
+  const std::vector<int> queries =
+      sweep_widths("select_queries", [&] {
+        core::QuerySelectionConfig config;
+        config.budget = 24;
+        const core::QuerySelection selection =
+            core::select_queries(ds, mgcpl, config);
+        std::vector<int> out;
+        out.reserve(selection.queries.size());
+        for (const std::size_t q : selection.queries) {
+          out.push_back(static_cast<int>(q));
+        }
+        return out;
+      });
+#if defined(__linux__) && defined(__GLIBC__)
+  EXPECT_EQ(fnv1a(kFnvSeed, queries), 0x952d8a1f33f63346ULL)
+      << "single-thread query ranking drifted";
+#endif
+}
+
+TEST(ThreadDeterminism, ServingSweepsAreWidthInvariant) {
+  const data::Dataset ds = fit_dataset();
+  const api::FitResult result = fit(ds, "mcdc1");
+  ASSERT_TRUE(result.ok());
+  const auto model = std::make_shared<const api::Model>(result.model);
+
+  const std::size_t n = ds.num_objects();
+  const std::size_t d = ds.num_features();
+  std::vector<data::Value> rows(n * d);
+  for (std::size_t i = 0; i < n; ++i) ds.gather_row(i, rows.data() + i * d);
+
+  const std::vector<int> labels = sweep_widths("ModelServer", [&] {
+    serve::ServeConfig config;
+    config.queue.max_batch = 64;
+    serve::ModelServer server(model, config);
+    // Pipelined submits so the dispatcher drains real multi-row batches
+    // (each batch is one parallel predict_rows sweep).
+    std::vector<std::future<int>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(server.submit(rows.data() + i * d));
+    }
+    std::vector<int> out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = futures[i].get();
+    return out;
+  });
+  EXPECT_EQ(labels, model->predict(ds));
+#if defined(__linux__) && defined(__GLIBC__)
+  EXPECT_EQ(fnv1a(kFnvSeed, labels), 0x4e5430f4751796a5ULL)
+      << "single-thread served labels drifted";
+#endif
+}
+
+}  // namespace
+}  // namespace mcdc

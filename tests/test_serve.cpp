@@ -1,0 +1,268 @@
+// Tests for the concurrent serving layer (serve/server.h): snapshot-swap
+// atomicity under concurrent predict traffic (every answered label must be
+// valid for *some* published snapshot — no torn reads), the empty-model
+// -1 contract, field-exact JSON hot-reload, feature-width validation on
+// swap, BatchQueue mechanics, Engine::serve binding, and the serving stats
+// counters. This suite (with test_dist) also runs under ThreadSanitizer in
+// CI — the real torn-read gate.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "serve/batch_queue.h"
+
+namespace mcdc {
+namespace {
+
+// One-feature dataset whose three rows carry values 0, 1, 2.
+data::Dataset tiny_dataset() {
+  return data::Dataset(3, 1, {0, 1, 2}, {3});
+}
+
+// k = 1 model: every in-domain row predicts cluster 0.
+std::shared_ptr<const api::Model> model_always_zero() {
+  const data::Dataset ds = tiny_dataset();
+  return std::make_shared<const api::Model>(api::Model::from_fit(
+      "zero", ds, {0, 0, 0}, 1, {}, {}, /*refine=*/false));
+}
+
+// k = 2 model whose cluster 0 is empty of the observed values (it holds
+// only the one row with value 2), so rows 0/1 predict cluster 1.
+std::shared_ptr<const api::Model> model_prefers_one() {
+  const data::Dataset ds = tiny_dataset();
+  return std::make_shared<const api::Model>(api::Model::from_fit(
+      "one", ds, {1, 1, 0}, 2, {}, {}, /*refine=*/false));
+}
+
+TEST(ModelServer, EmptyServerAnswersMinusOne) {
+  serve::ServeConfig config;
+  config.row_width = 1;  // serve a schema before any snapshot exists
+  serve::ModelServer server(nullptr, config);
+  EXPECT_EQ(server.snapshot(), nullptr);
+
+  const data::Value row[] = {0};
+  EXPECT_EQ(server.predict(row), -1);  // nothing to assign to — not "0"
+
+  const data::Dataset ds = tiny_dataset();
+  const std::vector<int> bulk = server.predict(data::DatasetView(ds));
+  EXPECT_EQ(bulk, (std::vector<int>{-1, -1, -1}));
+}
+
+TEST(ModelServer, ServerWithoutRowWidthRejectsSubmits) {
+  serve::ModelServer server;  // no model, no width: bulk predict only
+  const data::Value row[] = {0};
+  EXPECT_THROW(server.predict(row), std::logic_error);
+  const data::Dataset ds = tiny_dataset();
+  EXPECT_EQ(server.predict(data::DatasetView(ds)),
+            (std::vector<int>{-1, -1, -1}));
+}
+
+TEST(ModelServer, BatchedPredictMatchesModelPredict) {
+  const data::Dataset ds = data::syn_n(500);
+  api::Engine engine;
+  api::FitOptions options;
+  options.method = "mcdc1";
+  options.k = 4;
+  options.seed = 11;
+  options.evaluate = false;
+  const api::FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok());
+
+  auto model = std::make_shared<const api::Model>(fit.model);
+  const std::vector<int> reference = model->predict(ds);
+
+  serve::ModelServer server(model);
+  std::vector<data::Value> row(ds.num_features());
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    ds.gather_row(i, row.data());
+    EXPECT_EQ(server.predict(row.data()), reference[i]) << "row " << i;
+  }
+
+  const api::ServeEvidence stats = server.stats();
+  EXPECT_EQ(stats.requests, ds.num_objects());
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.batches, stats.requests);
+  EXPECT_GE(stats.batch_occupancy, 1.0);
+  EXPECT_EQ(stats.swaps, 0u);
+  EXPECT_GE(stats.p99_latency_us, stats.p50_latency_us);
+}
+
+TEST(ModelServer, ConcurrentPredictAndSwapNeverTearsASnapshot) {
+  const auto zero = model_always_zero();
+  const auto one = model_prefers_one();
+
+  serve::ModelServer server(zero);
+  std::atomic<bool> done{false};
+  std::atomic<int> bad{0};
+
+  // Readers hammer the batched path with rows 0/1: the answer must be 0
+  // (zero-model snapshot) or 1 (one-model snapshot), never anything else
+  // and never -1 — a snapshot is always published.
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&server, &done, &bad, t] {
+      const data::Value row[] = {static_cast<data::Value>(t % 2)};
+      while (!done.load()) {
+        const int label = server.predict(row);
+        if (label != 0 && label != 1) bad.fetch_add(1);
+      }
+    });
+  }
+
+  for (int swap = 0; swap < 200; ++swap) {
+    server.swap(swap % 2 == 0 ? one : zero);
+    std::this_thread::yield();
+  }
+  done.store(true);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_EQ(bad.load(), 0) << "a label matched no published snapshot";
+  EXPECT_EQ(server.stats().swaps, 200u);
+
+  // Settle on the zero model and drain: the answer is deterministic again.
+  server.swap(zero);
+  const data::Value row[] = {1};
+  EXPECT_EQ(server.predict(row), 0);
+}
+
+TEST(ModelServer, SwapRejectsMismatchedFeatureWidth) {
+  serve::ModelServer server(model_always_zero());
+  const data::Dataset wide(2, 2, {0, 0, 1, 1}, {2, 2});
+  auto mismatched = std::make_shared<const api::Model>(api::Model::from_fit(
+      "wide", wide, {0, 1}, 2, {}, {}, /*refine=*/false));
+  EXPECT_THROW(server.swap(mismatched), std::invalid_argument);
+  // Nothing was published: the old snapshot still serves.
+  const data::Value row[] = {0};
+  EXPECT_EQ(server.predict(row), 0);
+  EXPECT_EQ(server.stats().swaps, 0u);
+}
+
+TEST(ModelServer, JsonHotReloadIsFieldExact) {
+  data::WellSeparatedConfig config;
+  config.num_objects = 120;
+  config.seed = 3;
+  const data::Dataset ds = data::well_separated(config);
+  api::Engine engine;
+  api::FitOptions options;
+  options.method = "mcdc";  // kappa + theta populated: full field surface
+  options.k = 3;
+  options.seed = 7;
+  options.evaluate = false;
+  const api::FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok());
+
+  const api::Json saved = fit.model.to_json();
+  serve::ModelServer server(std::make_shared<const api::Model>(fit.model));
+  server.swap_json(saved);
+
+  // The reloaded snapshot re-serialises to the identical document — every
+  // histogram cell, dictionary entry, kappa step and theta weight made the
+  // round trip.
+  const api::Json reloaded = server.snapshot()->to_json();
+  EXPECT_EQ(saved.dump(2), reloaded.dump(2));
+  EXPECT_EQ(server.stats().swaps, 1u);
+
+  // And it serves the same labels.
+  EXPECT_EQ(server.predict(data::DatasetView(ds)), fit.model.predict(ds));
+}
+
+TEST(ModelServer, SwapJsonRejectsMalformedModels) {
+  serve::ModelServer server(model_always_zero());
+  api::Json bogus = api::Json::object();
+  bogus["method"] = "broken";
+  EXPECT_THROW(server.swap_json(bogus), std::runtime_error);
+  const data::Value row[] = {0};
+  EXPECT_EQ(server.predict(row), 0);  // old snapshot untouched
+}
+
+TEST(Engine, ServeBindsTheLastFit) {
+  const data::Dataset ds = data::syn_n(300);
+  api::Engine engine;
+  EXPECT_THROW(engine.serve(), std::logic_error);  // nothing fitted yet
+
+  api::FitOptions options;
+  options.method = "kmodes";
+  options.k = 3;
+  options.seed = 5;
+  options.evaluate = false;
+  const api::FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok());
+
+  const auto server = engine.serve();
+  ASSERT_NE(server->snapshot(), nullptr);
+  EXPECT_EQ(server->snapshot()->method(), "kmodes");
+  EXPECT_EQ(server->predict(data::DatasetView(ds)), fit.model.predict(ds));
+
+  // The single-row path agrees with the bulk path through the queue.
+  std::vector<data::Value> row(ds.num_features());
+  ds.gather_row(0, row.data());
+  EXPECT_EQ(server->predict(row.data()), fit.model.predict(ds)[0]);
+}
+
+TEST(BatchQueue, CoalescesUpToMaxBatch) {
+  serve::BatchQueueConfig config;
+  config.max_batch = 4;
+  config.linger_us = 0.0;
+  serve::BatchQueue queue(1, config);
+
+  std::vector<std::future<int>> futures;
+  for (data::Value v = 0; v < 10; ++v) futures.push_back(queue.submit(&v));
+  EXPECT_EQ(queue.pending(), 10u);
+
+  serve::BatchQueue::Batch batch;
+  ASSERT_TRUE(queue.next_batch(batch));
+  EXPECT_EQ(batch.count, 4u);
+  EXPECT_EQ(batch.rows, (std::vector<data::Value>{0, 1, 2, 3}));
+  for (std::size_t i = 0; i < batch.count; ++i) {
+    batch.promises[i].set_value(static_cast<int>(i));
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(futures[i].get(), static_cast<int>(i));
+  }
+  EXPECT_EQ(queue.pending(), 6u);
+}
+
+TEST(BatchQueue, CloseDrainsThenStops) {
+  serve::BatchQueue queue(1);
+  const data::Value v = 7;
+  std::future<int> pending = queue.submit(&v);
+  queue.close();
+  EXPECT_THROW(queue.submit(&v), std::runtime_error);
+
+  // The request accepted before close is still served.
+  serve::BatchQueue::Batch batch;
+  ASSERT_TRUE(queue.next_batch(batch));
+  ASSERT_EQ(batch.count, 1u);
+  batch.promises[0].set_value(42);
+  EXPECT_EQ(pending.get(), 42);
+  EXPECT_FALSE(queue.next_batch(batch));  // closed and drained
+}
+
+TEST(BatchQueue, RejectsDegenerateConfigs) {
+  EXPECT_THROW(serve::BatchQueue(0), std::invalid_argument);
+  serve::BatchQueueConfig config;
+  config.max_batch = 0;
+  EXPECT_THROW(serve::BatchQueue(1, config), std::invalid_argument);
+}
+
+TEST(ModelServer, StopIsIdempotentAndDestructorSafe) {
+  auto server = std::make_unique<serve::ModelServer>(model_always_zero());
+  const data::Value row[] = {2};
+  EXPECT_EQ(server->predict(row), 0);
+  server->stop();
+  server->stop();           // idempotent
+  EXPECT_THROW(server->predict(row), std::runtime_error);  // queue closed
+  server.reset();           // destructor after stop: no double join
+}
+
+}  // namespace
+}  // namespace mcdc

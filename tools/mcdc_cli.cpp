@@ -19,6 +19,17 @@
 //   mcdc predict <model.json> <data> [--out labels.csv]
 //       Loads a fitted model from a --json report and assigns the rows of
 //       <data> to its clusters via the NULL-aware similarity.
+//   mcdc serve <model.json|data> --replay <data> [--producers N] [--batch B]
+//              [--repeat R] [--swap-every-ms M] [--out labels.csv]
+//              [--json report.json]
+//       Spins up the concurrent serving layer (serve::ModelServer) on a
+//       saved model (a .json file) or on a fresh fit of <data> (then
+//       --method/--k/--seed/--params apply) and replays the rows of the
+//       --replay trace as single-row requests from N producer threads,
+//       coalesced into batched sweeps of up to B rows. --swap-every-ms
+//       hot-reloads the snapshot mid-traffic to exercise the swap path.
+//       Prints throughput, batch occupancy, p50/p99 latency and the swap
+//       count; --json writes the report with the serving evidence.
 //   mcdc explore  <data> [--seed S] [--newick]
 //       Prints the granularity staircase kappa, per-stage internal validity
 //       and the nested-cluster dendrogram.
@@ -32,11 +43,17 @@
 //
 // CSV conventions: no header row, last column = class label (use
 // --no-labels when the file has none), '?' = missing value.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/engine.h"
 #include "api/load.h"
@@ -56,7 +73,7 @@ using namespace mcdc;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mcdc <methods|cluster|predict|explore|anomalies|"
+               "usage: mcdc <methods|cluster|predict|serve|explore|anomalies|"
                "datasets|generate> [args]\n  run 'mcdc <command>' without "
                "arguments for command-specific help\n");
   return 2;
@@ -87,6 +104,28 @@ api::Params parse_params(const std::string& packed) {
     params[item.substr(0, eq)] = item.substr(eq + 1);
   }
   return params;
+}
+
+// Loads a fitted model from a saved --json report (or a bare model
+// document); throws std::runtime_error on an unreadable file or malformed
+// model.
+api::Model load_model_json(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot read " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const api::Json doc = api::Json::parse(buffer.str());
+  return api::Model::from_json(doc.contains("model") ? doc.at("model") : doc);
+}
+
+// The --method/--k/--seed/--params block shared by cluster and serve.
+api::FitOptions fit_options_from_cli(const Cli& cli) {
+  api::FitOptions options;
+  options.method = cli.get("method", "mcdc");
+  options.k = static_cast<int>(cli.get_int("k", 0));
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  options.params = parse_params(cli.get("params", ""));
+  return options;
 }
 
 bool write_labels_csv(const std::string& path, const std::vector<int>& labels) {
@@ -139,11 +178,7 @@ int cmd_cluster(const Cli& cli) {
   const auto loaded = load_input(cli, 1);
   const auto& ds = loaded.dataset;
 
-  api::FitOptions options;
-  options.method = cli.get("method", "mcdc");
-  options.k = static_cast<int>(cli.get_int("k", 0));
-  options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-  options.params = parse_params(cli.get("params", ""));
+  api::FitOptions options = fit_options_from_cli(cli);
 
   // --shards W selects the distributed protocol. An explicit non-dist
   // --method takes precedence over the shorthand (and must not receive a
@@ -228,17 +263,7 @@ int cmd_predict(const Cli& cli) {
                  "usage: mcdc predict <model.json> <data> [--out labels.csv]\n");
     return 2;
   }
-  const std::string& model_path = cli.positional()[1];
-  std::ifstream file(model_path);
-  if (!file) {
-    std::fprintf(stderr, "cannot read %s\n", model_path.c_str());
-    return 1;
-  }
-  std::stringstream buffer;
-  buffer << file.rdbuf();
-  const api::Json doc = api::Json::parse(buffer.str());
-  const api::Model model =
-      api::Model::from_json(doc.contains("model") ? doc.at("model") : doc);
+  const api::Model model = load_model_json(cli.positional()[1]);
 
   const auto loaded = load_input(cli, 2);
   const std::vector<int> labels = model.predict(loaded.dataset);
@@ -260,6 +285,159 @@ int cmd_predict(const Cli& cli) {
     }
   }
   return 0;
+}
+
+int cmd_serve(const Cli& cli) {
+  if (cli.positional().size() < 2 || !cli.has("replay")) {
+    std::fprintf(stderr,
+                 "usage: mcdc serve <model.json|data> --replay <data> "
+                 "[--producers N] [--batch B] [--repeat R] "
+                 "[--swap-every-ms M] [--out labels.csv] [--json report.json]"
+                 "\n");
+    return 2;
+  }
+  const std::string& source = cli.positional()[1];
+
+  // A .json positional is a saved --json report (or bare model) to
+  // hot-load; anything else resolves as a dataset to fit first.
+  std::shared_ptr<serve::ModelServer> server;
+  std::shared_ptr<const api::Model> model;
+  api::RunReport report;
+  const bool from_json =
+      source.size() > 5 && source.compare(source.size() - 5, 5, ".json") == 0;
+  if (from_json) {
+    auto loaded =
+        std::make_shared<const api::Model>(load_model_json(source));
+    model = loaded;
+    server = std::make_shared<serve::ModelServer>(std::move(loaded));
+    report.method = model->method();
+    report.k = model->k();
+    std::printf("serving %s model (k = %d) hot-loaded from %s\n",
+                model->method().c_str(), model->k(), source.c_str());
+  } else {
+    const auto loaded = load_input(cli, 1);
+    const api::FitOptions options = fit_options_from_cli(cli);
+    api::Engine engine;
+    const api::FitResult fit = engine.fit(loaded.dataset, options);
+    if (!fit.ok()) {
+      std::fprintf(stderr, "mcdc serve: fit failed: [%s] %s\n",
+                   api::to_string(fit.status.code).c_str(),
+                   fit.status.message.c_str());
+      return 1;
+    }
+    report = fit.report;
+    server = engine.serve();
+    model = server->snapshot();
+    std::printf("serving %s fit of %s (k = %d, fitted in %.3fs)\n",
+                report.method_display.c_str(), loaded.name.c_str(), report.k,
+                report.timings.fit_seconds);
+  }
+
+  // Replay trace, re-coded once into the model's encoding.
+  api::DatasetSpec replay_spec;
+  replay_spec.source = cli.get("replay", "");
+  replay_spec.no_labels = cli.has("no-labels");
+  const auto replay = api::load_dataset(replay_spec);
+  const data::Dataset& trace = replay.dataset;
+  const std::size_t n = trace.num_objects();
+  const std::size_t d = trace.num_features();
+  const auto remap = model->encoding_map(trace);
+  std::vector<data::Value> rows(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = trace.at(i, r);
+      rows[i * d + r] = v == data::kMissing
+                            ? data::kMissing
+                            : remap[r][static_cast<std::size_t>(v)];
+    }
+  }
+
+  const int producers =
+      std::max(1, static_cast<int>(cli.get_int("producers", 4)));
+  const int repeat = std::max(1, static_cast<int>(cli.get_int("repeat", 1)));
+  const long swap_every_ms = cli.get_int("swap-every-ms", 0);
+  // --batch resizes the coalescing bound; the server the engine handed us
+  // was built with defaults, so rebuild on the same snapshot when asked.
+  const long batch = cli.get_int("batch", 0);
+  if (batch > 0) {
+    serve::ServeConfig config;
+    config.queue.max_batch = static_cast<std::size_t>(batch);
+    if (batch == 1) config.queue.linger_us = 0.0;
+    server = std::make_shared<serve::ModelServer>(model, config);
+  }
+
+  std::atomic<bool> done{false};
+  std::thread swapper;
+  if (swap_every_ms > 0) {
+    const api::Json reload = model->to_json(false);
+    swapper = std::thread([&server, &done, reload, swap_every_ms] {
+      while (!done.load()) {
+        server->swap_json(reload);
+        std::this_thread::sleep_for(std::chrono::milliseconds(swap_every_ms));
+      }
+    });
+  }
+
+  std::vector<int> labels(n, -1);
+  Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(producers));
+  for (int t = 0; t < producers; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < repeat; ++rep) {
+        for (std::size_t i = static_cast<std::size_t>(t); i < n;
+             i += static_cast<std::size_t>(producers)) {
+          labels[i] = server->predict(rows.data() + i * d);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double seconds = timer.elapsed_seconds();
+  done.store(true);
+  if (swapper.joinable()) swapper.join();
+  server->stop();
+
+  report.serve = server->stats();
+  std::printf(
+      "replayed %zu requests (%d producer(s) x %d repeat(s) over %zu rows) "
+      "in %.3fs\n",
+      n * static_cast<std::size_t>(repeat), producers, repeat, n, seconds);
+  std::printf(
+      "throughput %.0f req/s over %llu sweeps, mean occupancy %.1f "
+      "rows/sweep\n",
+      report.serve.throughput_rps,
+      static_cast<unsigned long long>(report.serve.batches),
+      report.serve.batch_occupancy);
+  std::printf("latency p50 %.1fus  p99 %.1fus; snapshot swaps: %llu\n",
+              report.serve.p50_latency_us, report.serve.p99_latency_us,
+              static_cast<unsigned long long>(report.serve.swaps));
+
+  // Serving determinism check: the replayed single-row labels must equal
+  // the bulk predict of the same trace (hot-reloads republish the same
+  // model, so they cannot move labels either).
+  const std::vector<int> bulk = model->predict(trace);
+  const bool match = labels == bulk;
+  std::printf("labels match bulk predict: %s\n", match ? "yes" : "NO");
+
+  const std::string out_path = cli.get("out", "");
+  if (!out_path.empty()) {
+    if (!write_labels_csv(out_path, labels)) return 1;
+    std::printf("labels written to %s\n", out_path.c_str());
+  }
+  const std::string json_path = cli.get("json", "");
+  if (!json_path.empty()) {
+    std::ofstream file(json_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    api::Json out = report.to_json();
+    out["model"] = model->to_json(false);
+    file << out.dump(2) << '\n';
+    std::printf("report written to %s\n", json_path.c_str());
+  }
+  return match ? 0 : 1;
 }
 
 int cmd_explore(const Cli& cli) {
@@ -357,6 +535,7 @@ int main(int argc, char** argv) {
     if (command == "methods") return cmd_methods(cli);
     if (command == "cluster") return cmd_cluster(cli);
     if (command == "predict") return cmd_predict(cli);
+    if (command == "serve") return cmd_serve(cli);
     if (command == "explore") return cmd_explore(cli);
     if (command == "anomalies") return cmd_anomalies(cli);
     if (command == "datasets") return cmd_datasets();
