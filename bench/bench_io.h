@@ -1,0 +1,40 @@
+// Machine-readable bench records (BENCH_*.json).
+//
+// Each bench emits one JSON document with a common shape —
+//   { "bench": ..., "build": {compiler, build_type, smoke},
+//     "workload": {...}, "metrics": {...}, "ratios": {...} }
+// — so CI can diff the "ratios" object against the record checked into the
+// repo root (tools/bench_diff.cpp) and fail on a regression. Ratios are
+// dimensionless speedups, which travel across machines far better than
+// absolute rows/sec; the absolute numbers stay in "metrics" for humans.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "api/json.h"
+
+namespace mcdc::bench {
+
+// Toolchain + configuration stamp, so a record can never be compared
+// against a run from a different build flavour without it showing.
+inline api::Json build_info(bool smoke) {
+  api::Json info = api::Json::object();
+  info["compiler"] = std::string(__VERSION__);
+#if defined(MCDC_BUILD_TYPE)
+  info["build_type"] = std::string(MCDC_BUILD_TYPE);
+#else
+  info["build_type"] = std::string("unknown");
+#endif
+  info["smoke"] = smoke;
+  return info;
+}
+
+inline bool write_json(const std::string& path, const api::Json& doc) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << doc.dump(2) << '\n';
+  return static_cast<bool>(file);
+}
+
+}  // namespace mcdc::bench

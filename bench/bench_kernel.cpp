@@ -2,7 +2,7 @@
 // walks vs the flat ProfileSet kernel (live, frozen, and frozen + threaded),
 // at the Fig. 6 synthetic scales (Syn_n: d = 10, cardinality 4).
 //
-//   bench_kernel [--smoke] [--paper] [--n N] [--repeats R]
+//   bench_kernel [--smoke] [--paper] [--json [file]] [--n N] [--repeats R]
 //
 // Every path must produce identical argmax labels (the kernel's byte-identity
 // contract); the bench aborts with a non-zero exit if they diverge. --smoke
@@ -10,10 +10,15 @@
 //
 // Acceptance target (ISSUE 3): the single-thread frozen flat kernel sustains
 // >= 2x the rows/sec of the nested per-cluster path.
+//
+// --json writes the machine-readable record (default BENCH_kernel.json)
+// with per-k frozen-vs-nested ratios for the bench_diff regression gate.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "bench_io.h"
 #include "common/cli.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -110,6 +115,8 @@ int main(int argc, char** argv) {
 
   bool all_match = true;
   bool meets_target = true;
+  api::Json metrics = api::Json::object();
+  api::Json ratios = api::Json::object();
   for (const int k : ks) {
     const auto assignment = random_assignment(n, k, 42);
     const auto profiles = core::build_profiles(ds, assignment, k);
@@ -133,6 +140,17 @@ int main(int argc, char** argv) {
                 rows / t_nested, rows / t_flat, rows / t_frozen, rows / t_mt,
                 fz_speedup, t_mt > 0.0 ? t_nested / t_mt : 0.0);
     std::fflush(stdout);
+    const std::string suffix = "_k" + std::to_string(k);
+    api::Json at_k = api::Json::object();
+    at_k["nested_rps"] = rows / t_nested;
+    at_k["flat_rps"] = rows / t_flat;
+    at_k["frozen_rps"] = rows / t_frozen;
+    at_k["frozen_mt_rps"] = rows / t_mt;
+    metrics["k" + std::to_string(k)] = std::move(at_k);
+    // Only the gated cluster counts are recorded as ratios: below ~8
+    // clusters there is no k x d loop to invert, so the ratio there is
+    // row-load noise a regression gate should not trip on.
+    if (k >= 16) ratios["frozen_vs_nested" + suffix] = fz_speedup;
     // The 2x target applies at the Fig. 6(b) cluster counts (the paper
     // sweeps k = 50..5000; below ~8 clusters there is no k x d loop to
     // invert and both paths run at row-load speed).
@@ -148,6 +166,26 @@ int main(int argc, char** argv) {
   std::printf("labels identical across all paths: yes\n");
   std::printf("frozen single-thread >= 2x nested (k >= 16): %s\n",
               meets_target ? "yes" : "NO");
+
+  std::string json_path = cli.get("json", "");
+  if (cli.has("json") && json_path.empty()) json_path = "BENCH_kernel.json";
+  if (cli.has("json")) {
+    api::Json doc = api::Json::object();
+    doc["bench"] = std::string("kernel");
+    doc["build"] = bench::build_info(smoke);
+    api::Json workload = api::Json::object();
+    workload["n"] = n;
+    workload["d"] = ds.num_features();
+    workload["repeats"] = repeats;
+    doc["workload"] = std::move(workload);
+    doc["metrics"] = std::move(metrics);
+    doc["ratios"] = std::move(ratios);
+    if (!bench::write_json(json_path, doc)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("record written to %s\n", json_path.c_str());
+  }
   // The 2x acceptance gate is informative under --smoke (tiny inputs, shared
   // CI runners); it hard-fails only on the full-size run.
   if (!smoke && !meets_target) return 2;

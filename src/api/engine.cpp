@@ -225,4 +225,18 @@ std::shared_ptr<serve::ModelServer> Engine::serve(
   return std::make_shared<serve::ModelServer>(std::move(model), config);
 }
 
+std::shared_ptr<serve::ServingCluster> Engine::serve_cluster(
+    serve::ClusterConfig config) const {
+  std::shared_ptr<const Model> model;
+  {
+    std::lock_guard lock(last_fit_mutex_);
+    model = last_fit_;
+  }
+  if (model == nullptr) {
+    throw std::logic_error("Engine::serve_cluster: no successful fit to serve");
+  }
+  return std::make_shared<serve::ServingCluster>(std::move(model),
+                                                 std::move(config));
+}
+
 }  // namespace mcdc::api

@@ -22,6 +22,7 @@
 #include "api/report.h"
 #include "data/dataset.h"
 #include "data/view.h"
+#include "serve/cluster.h"
 #include "serve/server.h"
 
 namespace mcdc::api {
@@ -71,6 +72,13 @@ class Engine {
   // bind the server to.
   std::shared_ptr<serve::ModelServer> serve(
       serve::ServeConfig config = {}) const;
+
+  // The sharded form: a serve::ServingCluster whose shards all start on
+  // the most recent successful fit (generation 1). Later models roll out
+  // via ServingCluster::rolling_swap. Throws std::logic_error when no fit
+  // has succeeded yet.
+  std::shared_ptr<serve::ServingCluster> serve_cluster(
+      serve::ClusterConfig config = {}) const;
 
  private:
   const Registry* registry_;

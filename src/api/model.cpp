@@ -99,13 +99,27 @@ void Model::predict_rows(const data::Value* rows, std::size_t n,
   });
 }
 
+std::vector<data::Value> Model::cluster_mode(int l) const {
+  if (!fitted()) throw std::logic_error("Model::cluster_mode: unfitted model");
+  if (l < 0 || l >= k_) {
+    throw std::logic_error("Model::cluster_mode: cluster id out of range");
+  }
+  return scorer_.mode(l);
+}
+
+double Model::cluster_mass(int l) const {
+  if (!fitted()) throw std::logic_error("Model::cluster_mass: unfitted model");
+  if (l < 0 || l >= k_) {
+    throw std::logic_error("Model::cluster_mass: cluster id out of range");
+  }
+  return scorer_.size(l);
+}
+
 std::vector<std::vector<data::Value>> Model::encoding_map(
     const data::DatasetView& ds) const {
   if (ds.num_features() != num_features()) {
-    throw std::invalid_argument(
-        "Model::encoding_map: dataset has " +
-        std::to_string(ds.num_features()) + " features, model expects " +
-        std::to_string(num_features()));
+    throw std::invalid_argument(feature_width_message(
+        "Model::encoding_map", num_features(), ds.num_features()));
   }
 
   // Datasets are dictionary-encoded per source in first-seen order, so the
@@ -282,6 +296,13 @@ Model Model::from_json(const Json& json) {
   }
   model.rebuild_scorer();
   return model;
+}
+
+std::string feature_width_message(const std::string& context,
+                                  std::size_t expected, std::size_t actual) {
+  return context + ": feature width mismatch: expected " +
+         std::to_string(expected) + " features, got " +
+         std::to_string(actual);
 }
 
 }  // namespace mcdc::api

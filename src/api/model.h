@@ -9,10 +9,13 @@
 // Model::predict assigns rows to the most similar cluster with the same
 // NULL-aware Eq. (1)-(2) measure the streaming learner's classify() uses.
 //
-// Models serialise to JSON (and back) so a fitted clustering can be stored
-// next to its RunReport and served later without re-fitting.
+// Models serialise two ways: to JSON (and back) for debugging and
+// inspection, and to a compact versioned binary artifact (artifact.h) for
+// the serving tier — the artifact load is one mmap plus a checksum scan
+// instead of a parse, and rejects corruption with a typed ArtifactError.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -89,12 +92,31 @@ class Model {
   std::vector<std::vector<data::Value>> encoding_map(
       const data::DatasetView& ds) const;
 
+  // Mode (most frequent value per feature, ties to the smallest code) and
+  // training mass of cluster l — the locality router's view of a cluster
+  // as a micro-cluster sketch. Throws std::logic_error when unfitted.
+  std::vector<data::Value> cluster_mode(int l) const;
+  double cluster_mass(int l) const;
+
   // `include_training_labels = false` drops the per-object label array —
   // used when the model is embedded next to a RunReport that already
   // carries the same labels.
   Json to_json(bool include_training_labels = true) const;
   // Inverse of to_json; throws std::runtime_error on malformed input.
   static Model from_json(const Json& json);
+
+  // Binary artifact round trip (artifact.h has the format). to_binary /
+  // from_binary work on in-memory buffers; save_binary / load_binary on
+  // files (load_binary maps the file on POSIX instead of streaming it).
+  // Serialising an unfitted model throws std::logic_error; every load
+  // failure — truncation, bad magic, unknown version, checksum mismatch,
+  // impossible fields — throws ArtifactError before any state is built.
+  // `include_training_labels = false` strips the label array, as to_json.
+  std::vector<std::uint8_t> to_binary(bool include_training_labels = true) const;
+  static Model from_binary(const std::uint8_t* data, std::size_t size);
+  void save_binary(const std::string& path,
+                   bool include_training_labels = true) const;
+  static Model load_binary(const std::string& path);
 
  private:
   // Rebuilds the flat frozen scorer_ from profiles_ (after fit / JSON load).
@@ -115,5 +137,12 @@ class Model {
   std::vector<int> kappa_;
   std::vector<double> theta_;
 };
+
+// The one feature-width mismatch message every boundary uses — serving
+// swaps (JSON and binary alike), encoding maps, cluster routing — so a
+// mismatch always names both counts instead of an opaque "width mismatch":
+//   "<context>: feature width mismatch: expected E features, got A"
+std::string feature_width_message(const std::string& context,
+                                  std::size_t expected, std::size_t actual);
 
 }  // namespace mcdc::api

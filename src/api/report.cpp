@@ -93,6 +93,16 @@ Json RunReport::to_json() const {
     serve_json["throughput_rps"] = serve.throughput_rps;
     serve_json["p50_latency_us"] = serve.p50_latency_us;
     serve_json["p99_latency_us"] = serve.p99_latency_us;
+    serve_json["p999_latency_us"] = serve.p999_latency_us;
+    if (serve.shards > 0) {
+      serve_json["shards"] = serve.shards;
+      Json routed_json = Json::array();
+      for (const std::uint64_t r : serve.routed) {
+        routed_json.push_back(static_cast<double>(r));
+      }
+      serve_json["routed"] = std::move(routed_json);
+      serve_json["generation"] = static_cast<double>(serve.generation);
+    }
     out["serve"] = std::move(serve_json);
   }
 

@@ -77,9 +77,11 @@ struct DistEvidence {
   double sequential_seconds = 0.0;
 };
 
-// Evidence of a serving session (filled from serve::ModelServer::stats):
-// request/batch counters, snapshot swap count and the latency distribution
-// of the batched predict path. requests == 0 means nothing was served.
+// Evidence of a serving session (filled from serve::ModelServer::stats, or
+// aggregated across shards by serve::ServingCluster::stats): request/batch
+// counters, snapshot swap count and the latency distribution of the batched
+// predict path. requests == 0 means nothing was served; shards == 0 means a
+// single ModelServer rather than a cluster.
 struct ServeEvidence {
   std::uint64_t requests = 0;    // single-row predicts answered
   std::uint64_t batches = 0;     // coalesced score sweeps dispatched
@@ -88,6 +90,12 @@ struct ServeEvidence {
   double throughput_rps = 0.0;   // requests per second of serving wall-clock
   double p50_latency_us = 0.0;   // submit-to-label latency percentiles
   double p99_latency_us = 0.0;
+  double p999_latency_us = 0.0;
+
+  // Cluster-level view (serve::ServingCluster only; empty for one server).
+  int shards = 0;                      // ModelServer shards behind the router
+  std::vector<std::uint64_t> routed;   // requests routed per shard
+  std::uint64_t generation = 0;        // cluster target model generation
 };
 
 struct RunReport {

@@ -35,14 +35,12 @@ std::shared_ptr<const api::Model> ModelServer::snapshot() const {
 #endif
 }
 
-std::shared_ptr<const api::Model> ModelServer::swap(
-    std::shared_ptr<const api::Model> next) {
+std::shared_ptr<const api::Model> ModelServer::publish(
+    std::shared_ptr<const api::Model> next, const char* context) {
   if (next != nullptr && row_width_ > 0 &&
       next->num_features() != row_width_) {
-    throw std::invalid_argument(
-        "ModelServer::swap: model has " +
-        std::to_string(next->num_features()) + " features, server serves " +
-        std::to_string(row_width_));
+    throw std::invalid_argument(api::feature_width_message(
+        context, row_width_, next->num_features()));
   }
   swaps_.fetch_add(1, std::memory_order_relaxed);
 #if defined(MCDC_SERVE_ATOMIC_SNAPSHOT)
@@ -54,10 +52,16 @@ std::shared_ptr<const api::Model> ModelServer::swap(
 #endif
 }
 
+std::shared_ptr<const api::Model> ModelServer::swap(
+    std::shared_ptr<const api::Model> next) {
+  return publish(std::move(next), "ModelServer::swap");
+}
+
 std::shared_ptr<const api::Model> ModelServer::swap_json(
     const api::Json& model_json) {
-  return swap(std::make_shared<const api::Model>(
-      api::Model::from_json(model_json)));
+  return publish(std::make_shared<const api::Model>(
+                     api::Model::from_json(model_json)),
+                 "ModelServer::swap_json");
 }
 
 int ModelServer::predict(const data::Value* row) {
@@ -180,7 +184,13 @@ api::ServeEvidence ModelServer::stats() const {
       span > 0.0 ? static_cast<double>(requests_) / span : 0.0;
   out.p50_latency_us = percentile(latency_us_, 0.50);
   out.p99_latency_us = percentile(latency_us_, 0.99);
+  out.p999_latency_us = percentile(latency_us_, 0.999);
   return out;
+}
+
+std::vector<double> ModelServer::latency_samples() const {
+  std::lock_guard lock(stats_mutex_);
+  return latency_us_;
 }
 
 void ModelServer::stop() {

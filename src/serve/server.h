@@ -119,6 +119,12 @@ class ModelServer {
 
   api::ServeEvidence stats() const;
 
+  // The retained submit-to-label latency ring (microseconds, unordered) —
+  // for consumers that merge samples across servers before taking
+  // percentiles (serve::ServingCluster), where averaging per-shard
+  // percentiles would be wrong.
+  std::vector<double> latency_samples() const;
+
   // Rejects new submits, drains pending requests and joins the
   // dispatcher. Idempotent; the destructor calls it.
   void stop();
@@ -126,6 +132,11 @@ class ModelServer {
  private:
   void dispatch_loop();
   void record_batch(const BatchQueue::Batch& batch, double now_seconds);
+  // swap() with the publishing call site named in the width-mismatch error
+  // (api::feature_width_message), so swap_json and binary reloads report
+  // their own context.
+  std::shared_ptr<const api::Model> publish(
+      std::shared_ptr<const api::Model> next, const char* context);
 
   ServeConfig config_;
   std::size_t row_width_ = 0;

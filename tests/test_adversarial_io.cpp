@@ -13,9 +13,11 @@
 #include <sstream>
 #include <string>
 
+#include "api/artifact.h"
 #include "api/json.h"
 #include "api/model.h"
 #include "data/csv.h"
+#include "serve/server.h"
 
 namespace mcdc {
 namespace {
@@ -149,6 +151,62 @@ TEST(AdversarialModelJson, StructurallyInvalidModelsAreRejected) {
     SCOPED_TRACE(name);
     const api::Json doc = api::Json::parse(slurp(name));  // valid JSON...
     EXPECT_THROW(api::Model::from_json(doc), std::runtime_error);  // ...bad model
+  }
+}
+
+// --- Binary model artifacts --------------------------------------------
+//
+// The serving tier's artifact loader (api/artifact.h) must fail closed:
+// every corrupt entry below throws the typed ArtifactError — never a
+// crash, never an out-of-bounds read (the ASan/UBSan jobs run this suite),
+// never a half-built Model. The corpus files are tiny deterministic
+// artifacts of a 1-feature k=2 model, mutated byte-surgically.
+
+TEST(AdversarialArtifact, PristineTinyArtifactLoads) {
+  // Pins on-disk format compatibility: a version-1 artifact checked in
+  // today must keep loading, or kArtifactVersion must be bumped.
+  const api::Model model = api::Model::load_binary(corpus_path("bin_tiny_ok.bin"));
+  EXPECT_TRUE(model.fitted());
+  EXPECT_EQ(model.k(), 2);
+  EXPECT_EQ(model.num_features(), 1u);
+  EXPECT_EQ(model.method(), "tiny");
+  EXPECT_EQ(model.kappa(), (std::vector<int>{1, 2}));
+  const data::Value row[] = {2};
+  EXPECT_EQ(model.predict_row(row), 1);
+}
+
+TEST(AdversarialArtifact, CorruptArtifactsAreRejectedWithTypedErrors) {
+  for (const char* name :
+       {"bin_wrong_magic.bin", "bin_wrong_version.bin", "bin_truncated.bin",
+        "bin_bit_flip.bin"}) {
+    SCOPED_TRACE(name);
+    EXPECT_THROW(api::Model::load_binary(corpus_path(name)),
+                 api::ArtifactError);
+    // The buffer entry point agrees with the file one.
+    const std::string bytes = slurp(name);
+    EXPECT_THROW(
+        api::Model::from_binary(
+            reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()),
+        api::ArtifactError);
+  }
+}
+
+TEST(AdversarialArtifact, ArtifactOfWrongWidthIsRejectedAtTheServer) {
+  // A structurally valid artifact whose schema disagrees with the serving
+  // shard is caught at swap time with both feature counts named — the
+  // same message path JSON hot-reloads use.
+  const api::Model one_feature =
+      api::Model::load_binary(corpus_path("bin_tiny_ok.bin"));
+  const data::Dataset two_ds(2, 2, {0, 1, 1, 0}, {2, 2});
+  serve::ModelServer server(std::make_shared<const api::Model>(
+      api::Model::from_fit("two", two_ds, {0, 1}, 2, {}, {}, false)));
+  try {
+    server.swap(std::make_shared<const api::Model>(one_feature));
+    FAIL() << "a 1-feature artifact was published to a 2-feature server";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("expected 2 features"), std::string::npos) << what;
+    EXPECT_NE(what.find("got 1"), std::string::npos) << what;
   }
 }
 

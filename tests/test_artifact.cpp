@@ -1,0 +1,230 @@
+// Binary model artifacts (api/artifact.h): the round-trip contract
+// (load_binary(save_binary(m)) predicts byte-identical labels for every
+// registered method), field-exact buffer round trips including the
+// MCDC-family evidence, the label-stripping flag, and — the part the
+// serving tier leans on — fail-closed rejection of corrupt artifacts:
+// truncation at every length, trailing garbage, and single-bit flips in
+// the magic, version, checksum, and payload regions all throw a typed
+// ArtifactError before any Model state exists.
+#include "api/artifact.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "api/model.h"
+#include "api/registry.h"
+#include "data/dataset.h"
+#include "data/noise.h"
+#include "data/synthetic.h"
+#include "serve/server.h"
+
+namespace mcdc {
+namespace {
+
+data::Dataset fixture_dataset() {
+  data::WellSeparatedConfig config;
+  // Chosen so every one of the 18 registered methods fits cleanly at k=3
+  // (some baselines collapse or over-split clusters on less separated draws).
+  config.num_objects = 180;
+  config.num_features = 5;
+  config.num_clusters = 3;
+  config.cardinality = 4;
+  config.purity = 0.8;
+  config.seed = 41;
+  return data::with_missing_cells(data::well_separated(config), 0.05, 9);
+}
+
+api::Model fit_model(const std::string& method, const data::Dataset& ds) {
+  api::Engine engine;
+  api::FitOptions options;
+  options.method = method;
+  options.k = 3;
+  options.seed = 23;
+  options.evaluate = false;
+  options.stage_reports = false;
+  const api::FitResult fit = engine.fit(ds, options);
+  EXPECT_TRUE(fit.ok()) << method << ": " << fit.status.message;
+  return fit.model;
+}
+
+api::Model round_trip(const api::Model& model) {
+  const std::vector<std::uint8_t> bytes = model.to_binary();
+  return api::Model::from_binary(bytes.data(), bytes.size());
+}
+
+TEST(Artifact, EveryRegistryMethodRoundTripsToIdenticalPredictions) {
+  const data::Dataset train = fixture_dataset();
+  // Predictions are exercised on a *foreign* dataset too, so the value
+  // dictionaries (the encoding_map source) must survive the trip.
+  data::WellSeparatedConfig config;
+  config.num_objects = 80;
+  config.num_features = 5;
+  config.num_clusters = 3;
+  config.cardinality = 4;
+  config.seed = 51;
+  const data::Dataset foreign = data::well_separated(config);
+
+  std::size_t covered = 0;
+  for (const api::MethodInfo& method : api::registry().methods()) {
+    const api::Model original = fit_model(method.key, train);
+    const api::Model loaded = round_trip(original);
+    EXPECT_EQ(loaded.predict(train), original.predict(train)) << method.key;
+    EXPECT_EQ(loaded.predict(foreign), original.predict(foreign))
+        << method.key;
+    EXPECT_EQ(loaded.training_labels(), original.training_labels())
+        << method.key;
+    ++covered;
+  }
+  EXPECT_EQ(covered, api::registry().methods().size());
+}
+
+TEST(Artifact, BufferRoundTripIsFieldExact) {
+  // The mcdc method carries the full evidence payload (kappa staircase,
+  // theta weights) on top of histograms and dictionaries; a field-exact
+  // JSON dump comparison covers every serialised member at once.
+  const api::Model original = fit_model("mcdc", fixture_dataset());
+  ASSERT_FALSE(original.kappa().empty());
+  ASSERT_FALSE(original.theta().empty());
+  const api::Model loaded = round_trip(original);
+  EXPECT_EQ(loaded.to_json().dump(), original.to_json().dump());
+  EXPECT_EQ(loaded.method(), original.method());
+  EXPECT_EQ(loaded.k(), original.k());
+  EXPECT_EQ(loaded.kappa(), original.kappa());
+  EXPECT_EQ(loaded.theta(), original.theta());
+}
+
+TEST(Artifact, FileRoundTripMatchesAndCleansUp) {
+  const api::Model original = fit_model("kmodes", fixture_dataset());
+  const std::string path = "test_artifact_round_trip.bin";
+  original.save_binary(path);
+  const api::Model loaded = api::Model::load_binary(path);
+  EXPECT_EQ(loaded.to_json().dump(), original.to_json().dump());
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, StrippedTrainingLabelsStillPredict) {
+  const data::Dataset ds = fixture_dataset();
+  const api::Model original = fit_model("mcdc1", ds);
+  ASSERT_FALSE(original.training_labels().empty());
+  const std::vector<std::uint8_t> bytes =
+      original.to_binary(/*include_training_labels=*/false);
+  const api::Model loaded = api::Model::from_binary(bytes.data(), bytes.size());
+  EXPECT_TRUE(loaded.training_labels().empty());
+  EXPECT_EQ(loaded.predict(ds), original.predict(ds));
+}
+
+TEST(Artifact, UnfittedModelRefusesToSerialise) {
+  const api::Model unfitted;
+  EXPECT_THROW(unfitted.to_binary(), std::logic_error);
+  EXPECT_THROW(unfitted.save_binary("never_written.bin"), std::logic_error);
+}
+
+TEST(Artifact, TruncationAtEveryLengthIsRejected) {
+  const api::Model model = fit_model("kmodes", fixture_dataset());
+  const std::vector<std::uint8_t> bytes = model.to_binary();
+  ASSERT_GT(bytes.size(), api::kArtifactHeaderBytes);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(api::Model::from_binary(bytes.data(), len),
+                 api::ArtifactError)
+        << "accepted a prefix of " << len << " of " << bytes.size()
+        << " bytes";
+  }
+  // The exact length parses; one trailing byte does not.
+  EXPECT_NO_THROW(api::Model::from_binary(bytes.data(), bytes.size()));
+  std::vector<std::uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW(api::Model::from_binary(padded.data(), padded.size()),
+               api::ArtifactError);
+}
+
+TEST(Artifact, BitFlipsInGuardedRegionsAreRejected) {
+  const api::Model model = fit_model("kmodes", fixture_dataset());
+  const std::vector<std::uint8_t> bytes = model.to_binary();
+  const api::Model reference =
+      api::Model::from_binary(bytes.data(), bytes.size());
+
+  // Every byte of the magic (0..8), version (8..12), stored-CRC field
+  // (24..28), and the whole checksummed payload (64..end) is guarded:
+  // flipping any single bit must throw. (Other header fields — k, d, n,
+  // flags — are validated semantically, not bit-for-bit, so they are not
+  // part of this sweep.)
+  std::vector<std::size_t> offsets;
+  for (std::size_t i = 0; i < 12; ++i) offsets.push_back(i);
+  for (std::size_t i = 24; i < 28; ++i) offsets.push_back(i);
+  for (std::size_t i = api::kArtifactHeaderBytes; i < bytes.size(); ++i) {
+    offsets.push_back(i);
+  }
+  for (const std::size_t at : offsets) {
+    for (int bit = 0; bit < 8; bit += 7) {  // lowest and highest bit
+      std::vector<std::uint8_t> mutated = bytes;
+      mutated[at] = static_cast<std::uint8_t>(mutated[at] ^ (1u << bit));
+      EXPECT_THROW(api::Model::from_binary(mutated.data(), mutated.size()),
+                   api::ArtifactError)
+          << "accepted a flip of bit " << bit << " at offset " << at;
+    }
+  }
+  // And the pristine buffer still loads, so the sweep tested real flips.
+  EXPECT_EQ(reference.k(), model.k());
+}
+
+TEST(Artifact, Crc32MatchesKnownVector) {
+  // The IEEE 802.3 check value: CRC-32 of "123456789" is 0xCBF43926.
+  const char* check = "123456789";
+  EXPECT_EQ(api::artifact_crc32(
+                reinterpret_cast<const std::uint8_t*>(check), 9),
+            0xCBF43926u);
+  EXPECT_EQ(api::artifact_crc32(nullptr, 0), 0u);
+}
+
+TEST(Artifact, MissingFileAndShortFileThrowArtifactError) {
+  EXPECT_THROW(api::Model::load_binary("no_such_artifact.bin"),
+               api::ArtifactError);
+  const std::string path = "test_artifact_short.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "MCDC";  // 4 bytes: not even a full magic
+  }
+  EXPECT_THROW(api::Model::load_binary(path), api::ArtifactError);
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, ServerWidthMismatchNamesBothCounts) {
+  // The serving swap path reuses the shared feature_width_message, so a
+  // binary artifact of the wrong schema is rejected with both counts
+  // named — the operator sees *what* diverged, not just that it did.
+  const api::Model narrow = fit_model("kmodes", fixture_dataset());
+  ASSERT_EQ(narrow.num_features(), 5u);
+  data::Dataset wide_ds(3, 2, {0, 1, 1, 0, 0, 1}, {2, 2});
+  auto wide = std::make_shared<const api::Model>(api::Model::from_fit(
+      "wide", wide_ds, {0, 1, 0}, 2, {}, {}, /*refine=*/false));
+
+  serve::ModelServer server(std::make_shared<const api::Model>(narrow));
+  try {
+    server.swap(wide);
+    FAIL() << "swap accepted a 2-feature model on a 5-feature server";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("ModelServer::swap"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 5 features"), std::string::npos) << what;
+    EXPECT_NE(what.find("got 2"), std::string::npos) << what;
+  }
+  try {
+    server.swap_json(wide->to_json());
+    FAIL() << "swap_json accepted a 2-feature model on a 5-feature server";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("ModelServer::swap_json"), std::string::npos) << what;
+    EXPECT_NE(what.find("expected 5 features"), std::string::npos) << what;
+    EXPECT_NE(what.find("got 2"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace mcdc

@@ -18,7 +18,9 @@
 #include "api/engine.h"
 #include "data/dataset.h"
 #include "data/synthetic.h"
+#include "dist/prepartition.h"
 #include "serve/batch_queue.h"
+#include "serve/cluster.h"
 
 namespace mcdc {
 namespace {
@@ -262,6 +264,235 @@ TEST(ModelServer, StopIsIdempotentAndDestructorSafe) {
   server->stop();           // idempotent
   EXPECT_THROW(server->predict(row), std::runtime_error);  // queue closed
   server.reset();           // destructor after stop: no double join
+}
+
+// --- ServingCluster -------------------------------------------------------
+
+TEST(ServingCluster, RejectsNullUnfittedAndZeroShards) {
+  EXPECT_THROW(serve::ServingCluster(nullptr), std::invalid_argument);
+  EXPECT_THROW(
+      serve::ServingCluster(std::make_shared<const api::Model>()),
+      std::invalid_argument);
+  serve::ClusterConfig config;
+  config.num_shards = 0;
+  EXPECT_THROW(serve::ServingCluster(model_always_zero(), config),
+               std::invalid_argument);
+}
+
+TEST(ServingCluster, HashRouteIsDeterministicAndInRange) {
+  serve::ClusterConfig config;
+  config.num_shards = 4;
+  serve::ServingCluster cluster(model_always_zero(), config);
+  for (data::Value v = 0; v < 3; ++v) {
+    const data::Value row[] = {v};
+    const std::size_t s = cluster.route(row);
+    EXPECT_LT(s, 4u);
+    EXPECT_EQ(cluster.route(row), s);  // same bytes, same shard, always
+  }
+}
+
+TEST(ServingCluster, ShardedPredictMatchesModelPredict) {
+  const data::Dataset ds = data::syn_n(400);
+  api::Engine engine;
+  api::FitOptions options;
+  options.method = "mcdc1";
+  options.k = 4;
+  options.seed = 11;
+  options.evaluate = false;
+  const api::FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok());
+  auto model = std::make_shared<const api::Model>(fit.model);
+  const std::vector<int> expected = model->predict(ds);
+
+  serve::ClusterConfig config;
+  config.num_shards = 4;
+  serve::ServingCluster cluster(model, config);
+
+  // Bulk predict equals the model's own answer row for row...
+  EXPECT_EQ(cluster.predict(data::DatasetView(ds)), expected);
+
+  // ...and so does single-row traffic through the batching queues.
+  std::vector<data::Value> row(ds.num_features());
+  for (std::size_t i = 0; i < 50; ++i) {
+    ds.gather_row(i, row.data());
+    EXPECT_EQ(cluster.predict(row.data()), expected[i]) << "row " << i;
+  }
+
+  cluster.stop();
+  const api::ServeEvidence evidence = cluster.stats();
+  EXPECT_EQ(evidence.shards, 4);
+  EXPECT_EQ(evidence.generation, 1u);
+  ASSERT_EQ(evidence.routed.size(), 4u);
+  std::uint64_t routed_total = 0;
+  for (const std::uint64_t r : evidence.routed) routed_total += r;
+  EXPECT_EQ(routed_total, ds.num_objects() + 50);  // bulk rows + single rows
+}
+
+TEST(ServingCluster, LocalityRoutingKeepsClustersOnOneShard) {
+  // Two clusters with disjoint value domains: rows of cluster 0 are all
+  // (0, 0), rows of cluster 1 all (1, 1). Each row matches its own
+  // cluster's mode in both positions and the other's in none, so locality
+  // routing must achieve perfect co-residency — the dist layer's own
+  // locality_of metric over the training rows reads 1.0.
+  const data::Dataset ds(6, 2, {0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1}, {2, 2});
+  const std::vector<int> labels = {0, 0, 0, 1, 1, 1};
+  auto model = std::make_shared<const api::Model>(api::Model::from_fit(
+      "loc", ds, labels, 2, {}, {}, /*refine=*/false));
+
+  serve::ClusterConfig config;
+  config.num_shards = 2;
+  config.routing = serve::RoutingMode::kLocality;
+  serve::ServingCluster cluster(model, config);
+  EXPECT_EQ(cluster.routing(), serve::RoutingMode::kLocality);
+
+  std::vector<int> shard_of_row(ds.num_objects());
+  std::vector<data::Value> row(ds.num_features());
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    ds.gather_row(i, row.data());
+    shard_of_row[i] = static_cast<int>(cluster.route(row.data()));
+  }
+  EXPECT_EQ(dist::locality_of(shard_of_row, labels), 1.0);
+  // Two equal-mass clusters over two shards: LPT spreads them apart.
+  EXPECT_NE(shard_of_row[0], shard_of_row[3]);
+}
+
+TEST(ServingCluster, RollingSwapExposesABoundedMixedWindow) {
+  // Shard 0 flips first. Inside the hook for that flip, shard 1 still
+  // serves the construction model — the mixed window the cluster promises
+  // to make explicit. Row {1}: the old model answers 1, the new one 0.
+  auto old_model = model_prefers_one();
+  auto new_model = model_always_zero();
+  const data::Value probe[] = {1};
+
+  serve::ClusterConfig config;
+  config.num_shards = 2;
+  serve::ServingCluster* cluster_ptr = nullptr;
+  int mid_window_checks = 0;
+  config.on_shard_swap = [&](std::size_t s) {
+    if (s != 0) return;
+    const serve::GenerationStatus mid = cluster_ptr->generations();
+    EXPECT_TRUE(mid.mixed);
+    EXPECT_EQ(mid.target, 2u);
+    EXPECT_EQ(mid.shard[0], 2u);
+    EXPECT_EQ(mid.shard[1], 1u);
+    // Traffic on the untouched shard is neither stalled nor mislabeled:
+    // it still answers with the old generation's label.
+    EXPECT_EQ(cluster_ptr->shard(1).predict(probe), 1);
+    EXPECT_EQ(cluster_ptr->shard(0).predict(probe), 0);
+    ++mid_window_checks;
+  };
+  serve::ServingCluster cluster(old_model, config);
+  cluster_ptr = &cluster;
+
+  EXPECT_EQ(cluster.shard(0).predict(probe), 1);
+  cluster.rolling_swap(new_model);
+  EXPECT_EQ(mid_window_checks, 1);
+
+  const serve::GenerationStatus after = cluster.generations();
+  EXPECT_FALSE(after.mixed);
+  EXPECT_EQ(after.target, 2u);
+  EXPECT_EQ(after.rolling_swaps, 1u);
+  EXPECT_GE(after.last_window_seconds, 0.0);
+  EXPECT_EQ(cluster.shard(0).predict(probe), 0);
+  EXPECT_EQ(cluster.shard(1).predict(probe), 0);
+}
+
+TEST(ServingCluster, SwapShardMixesUntilARollRealigns) {
+  serve::ClusterConfig config;
+  config.num_shards = 3;
+  serve::ServingCluster cluster(model_always_zero(), config);
+  EXPECT_FALSE(cluster.generations().mixed);
+
+  cluster.swap_shard(1, model_prefers_one());
+  const serve::GenerationStatus mixed = cluster.generations();
+  EXPECT_TRUE(mixed.mixed);
+  EXPECT_EQ(mixed.target, 2u);
+  EXPECT_EQ(mixed.shard, (std::vector<std::uint64_t>{1, 2, 1}));
+  EXPECT_THROW(cluster.swap_shard(3, model_prefers_one()),
+               std::invalid_argument);
+
+  cluster.rolling_swap(model_prefers_one());
+  const serve::GenerationStatus realigned = cluster.generations();
+  EXPECT_FALSE(realigned.mixed);
+  EXPECT_EQ(realigned.target, 3u);
+}
+
+TEST(ServingCluster, RollingSwapWidthMismatchNamesBothCounts) {
+  const data::Dataset wide_ds(2, 3, {0, 1, 0, 1, 0, 1}, {2, 2, 2});
+  auto wide = std::make_shared<const api::Model>(api::Model::from_fit(
+      "wide", wide_ds, {0, 1}, 2, {}, {}, /*refine=*/false));
+  serve::ServingCluster cluster(model_always_zero());  // width 1
+  try {
+    cluster.rolling_swap(wide);
+    FAIL() << "rolling_swap accepted a 3-feature model on a width-1 cluster";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("ServingCluster::rolling_swap"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("expected 1 features"), std::string::npos) << what;
+    EXPECT_NE(what.find("got 3"), std::string::npos) << what;
+  }
+  // The rejected roll published nothing: no phantom generation.
+  EXPECT_EQ(cluster.generations().target, 1u);
+  EXPECT_FALSE(cluster.generations().mixed);
+}
+
+TEST(Engine, ServeClusterBindsTheLastFit) {
+  api::Engine engine;
+  EXPECT_THROW(engine.serve_cluster(), std::logic_error);
+
+  const data::Dataset ds = data::syn_n(300);
+  api::FitOptions options;
+  options.method = "kmodes";
+  options.k = 3;
+  options.seed = 5;
+  options.evaluate = false;
+  const api::FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok());
+
+  serve::ClusterConfig config;
+  config.num_shards = 2;
+  const auto cluster = engine.serve_cluster(config);
+  EXPECT_EQ(cluster->num_shards(), 2u);
+  EXPECT_EQ(cluster->predict(data::DatasetView(ds)), fit.model.predict(ds));
+}
+
+TEST(ServingCluster, ConcurrentPredictsDuringRollsNeverTearOrStall) {
+  // The cluster-level torn-read gate (runs under TSan in CI): while rolls
+  // alternate between a model answering 0 and one answering 1 for row
+  // {1}, every concurrent predict must return one of those two published
+  // answers — never -1, never garbage — and the cluster must end aligned.
+  auto zero = model_always_zero();
+  auto one = model_prefers_one();
+  serve::ClusterConfig config;
+  config.num_shards = 2;
+  serve::ServingCluster cluster(one, config);
+
+  std::atomic<bool> stop_traffic{false};
+  std::atomic<int> bad_answers{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&] {
+      const data::Value row[] = {1};
+      while (!stop_traffic.load(std::memory_order_relaxed)) {
+        const int label = cluster.predict(row);
+        if (label != 0 && label != 1) {
+          bad_answers.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int roll = 0; roll < 20; ++roll) {
+    cluster.rolling_swap(roll % 2 == 0 ? zero : one);
+  }
+  stop_traffic.store(true);
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(bad_answers.load(), 0);
+  const serve::GenerationStatus end = cluster.generations();
+  EXPECT_FALSE(end.mixed);
+  EXPECT_EQ(end.target, 21u);
+  EXPECT_EQ(end.rolling_swaps, 20u);
 }
 
 }  // namespace

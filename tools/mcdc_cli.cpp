@@ -16,20 +16,27 @@
 //       traffic and parallel-vs-sequential timings. --json writes the full
 //       RunReport plus the fitted model; a saved model can later score
 //       unseen rows (see docs/API.md).
-//   mcdc predict <model.json> <data> [--out labels.csv]
-//       Loads a fitted model from a --json report and assigns the rows of
-//       <data> to its clusters via the NULL-aware similarity.
-//   mcdc serve <model.json|data> --replay <data> [--producers N] [--batch B]
-//              [--repeat R] [--swap-every-ms M] [--out labels.csv]
-//              [--json report.json]
-//       Spins up the concurrent serving layer (serve::ModelServer) on a
-//       saved model (a .json file) or on a fresh fit of <data> (then
+//   mcdc predict <model.json|model.bin> <data> [--out labels.csv]
+//       Loads a fitted model from a --json report or a binary artifact and
+//       assigns the rows of <data> to its clusters via the NULL-aware
+//       similarity.
+//   mcdc serve <model.json|model.bin|data> --replay <data> [--shards N]
+//              [--routing hash|locality] [--artifact model.bin]
+//              [--producers N] [--batch B] [--repeat R] [--swap-every-ms M]
+//              [--out labels.csv] [--json report.json]
+//       Spins up the concurrent serving layer on a saved model (a .json
+//       report or .bin artifact) or on a fresh fit of <data> (then
 //       --method/--k/--seed/--params apply) and replays the rows of the
 //       --replay trace as single-row requests from N producer threads,
-//       coalesced into batched sweeps of up to B rows. --swap-every-ms
-//       hot-reloads the snapshot mid-traffic to exercise the swap path.
-//       Prints throughput, batch occupancy, p50/p99 latency and the swap
-//       count; --json writes the report with the serving evidence.
+//       coalesced into batched sweeps of up to B rows. --shards N serves
+//       through a serve::ServingCluster of N ModelServer shards (--routing
+//       picks consistent hashing or cluster-mode locality); without it, a
+//       single ModelServer. --swap-every-ms hot-reloads the snapshot (or
+//       rolls it across the shards) mid-traffic to exercise the swap path.
+//       --artifact exports the served model as a binary artifact before
+//       traffic starts. Prints throughput, batch occupancy, p50/p99/p99.9
+//       latency, swap count and (cluster) the routed-per-shard histogram;
+//       --json writes the report with the serving evidence.
 //   mcdc explore  <data> [--seed S] [--newick]
 //       Prints the granularity staircase kappa, per-stage internal validity
 //       and the nested-cluster dendrogram.
@@ -106,10 +113,17 @@ api::Params parse_params(const std::string& packed) {
   return params;
 }
 
-// Loads a fitted model from a saved --json report (or a bare model
-// document); throws std::runtime_error on an unreadable file or malformed
-// model.
-api::Model load_model_json(const std::string& path) {
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Loads a fitted model: a ".bin" path is a binary artifact
+// (Model::load_binary, api::ArtifactError on corruption); anything else a
+// saved --json report or bare model document. Throws std::runtime_error on
+// an unreadable file or malformed model.
+api::Model load_model(const std::string& path) {
+  if (ends_with(path, ".bin")) return api::Model::load_binary(path);
   std::ifstream file(path);
   if (!file) throw std::runtime_error("cannot read " + path);
   std::stringstream buffer;
@@ -260,10 +274,11 @@ int cmd_cluster(const Cli& cli) {
 int cmd_predict(const Cli& cli) {
   if (cli.positional().size() < 3) {
     std::fprintf(stderr,
-                 "usage: mcdc predict <model.json> <data> [--out labels.csv]\n");
+                 "usage: mcdc predict <model.json|model.bin> <data> "
+                 "[--out labels.csv]\n");
     return 2;
   }
-  const api::Model model = load_model_json(cli.positional()[1]);
+  const api::Model model = load_model(cli.positional()[1]);
 
   const auto loaded = load_input(cli, 2);
   const std::vector<int> labels = model.predict(loaded.dataset);
@@ -290,26 +305,21 @@ int cmd_predict(const Cli& cli) {
 int cmd_serve(const Cli& cli) {
   if (cli.positional().size() < 2 || !cli.has("replay")) {
     std::fprintf(stderr,
-                 "usage: mcdc serve <model.json|data> --replay <data> "
-                 "[--producers N] [--batch B] [--repeat R] "
-                 "[--swap-every-ms M] [--out labels.csv] [--json report.json]"
-                 "\n");
+                 "usage: mcdc serve <model.json|model.bin|data> --replay "
+                 "<data> [--shards N] [--routing hash|locality] "
+                 "[--artifact model.bin] [--producers N] [--batch B] "
+                 "[--repeat R] [--swap-every-ms M] [--out labels.csv] "
+                 "[--json report.json]\n");
     return 2;
   }
   const std::string& source = cli.positional()[1];
 
-  // A .json positional is a saved --json report (or bare model) to
-  // hot-load; anything else resolves as a dataset to fit first.
-  std::shared_ptr<serve::ModelServer> server;
+  // A .json/.bin positional is a saved model to hot-load; anything else
+  // resolves as a dataset to fit first.
   std::shared_ptr<const api::Model> model;
   api::RunReport report;
-  const bool from_json =
-      source.size() > 5 && source.compare(source.size() - 5, 5, ".json") == 0;
-  if (from_json) {
-    auto loaded =
-        std::make_shared<const api::Model>(load_model_json(source));
-    model = loaded;
-    server = std::make_shared<serve::ModelServer>(std::move(loaded));
+  if (ends_with(source, ".json") || ends_with(source, ".bin")) {
+    model = std::make_shared<const api::Model>(load_model(source));
     report.method = model->method();
     report.k = model->k();
     std::printf("serving %s model (k = %d) hot-loaded from %s\n",
@@ -326,11 +336,19 @@ int cmd_serve(const Cli& cli) {
       return 1;
     }
     report = fit.report;
-    server = engine.serve();
-    model = server->snapshot();
+    model = std::make_shared<const api::Model>(fit.model);
     std::printf("serving %s fit of %s (k = %d, fitted in %.3fs)\n",
                 report.method_display.c_str(), loaded.name.c_str(), report.k,
                 report.timings.fit_seconds);
+  }
+
+  // --artifact exports whatever model is being served as a binary
+  // artifact — the save half of the `mcdc serve model.bin` round trip
+  // (also converts a .json model to .bin in one step).
+  const std::string artifact_path = cli.get("artifact", "");
+  if (!artifact_path.empty()) {
+    model->save_binary(artifact_path);
+    std::printf("model artifact written to %s\n", artifact_path.c_str());
   }
 
   // Replay trace, re-coded once into the model's encoding.
@@ -356,26 +374,63 @@ int cmd_serve(const Cli& cli) {
       std::max(1, static_cast<int>(cli.get_int("producers", 4)));
   const int repeat = std::max(1, static_cast<int>(cli.get_int("repeat", 1)));
   const long swap_every_ms = cli.get_int("swap-every-ms", 0);
-  // --batch resizes the coalescing bound; the server the engine handed us
-  // was built with defaults, so rebuild on the same snapshot when asked.
+  // --batch resizes the per-server coalescing bound.
   const long batch = cli.get_int("batch", 0);
+  serve::ServeConfig shard_config;
   if (batch > 0) {
-    serve::ServeConfig config;
-    config.queue.max_batch = static_cast<std::size_t>(batch);
-    if (batch == 1) config.queue.linger_us = 0.0;
-    server = std::make_shared<serve::ModelServer>(model, config);
+    shard_config.queue.max_batch = static_cast<std::size_t>(batch);
+    if (batch == 1) shard_config.queue.linger_us = 0.0;
+  }
+
+  // --shards N serves through a ServingCluster of N ModelServer shards
+  // instead of one server; --routing picks the shard per request.
+  const long shards = cli.get_int("shards", 0);
+  const std::string routing_name = cli.get("routing", "hash");
+  std::shared_ptr<serve::ModelServer> server;
+  std::shared_ptr<serve::ServingCluster> cluster;
+  if (shards > 0) {
+    serve::ClusterConfig config;
+    config.num_shards = static_cast<std::size_t>(shards);
+    if (routing_name == "locality") {
+      config.routing = serve::RoutingMode::kLocality;
+    } else if (routing_name == "hash") {
+      config.routing = serve::RoutingMode::kHash;
+    } else {
+      std::fprintf(stderr, "mcdc serve: unknown --routing %s\n",
+                   routing_name.c_str());
+      return 2;
+    }
+    config.shard = shard_config;
+    cluster = std::make_shared<serve::ServingCluster>(model, config);
+    std::printf("cluster of %ld shards, %s routing\n", shards,
+                routing_name.c_str());
+  } else {
+    server = std::make_shared<serve::ModelServer>(model, shard_config);
   }
 
   std::atomic<bool> done{false};
   std::thread swapper;
   if (swap_every_ms > 0) {
-    const api::Json reload = model->to_json(false);
-    swapper = std::thread([&server, &done, reload, swap_every_ms] {
-      while (!done.load()) {
-        server->swap_json(reload);
-        std::this_thread::sleep_for(std::chrono::milliseconds(swap_every_ms));
-      }
-    });
+    if (cluster != nullptr) {
+      // The cluster form of the hot-reload storm: roll the same model
+      // across every shard, exercising the mixed-generation window.
+      swapper = std::thread([&cluster, &done, model, swap_every_ms] {
+        while (!done.load()) {
+          cluster->rolling_swap(model);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(swap_every_ms));
+        }
+      });
+    } else {
+      const api::Json reload = model->to_json(false);
+      swapper = std::thread([&server, &done, reload, swap_every_ms] {
+        while (!done.load()) {
+          server->swap_json(reload);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(swap_every_ms));
+        }
+      });
+    }
   }
 
   std::vector<int> labels(n, -1);
@@ -387,7 +442,9 @@ int cmd_serve(const Cli& cli) {
       for (int rep = 0; rep < repeat; ++rep) {
         for (std::size_t i = static_cast<std::size_t>(t); i < n;
              i += static_cast<std::size_t>(producers)) {
-          labels[i] = server->predict(rows.data() + i * d);
+          const data::Value* row = rows.data() + i * d;
+          labels[i] =
+              cluster != nullptr ? cluster->predict(row) : server->predict(row);
         }
       }
     });
@@ -396,9 +453,14 @@ int cmd_serve(const Cli& cli) {
   const double seconds = timer.elapsed_seconds();
   done.store(true);
   if (swapper.joinable()) swapper.join();
-  server->stop();
+  if (cluster != nullptr) {
+    cluster->stop();
+    report.serve = cluster->stats();
+  } else {
+    server->stop();
+    report.serve = server->stats();
+  }
 
-  report.serve = server->stats();
   std::printf(
       "replayed %zu requests (%d producer(s) x %d repeat(s) over %zu rows) "
       "in %.3fs\n",
@@ -409,9 +471,24 @@ int cmd_serve(const Cli& cli) {
       report.serve.throughput_rps,
       static_cast<unsigned long long>(report.serve.batches),
       report.serve.batch_occupancy);
-  std::printf("latency p50 %.1fus  p99 %.1fus; snapshot swaps: %llu\n",
-              report.serve.p50_latency_us, report.serve.p99_latency_us,
-              static_cast<unsigned long long>(report.serve.swaps));
+  std::printf(
+      "latency p50 %.1fus  p99 %.1fus  p99.9 %.1fus; snapshot swaps: %llu\n",
+      report.serve.p50_latency_us, report.serve.p99_latency_us,
+      report.serve.p999_latency_us,
+      static_cast<unsigned long long>(report.serve.swaps));
+  if (cluster != nullptr) {
+    std::printf("routed per shard:");
+    for (const std::uint64_t r : report.serve.routed) {
+      std::printf(" %llu", static_cast<unsigned long long>(r));
+    }
+    const serve::GenerationStatus gen = cluster->generations();
+    std::printf(
+        "\ngeneration %llu%s, %llu rolling swap(s), last window %.3fms\n",
+        static_cast<unsigned long long>(gen.target),
+        gen.mixed ? " (mixed)" : "",
+        static_cast<unsigned long long>(gen.rolling_swaps),
+        gen.last_window_seconds * 1e3);
+  }
 
   // Serving determinism check: the replayed single-row labels must equal
   // the bulk predict of the same trace (hot-reloads republish the same
