@@ -1,8 +1,12 @@
 // Data-layer throughput: the columnar Dataset bank and zero-copy
 // DatasetView sharding against the old row-gather / deep-copy paths.
 //
-//   bench_data [--smoke] [--strict] [--n N] [--k K] [--repeats R]
-//              [--shards W]
+//   bench_data [--smoke] [--strict] [--json [file]] [--n N] [--k K]
+//              [--repeats R] [--shards W]
+//
+// --json writes the machine-readable record (default BENCH_data.json) in
+// the common bench schema; its one gated ratio is column_vs_row_build,
+// the profile-build speedup of the columnar sweep.
 //
 // Two measurements:
 //
@@ -28,6 +32,7 @@
 #include <numeric>
 #include <vector>
 
+#include "bench_io.h"
 #include "common/cli.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -171,6 +176,38 @@ int main(int argc, char** argv) {
   std::printf("materialized bytes per shard: 0\n");
   std::printf("column build >= 1.5x row-wise: %s\n",
               speedup >= 1.5 ? "yes" : "NO");
+
+  std::string json_path = cli.get("json", "");
+  if (cli.has("json") && json_path.empty()) json_path = "BENCH_data.json";
+  if (cli.has("json")) {
+    api::Json doc = api::Json::object();
+    doc["bench"] = std::string("data");
+    doc["build"] = bench::build_info(smoke);
+    api::Json workload = api::Json::object();
+    workload["n"] = n;
+    workload["d"] = d;
+    workload["k"] = k;
+    workload["repeats"] = repeats;
+    workload["shards"] = shards;
+    doc["workload"] = std::move(workload);
+    api::Json metrics = api::Json::object();
+    metrics["row_build_rows_ps"] = rows / t_row;
+    metrics["column_build_rows_ps"] = rows / t_col;
+    metrics["subset_copy_ms"] = 1e3 * t_copy;
+    metrics["subset_copy_bytes"] = copied_bytes;
+    metrics["view_setup_ms"] = 1e3 * t_view;
+    metrics["view_bytes"] = view_bytes;
+    doc["metrics"] = std::move(metrics);
+    api::Json ratios = api::Json::object();
+    ratios["column_vs_row_build"] = speedup;
+    doc["ratios"] = std::move(ratios);
+    if (!bench::write_json(json_path, doc)) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("record written to %s\n", json_path.c_str());
+  }
+
   // Timing ratios hard-fail only under --strict on a full-size run (the
   // acceptance gate); everywhere else they are informative.
   if (strict && !smoke && speedup < 1.5) return 2;

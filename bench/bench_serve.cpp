@@ -10,6 +10,7 @@
 //
 //   bench_serve [--smoke] [--strict] [--json [file]] [--n N] [--k K]
 //               [--producers P] [--batch B] [--repeats R] [--shards S]
+//               [--soak [--seconds S]]
 //
 // Every phase must answer every request with the label the bulk
 // Model::predict path assigns (the serving determinism contract); the bench
@@ -19,6 +20,20 @@
 // at least --shards cores, cluster throughput >= 2x single-shard (ISSUE 6).
 // --smoke shrinks the workload for CI and keeps every correctness check.
 // --json writes the machine-readable record (default BENCH_serve.json).
+//
+// The closing online-loop phase drives a serve::OnlineUpdater (the
+// continuous-learning pipeline) while producers keep predicting: the
+// updater absorbs the whole trace on its row-counted cadence and its
+// drift-gated swaps publish back mid-traffic. Metrics only — the phase
+// contributes no gated ratio.
+//
+// --soak replaces the phase sweep with a sustained storm for --seconds S
+// (default 5): producers hammer single-row predicts while the updater
+// thread cycles the trace, alternating original and code-shifted passes so
+// drift-triggered refits (not just incremental swaps) land under load.
+// Built for the sanitizer jobs — every ASan/TSan-visible interleaving of
+// submit/swap/observe/tick gets exercised; exits non-zero if the loop
+// never ticks or never publishes.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -35,6 +50,7 @@
 #include "common/timer.h"
 #include "data/synthetic.h"
 #include "serve/cluster.h"
+#include "serve/online.h"
 #include "serve/server.h"
 
 namespace {
@@ -111,6 +127,114 @@ bool check(const std::vector<int>& got, const std::vector<int>& want,
   return false;
 }
 
+// The trace under an abrupt concept drift: every value code shifted by one
+// (mod cardinality), same geometry under codes the model never counted.
+std::vector<data::Value> shift_codes(const std::vector<data::Value>& rows,
+                                     const std::vector<int>& cardinalities,
+                                     std::size_t n, std::size_t d) {
+  std::vector<data::Value> shifted(rows);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = rows[i * d + r];
+      if (v != data::kMissing && cardinalities[r] > 1) {
+        shifted[i * d + r] = (v + 1) % cardinalities[r];
+      }
+    }
+  }
+  return shifted;
+}
+
+// --soak: predict + observe + swap storm for a fixed wall-clock budget.
+int run_soak(const std::shared_ptr<const api::Model>& model,
+             const std::vector<int>& cardinalities,
+             const std::vector<data::Value>& rows, std::size_t n,
+             std::size_t d, int producers, std::size_t batch, double seconds) {
+  serve::ServeConfig config;
+  config.queue.max_batch = batch;
+  auto server = std::make_shared<serve::ModelServer>(model, config);
+  serve::OnlineConfig online;
+  online.tick_every = 256;
+  online.window_capacity = 512;
+  serve::OnlineUpdater updater(
+      server, serve::make_online_learner(online, cardinalities), online);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> requests{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(producers));
+  for (int t = 0; t < producers; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::future<int>> window;
+      std::uint64_t count = 0;
+      std::size_t i = static_cast<std::size_t>(t);
+      while (!done.load(std::memory_order_relaxed)) {
+        window.push_back(server->submit(rows.data() + (i % n) * d));
+        i += static_cast<std::size_t>(producers);
+        ++count;
+        if (window.size() >= 128) {
+          for (auto& future : window) future.get();
+          window.clear();
+        }
+      }
+      for (auto& future : window) future.get();
+      requests.fetch_add(count);
+    });
+  }
+
+  // This thread is the updater's single writer: cycle the trace, flipping
+  // between the original codes and a shifted recode each pass so the drift
+  // detector fires refits (not just incremental swaps) while traffic runs.
+  const std::vector<data::Value> shifted =
+      shift_codes(rows, cardinalities, n, d);
+  Timer timer;
+  std::uint64_t observed = 0;
+  std::size_t pass = 0;
+  const std::size_t chunk = 64;
+  while (timer.elapsed_seconds() < seconds) {
+    const std::vector<data::Value>& src = pass % 2 == 0 ? rows : shifted;
+    for (std::size_t i = 0; i + chunk <= n; i += chunk) {
+      updater.observe(src.data() + i * d, chunk);
+      observed += chunk;
+      if (timer.elapsed_seconds() >= seconds) break;
+    }
+    ++pass;
+  }
+  done.store(true);
+  for (auto& thread : threads) thread.join();
+  server->stop();
+  const double elapsed = timer.elapsed_seconds();
+
+  const auto stats = server->stats();
+  const auto evidence = updater.evidence();
+  std::printf(
+      "soak %.1fs: %llu predicts (%0.f req/s), %llu rows absorbed "
+      "(%0.f rows/s)\n",
+      elapsed, static_cast<unsigned long long>(requests.load()),
+      static_cast<double>(requests.load()) / elapsed,
+      static_cast<unsigned long long>(evidence.rows_observed),
+      static_cast<double>(observed) / elapsed);
+  std::printf(
+      "ticks %llu: %llu swap(s), %llu refit(s), %llu hold(s); generation "
+      "%llu, max drift %.3f\n",
+      static_cast<unsigned long long>(evidence.ticks),
+      static_cast<unsigned long long>(evidence.swaps),
+      static_cast<unsigned long long>(evidence.refits),
+      static_cast<unsigned long long>(evidence.holds),
+      static_cast<unsigned long long>(evidence.generation), evidence.max_drift);
+  std::printf("latency p50 %7.1fus  p99 %7.1fus  p99.9 %7.1fus\n",
+              stats.p50_latency_us, stats.p99_latency_us,
+              stats.p999_latency_us);
+  if (evidence.ticks == 0 || evidence.generation == 0) {
+    std::fprintf(stderr,
+                 "FAIL: soak loop never ticked or never published "
+                 "(%llu ticks, generation %llu)\n",
+                 static_cast<unsigned long long>(evidence.ticks),
+                 static_cast<unsigned long long>(evidence.generation));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,6 +269,12 @@ int main(int argc, char** argv) {
   std::vector<data::Value> rows(n * d);
   for (std::size_t i = 0; i < n; ++i) ds.gather_row(i, rows.data() + i * d);
   const std::vector<int> reference = model->predict(ds);
+
+  if (cli.has("soak")) {
+    const double seconds = cli.get_double("seconds", 5.0);
+    return run_soak(model, ds.cardinalities(), rows, n, d, producers, batch,
+                    seconds);
+  }
 
   std::printf(
       "serving throughput, Syn_n n=%zu d=%zu k=%d, %d producers, %d "
@@ -359,6 +489,76 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- online loop: the updater absorbs the trace while traffic runs -----
+  // Once the updater publishes, served labels legitimately diverge from the
+  // original model's bulk predict, so this phase checks liveness and the
+  // loop's own evidence instead of label equality. Metrics only — no gated
+  // ratio rides on it.
+  double online_rows_ps = 0.0;
+  api::OnlineEvidence online_evidence;
+  {
+    serve::ServeConfig config;
+    config.queue.max_batch = batch;
+    auto server = std::make_shared<serve::ModelServer>(model, config);
+    serve::OnlineConfig online;
+    online.tick_every = 256;
+    online.window_capacity = 512;
+    serve::OnlineUpdater updater(
+        server, serve::make_online_learner(online, ds.cardinalities()),
+        online);
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> answered{0};
+    std::vector<std::thread> hammers;
+    const int hammer_threads = std::max(1, producers - 1);
+    hammers.reserve(static_cast<std::size_t>(hammer_threads));
+    for (int t = 0; t < hammer_threads; ++t) {
+      hammers.emplace_back([&, t] {
+        std::size_t i = static_cast<std::size_t>(t);
+        std::uint64_t count = 0;
+        while (!done.load(std::memory_order_relaxed)) {
+          if (server->predict(rows.data() + (i % n) * d) < -1) break;
+          i += static_cast<std::size_t>(hammer_threads);
+          ++count;
+        }
+        answered.fetch_add(count);
+      });
+    }
+    Timer timer;
+    const std::size_t chunk = 256;
+    std::size_t absorbed = 0;
+    for (std::size_t i = 0; i + chunk <= n; i += chunk) {
+      updater.observe(rows.data() + i * d, chunk);
+      absorbed += chunk;
+    }
+    updater.tick();
+    const double seconds = timer.elapsed_seconds();
+    done.store(true);
+    for (auto& thread : hammers) thread.join();
+    server->stop();
+    online_rows_ps = static_cast<double>(absorbed) / seconds;
+    online_evidence = updater.evidence();
+    std::printf(
+        "%-12s %12.0f rows/s absorbed  %llu tick(s), %llu swap(s), %llu "
+        "refit(s), generation %llu; %llu predicts alongside\n",
+        "online-loop", online_rows_ps,
+        static_cast<unsigned long long>(online_evidence.ticks),
+        static_cast<unsigned long long>(online_evidence.swaps),
+        static_cast<unsigned long long>(online_evidence.refits),
+        static_cast<unsigned long long>(online_evidence.generation),
+        static_cast<unsigned long long>(answered.load()));
+    if (online_evidence.ticks == 0 ||
+        online_evidence.rows_observed != absorbed) {
+      std::fprintf(stderr,
+                   "FAIL: online loop lost rows or never ticked (%llu "
+                   "observed, %zu fed, %llu ticks)\n",
+                   static_cast<unsigned long long>(
+                       online_evidence.rows_observed),
+                   absorbed,
+                   static_cast<unsigned long long>(online_evidence.ticks));
+      ok = false;
+    }
+  }
+
   if (!ok) return 1;
   std::printf("labels identical to bulk predict across all phases: yes\n");
 
@@ -416,6 +616,13 @@ int main(int argc, char** argv) {
     cluster_json["cluster_rps"] = cluster_rps;
     cluster_json["rolling_swaps"] = static_cast<double>(roll_count);
     metrics["cluster"] = std::move(cluster_json);
+    api::Json online_json = api::Json::object();
+    online_json["absorb_rows_ps"] = online_rows_ps;
+    online_json["ticks"] = online_evidence.ticks;
+    online_json["swaps"] = online_evidence.swaps;
+    online_json["refits"] = online_evidence.refits;
+    online_json["generation"] = online_evidence.generation;
+    metrics["online"] = std::move(online_json);
     doc["metrics"] = std::move(metrics);
     api::Json ratios = api::Json::object();
     ratios["batched_vs_unbatched"] = batched_ratio;

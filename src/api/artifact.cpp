@@ -135,13 +135,12 @@ constexpr std::uint64_t kFlagDictionaries = 1;
 }  // namespace
 
 std::vector<std::uint8_t> Model::to_binary(bool include_training_labels) const {
-  if (!fitted()) {
+  // A k = 0 online snapshot serialises fine (its schema is the payload);
+  // only a schema-less default-constructed model has nothing to write.
+  if (!has_schema()) {
     throw std::logic_error("Model::to_binary: unfitted model");
   }
   const std::size_t d = num_features();
-  if (d == 0) {
-    throw std::logic_error("Model::to_binary: model has zero features");
-  }
 
   // Payload first; the header needs its size and checksum.
   std::vector<std::uint8_t> payload;
@@ -222,7 +221,7 @@ Model Model::from_binary(const std::uint8_t* data, std::size_t size) {
   const std::uint64_t d = header.u64("feature count");
   const std::uint64_t n = header.u64("label count");
   const std::uint64_t flags = header.u64("flags");
-  if (k == 0) throw ArtifactError("k must be > 0");
+  // k = 0 is a valid empty online snapshot; a zero-feature schema is not.
   if (d == 0) throw ArtifactError("feature count must be > 0");
 
   // One linear pass over the payload — the only full scan a load performs.

@@ -239,4 +239,25 @@ std::shared_ptr<serve::ServingCluster> Engine::serve_cluster(
                                                  std::move(config));
 }
 
+std::shared_ptr<serve::OnlineUpdater> Engine::serve_online(
+    serve::OnlineConfig config) const {
+  std::shared_ptr<const Model> model;
+  {
+    std::lock_guard lock(last_fit_mutex_);
+    model = last_fit_;
+  }
+  if (model == nullptr) {
+    throw std::logic_error("Engine::serve_online: no successful fit to serve");
+  }
+  // The learner inherits the fit's schema and dictionaries, so every
+  // snapshot it publishes re-encodes foreign rows exactly like the fit it
+  // evolves away from.
+  auto learner = serve::make_online_learner(config, model->cardinalities(),
+                                            model->value_dictionaries());
+  auto server =
+      std::make_shared<serve::ModelServer>(std::move(model), config.serve);
+  return std::make_shared<serve::OnlineUpdater>(
+      std::move(server), std::move(learner), std::move(config));
+}
+
 }  // namespace mcdc::api

@@ -23,6 +23,7 @@
 #include "data/dataset.h"
 #include "data/view.h"
 #include "serve/cluster.h"
+#include "serve/online.h"
 #include "serve/server.h"
 
 namespace mcdc::api {
@@ -79,6 +80,16 @@ class Engine {
   // has succeeded yet.
   std::shared_ptr<serve::ServingCluster> serve_cluster(
       serve::ClusterConfig config = {}) const;
+
+  // The continuous-learning form: a serve::OnlineUpdater whose ModelServer
+  // starts on the most recent successful fit and whose learner (streaming
+  // MGCPL or mcdc-online RGCL, per config) inherits that fit's schema and
+  // value dictionaries. Feed observed traffic through
+  // OnlineUpdater::observe; drift-triggered refits and incremental swaps
+  // publish back through the server automatically. Throws std::logic_error
+  // when no fit has succeeded yet.
+  std::shared_ptr<serve::OnlineUpdater> serve_online(
+      serve::OnlineConfig config = {}) const;
 
  private:
   const Registry* registry_;

@@ -1,5 +1,6 @@
 #include "api/model.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -74,22 +75,80 @@ Model Model::from_fit(std::string method, const data::DatasetView& ds,
   return model;
 }
 
+Model Model::from_profiles(std::string method, std::vector<int> cardinalities,
+                           std::vector<core::ClusterProfile> profiles,
+                           std::vector<std::vector<std::string>> values) {
+  if (cardinalities.empty()) {
+    throw std::invalid_argument("Model::from_profiles: empty schema");
+  }
+  if (!values.empty() && values.size() != cardinalities.size()) {
+    throw std::invalid_argument(
+        "Model::from_profiles: values/cardinalities mismatch");
+  }
+  for (const core::ClusterProfile& profile : profiles) {
+    if (profile.counts().size() != cardinalities.size()) {
+      throw std::invalid_argument(
+          feature_width_message("Model::from_profiles", cardinalities.size(),
+                                profile.counts().size()));
+    }
+    for (std::size_t r = 0; r < cardinalities.size(); ++r) {
+      if (profile.counts()[r].size() !=
+          static_cast<std::size_t>(cardinalities[r])) {
+        throw std::invalid_argument(
+            "Model::from_profiles: profile cardinality mismatch");
+      }
+    }
+  }
+  Model model;
+  model.method_ = std::move(method);
+  model.k_ = static_cast<int>(profiles.size());
+  model.cardinalities_ = std::move(cardinalities);
+  model.values_ = std::move(values);
+  model.profiles_ = std::move(profiles);
+  model.rebuild_scorer();
+  return model;
+}
+
 void Model::rebuild_scorer() {
-  scorer_ = core::ProfileSet::from_profiles(profiles_);
+  // from_profiles on an empty list has no schema to carry, so a k = 0
+  // model builds its (empty, but schema-aware) bank directly.
+  scorer_ = profiles_.empty() ? core::ProfileSet(cardinalities_, 0)
+                              : core::ProfileSet::from_profiles(profiles_);
   scorer_.freeze();
 }
 
 int Model::predict_row(const data::Value* row) const {
-  if (!fitted()) throw std::logic_error("Model::predict_row: unfitted model");
+  if (!has_schema()) {
+    throw std::logic_error("Model::predict_row: unfitted model");
+  }
+  if (k_ == 0) return -1;  // empty snapshot: nothing to assign to
   // Codes outside the model's domain (unseen categories, kMissing) score
   // as missing — the scorer clamps them, so no sanitising pass is needed.
   std::vector<double> scratch;
   return scorer_.best_cluster(row, scratch);
 }
 
+double Model::predict_score(const data::Value* row) const {
+  if (!has_schema()) {
+    throw std::logic_error("Model::predict_score: unfitted model");
+  }
+  if (k_ == 0) return 0.0;
+  std::vector<double> scores(static_cast<std::size_t>(k_));
+  scorer_.score_all(row, scores.data());
+  double best = 0.0;
+  for (const double s : scores) best = std::max(best, s);
+  return best;
+}
+
 void Model::predict_rows(const data::Value* rows, std::size_t n,
                          int* out) const {
-  if (!fitted()) throw std::logic_error("Model::predict_rows: unfitted model");
+  if (!has_schema()) {
+    throw std::logic_error("Model::predict_rows: unfitted model");
+  }
+  if (k_ == 0) {
+    std::fill(out, out + n, -1);
+    return;
+  }
   const std::size_t d = num_features();
   parallel_chunks(n, 64, [&](std::size_t lo, std::size_t hi) {
     std::vector<double> scratch;
@@ -154,8 +213,9 @@ std::vector<std::vector<data::Value>> Model::encoding_map(
 }
 
 std::vector<int> Model::predict(const data::DatasetView& ds) const {
-  if (!fitted()) throw std::logic_error("Model::predict: unfitted model");
+  if (!has_schema()) throw std::logic_error("Model::predict: unfitted model");
   const std::vector<std::vector<data::Value>> remap = encoding_map(ds);
+  if (k_ == 0) return std::vector<int>(ds.num_objects(), -1);
 
   // Scoring is per-row independent against the frozen bank, so rows fan
   // out over the shared pool; chunks write disjoint label slots, keeping
@@ -186,13 +246,15 @@ Json Model::to_json(bool include_training_labels) const {
   for (const int m : cardinalities_) cards.push_back(m);
   out["cardinalities"] = std::move(cards);
 
-  Json values = Json::array();
-  for (const auto& feature_values : values_) {
-    Json names = Json::array();
-    for (const std::string& name : feature_values) names.push_back(name);
-    values.push_back(std::move(names));
+  if (!values_.empty()) {
+    Json values = Json::array();
+    for (const auto& feature_values : values_) {
+      Json names = Json::array();
+      for (const std::string& name : feature_values) names.push_back(name);
+      values.push_back(std::move(names));
+    }
+    out["values"] = std::move(values);
   }
-  out["values"] = std::move(values);
 
   Json clusters = Json::array();
   for (const core::ClusterProfile& profile : profiles_) {
@@ -230,11 +292,15 @@ Model Model::from_json(const Json& json) {
   Model model;
   model.method_ = json.at("method").as_string();
   model.k_ = json.at("k").as_int();
-  if (model.k_ <= 0) throw std::runtime_error("model json: k must be > 0");
+  // k = 0 is a valid empty snapshot (predicts -1); negative k is garbage.
+  if (model.k_ < 0) throw std::runtime_error("model json: k must be >= 0");
 
   const Json& cards = json.at("cardinalities");
   for (std::size_t r = 0; r < cards.size(); ++r) {
     model.cardinalities_.push_back(cards.at(r).as_int());
+  }
+  if (model.cardinalities_.empty()) {
+    throw std::runtime_error("model json: empty schema");
   }
 
   if (json.contains("values")) {

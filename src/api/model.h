@@ -48,11 +48,36 @@ class Model {
                         std::vector<int> kappa = {},
                         std::vector<double> theta = {}, bool refine = true);
 
+  // Builds a model directly from per-cluster histogram profiles — the
+  // snapshot boundary the online learners export through
+  // (StreamingMgcpl::to_model, RgclLearner::to_model). `profiles` may be
+  // empty: the result is a valid k = 0 model with a schema, which predicts
+  // -1 for every row (the classify() contract of an empty learner) and
+  // still round-trips through JSON and the binary artifact — a serving
+  // tier can hold it without wedging. `values` carries the per-feature
+  // dictionaries when the producer has them; empty means raw codes pass
+  // through on predict(ds). Throws std::invalid_argument on an empty
+  // schema or a profile whose shape disagrees with `cardinalities`.
+  static Model from_profiles(std::string method, std::vector<int> cardinalities,
+                             std::vector<core::ClusterProfile> profiles,
+                             std::vector<std::vector<std::string>> values = {});
+
   bool fitted() const { return k_ > 0; }
+  // True once the model carries a schema — every fitted model does, and so
+  // does a k = 0 online snapshot (which is servable but answers -1).
+  bool has_schema() const { return !cardinalities_.empty(); }
   int k() const { return k_; }
   const std::string& method() const { return method_; }
   std::size_t num_features() const { return cardinalities_.size(); }
   const std::vector<int>& cardinalities() const { return cardinalities_; }
+  // Per-feature value dictionaries in model code order; empty when the
+  // model was built from raw codes (e.g. an online snapshot without a
+  // source dataset). Online learners thread these through to_model() so a
+  // refit snapshot re-encodes foreign rows exactly like the fit it
+  // replaced.
+  const std::vector<std::vector<std::string>>& value_dictionaries() const {
+    return values_;
+  }
   const std::vector<int>& training_labels() const { return training_labels_; }
 
   // MCDC-family evidence; empty for plain baselines.
@@ -64,8 +89,17 @@ class Model {
   // cluster id. The codes must be in the model's own encoding; anything
   // outside [0, cardinality(r)) — data::kMissing included — contributes
   // similarity zero, like an unseen category. Throws std::logic_error
-  // when the model is unfitted.
+  // when the model has no schema; a k = 0 model answers -1 (nothing to
+  // assign to, matching StreamingMgcpl::classify on an empty learner).
   int predict_row(const data::Value* row) const;
+
+  // Best-cluster similarity of a row in the model's encoding — the same
+  // argmax sweep as predict_row, returning the winning Eq. (1) score
+  // instead of the label. This is the drift detector's signal: a window
+  // whose mean best score sinks below the published snapshot's baseline is
+  // data the snapshot no longer explains. 0.0 for a k = 0 model; throws
+  // std::logic_error when the model has no schema.
+  double predict_score(const data::Value* row) const;
 
   // Batched predict_row: `rows` packs n rows of num_features() values each
   // (row-major, already in the model's encoding), labels land in
@@ -108,7 +142,8 @@ class Model {
   // Binary artifact round trip (artifact.h has the format). to_binary /
   // from_binary work on in-memory buffers; save_binary / load_binary on
   // files (load_binary maps the file on POSIX instead of streaming it).
-  // Serialising an unfitted model throws std::logic_error; every load
+  // Serialising a schema-less (default-constructed) model throws
+  // std::logic_error — a k = 0 online snapshot serialises fine; every load
   // failure — truncation, bad magic, unknown version, checksum mismatch,
   // impossible fields — throws ArtifactError before any state is built.
   // `include_training_labels = false` strips the label array, as to_json.

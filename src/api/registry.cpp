@@ -11,6 +11,7 @@
 #include "baselines/linkage.h"
 #include "baselines/rock.h"
 #include "baselines/wocil.h"
+#include "core/rgcl.h"
 #include "dist/distributed_mcdc.h"
 
 namespace mcdc::api {
@@ -77,6 +78,7 @@ std::string to_string(MethodFamily family) {
     case MethodFamily::ablation: return "ablation";
     case MethodFamily::boosted: return "boosted";
     case MethodFamily::distributed: return "distributed";
+    case MethodFamily::online: return "online";
   }
   return "unknown";
 }
@@ -514,6 +516,34 @@ void register_builtins(Registry& registry) {
           param_int(params, "max_iterations", config.max_iterations);
       return std::make_shared<core::BoostedClusterer>(
           std::make_shared<baselines::KModes>(config), "MCDC+KM");
+    });
+  }
+
+  // --- continuous-learning serving loop --------------------------------
+  {
+    MethodInfo info;
+    info.key = "mcdc-online";
+    info.display_name = "MCDC-ONLINE";
+    info.summary =
+        "RGCL per-row winner-reward/rival-penalty learner (Likas 1999)";
+    info.family = MethodFamily::online;
+    info.params = {
+        {"eta", "reinforcement learning rate", "0.05"},
+        {"epochs", "batch-mode passes over the rows", "4"},
+        {"reinforcement",
+         "Bernoulli-gated reward; false always rewards the winner", "true"},
+    };
+    registry.add(std::move(info), [](const Params& params) {
+      core::RgclConfig config;
+      config.eta = param_double(params, "eta", config.eta);
+      config.epochs = param_int(params, "epochs", config.epochs);
+      config.reinforcement =
+          param_bool(params, "reinforcement", config.reinforcement);
+      return std::make_shared<FunctionClusterer>(
+          "MCDC-ONLINE", [config](const data::DatasetView& ds, int k,
+                                  std::uint64_t seed) {
+            return core::RgclLearner::cluster(ds, k, seed, config);
+          });
     });
   }
 }

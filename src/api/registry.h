@@ -48,6 +48,7 @@ enum class MethodFamily {
   ablation,     // MCDC1-4 (Fig. 4)
   boosted,      // MCDC+X (Gamma embedding + inner method)
   distributed,  // Sec. III-D shard -> local-learn -> merge protocol
+  online,       // per-row continuous learners feeding the serving tier
 };
 
 std::string to_string(MethodFamily family);

@@ -106,6 +106,27 @@ Json RunReport::to_json() const {
     out["serve"] = std::move(serve_json);
   }
 
+  if (online.ticks > 0) {
+    Json online_json = Json::object();
+    online_json["ticks"] = static_cast<double>(online.ticks);
+    online_json["swaps"] = static_cast<double>(online.swaps);
+    online_json["refits"] = static_cast<double>(online.refits);
+    online_json["holds"] = static_cast<double>(online.holds);
+    online_json["rows_observed"] = static_cast<double>(online.rows_observed);
+    online_json["rows_absorbed"] = static_cast<double>(online.rows_absorbed);
+    online_json["generation"] = static_cast<double>(online.generation);
+    online_json["first_refit_tick"] =
+        static_cast<double>(online.first_refit_tick);
+    online_json["clusters"] = online.clusters;
+    online_json["baseline_score"] = online.baseline_score;
+    online_json["last_drift"] = online.last_drift;
+    online_json["max_drift"] = online.max_drift;
+    Json drift_json = Json::array();
+    for (const double s : online.drift_scores) drift_json.push_back(s);
+    online_json["drift_scores"] = std::move(drift_json);
+    out["online"] = std::move(online_json);
+  }
+
   Json timings_json = Json::object();
   timings_json["fit_seconds"] = timings.fit_seconds;
   timings_json["evaluate_seconds"] = timings.evaluate_seconds;

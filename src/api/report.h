@@ -98,6 +98,26 @@ struct ServeEvidence {
   std::uint64_t generation = 0;        // cluster target model generation
 };
 
+// Evidence of a continuous-learning session (filled from
+// serve::OnlineUpdater::evidence): the tick-by-tick bookkeeping of the
+// observe -> drift-check -> swap/refit/hold -> publish loop. ticks == 0
+// means no online updater ran behind this report.
+struct OnlineEvidence {
+  std::uint64_t ticks = 0;          // cadence points reached
+  std::uint64_t swaps = 0;          // incremental-absorb publishes
+  std::uint64_t refits = 0;         // drift-triggered refit-from-window
+  std::uint64_t holds = 0;          // ticks that published nothing
+  std::uint64_t rows_observed = 0;  // rows fed to the learner
+  std::uint64_t rows_absorbed = 0;  // observed + re-observed on refits
+  std::uint64_t generation = 0;     // published snapshot generation
+  std::uint64_t first_refit_tick = 0;  // 1-based; 0 = no refit happened
+  int clusters = 0;                 // live learner clusters at capture
+  double baseline_score = 0.0;      // window mean score at last publish
+  double last_drift = 0.0;          // baseline - window mean, last tick
+  double max_drift = 0.0;
+  std::vector<double> drift_scores;  // per-tick drift, most recent <= 512
+};
+
 struct RunReport {
   Status status;
 
@@ -122,6 +142,10 @@ struct RunReport {
   // Serving-session evidence; serve.requests == 0 until the model behind
   // this report has answered traffic through a serve::ModelServer.
   ServeEvidence serve;
+
+  // Continuous-learning evidence; online.ticks == 0 until an
+  // serve::OnlineUpdater drove the model behind this report.
+  OnlineEvidence online;
 
   metrics::InternalScores internal;     // ground-truth-free validity
   bool has_external = false;            // dataset carried class labels

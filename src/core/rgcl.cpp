@@ -1,0 +1,367 @@
+#include "core/rgcl.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/thread_pool.h"
+#include "core/competitive.h"
+#include "data/seeding.h"
+
+namespace mcdc::core {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv_bytes(std::uint64_t h, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Hash -> uniform double in [0, 1): the top 53 bits scaled down. Replayed
+// inputs reproduce the draw bit-exactly — there is no RNG state.
+double uniform_from_hash(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double clamp01(double x) { return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x); }
+
+}  // namespace
+
+RgclLearner::RgclLearner(std::vector<int> cardinalities, std::uint64_t seed,
+                         const RgclConfig& config)
+    : cardinalities_(std::move(cardinalities)),
+      seed_(seed),
+      config_(config),
+      set_(cardinalities_, 0) {
+  if (cardinalities_.empty()) {
+    throw std::invalid_argument("RgclLearner: empty schema");
+  }
+  if (config_.decay <= 0.0 || config_.decay > 1.0) {
+    throw std::invalid_argument("RgclLearner: decay must be in (0, 1]");
+  }
+  if (config_.max_clusters == 0) {
+    throw std::invalid_argument("RgclLearner: max_clusters must be >= 1");
+  }
+  if (config_.epochs < 1) {
+    throw std::invalid_argument("RgclLearner: epochs must be >= 1");
+  }
+}
+
+int RgclLearner::slot_of(int id) const {
+  for (std::size_t l = 0; l < ids_.size(); ++l) {
+    if (ids_[l] == id) return static_cast<int>(l);
+  }
+  return -1;
+}
+
+int RgclLearner::strongest_slot(int exclude) const {
+  int best = -1;
+  double best_score = -1.0;
+  for (std::size_t l = 0; l < ids_.size(); ++l) {
+    if (static_cast<int>(l) == exclude) continue;
+    const double score = cluster_weight_sigmoid(delta_[l]) * scores_[l];
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(l);
+    }
+  }
+  return best;
+}
+
+int RgclLearner::spawn(const data::Value* row) {
+  int slot;
+  if (ids_.size() >= config_.max_clusters) {
+    // Same in-place eviction as StreamingMgcpl: the weakest (lowest-mass)
+    // cluster's slot is zeroed and re-aimed at a fresh stable id.
+    std::size_t weakest = 0;
+    for (std::size_t l = 1; l < ids_.size(); ++l) {
+      if (mass_[l] < mass_[weakest]) weakest = l;
+    }
+    slot = static_cast<int>(weakest);
+    set_.clear_cluster(slot);
+    ids_[weakest] = next_id_++;
+  } else {
+    slot = set_.append_cluster();
+    mass_.push_back(0.0);
+    delta_.push_back(0.0);
+    ids_.push_back(next_id_++);
+  }
+  set_.add(slot, row);
+  const auto lu = static_cast<std::size_t>(slot);
+  mass_[lu] = 1.0;
+  delta_[lu] = config_.initial_delta;
+  return slot;
+}
+
+void RgclLearner::reinforce(int winner, double draw) {
+  const auto vu = static_cast<std::size_t>(winner);
+  const double s_v = scores_[vu];
+  if (!config_.reinforcement || draw < clamp01(s_v)) {
+    delta_[vu] += config_.eta * (1.0 - s_v);
+    const int h = strongest_slot(winner);
+    if (h >= 0) {
+      delta_[static_cast<std::size_t>(h)] -=
+          config_.eta * scores_[static_cast<std::size_t>(h)];
+    }
+  } else {
+    delta_[vu] -= config_.eta * (1.0 - s_v);
+  }
+}
+
+int RgclLearner::observe(const data::Value* row) {
+  scores_.resize(ids_.size());
+  set_.score_all(row, scores_.data());
+
+  ++rows_seen_;
+  const int v = strongest_slot(-1);
+  const double win_sim = v >= 0 ? scores_[static_cast<std::size_t>(v)] : 0.0;
+  if (v < 0 || win_sim < config_.novelty_threshold) {
+    return ids_[static_cast<std::size_t>(spawn(row))];
+  }
+
+  set_.add(v, row);
+  mass_[static_cast<std::size_t>(v)] += 1.0;
+
+  // The trial keys on (seed, arrival index, row content): a replayed
+  // stream reproduces every decision, repeated identical rows still draw
+  // independently.
+  std::uint64_t h = fnv_bytes(kFnvOffset, &seed_, sizeof(seed_));
+  h = fnv_bytes(h, &rows_seen_, sizeof(rows_seen_));
+  h = fnv_bytes(h, row, cardinalities_.size() * sizeof(data::Value));
+  reinforce(v, uniform_from_hash(h));
+  return ids_[static_cast<std::size_t>(v)];
+}
+
+std::vector<int> RgclLearner::observe_chunk(const data::DatasetView& chunk) {
+  if (chunk.num_features() != cardinalities_.size()) {
+    throw std::invalid_argument("RgclLearner: chunk schema mismatch");
+  }
+  std::vector<int> assigned(chunk.num_objects());
+  std::vector<data::Value> row(cardinalities_.size());
+  for (std::size_t i = 0; i < chunk.num_objects(); ++i) {
+    chunk.gather_row(i, row.data());
+    assigned[i] = observe(row.data());
+  }
+  end_chunk();
+  return assigned;
+}
+
+void RgclLearner::end_chunk() {
+  if (config_.decay < 1.0) {
+    set_.scale(config_.decay);
+    for (double& m : mass_) m *= config_.decay;
+  }
+  // Prune starved clusters (the StreamingMgcpl thresholds: mass below one
+  // standing object under decay, or u driven to zero by penalisation).
+  std::vector<char> dead(ids_.size(), 0);
+  bool any = false;
+  for (std::size_t l = 0; l < ids_.size(); ++l) {
+    if (mass_[l] < 1.5 || cluster_weight_sigmoid(delta_[l]) < 1e-3) {
+      dead[l] = 1;
+      any = true;
+    }
+  }
+  if (any) {
+    set_.remove_clusters(dead);
+    std::size_t live = 0;
+    for (std::size_t l = 0; l < ids_.size(); ++l) {
+      if (dead[l]) continue;
+      mass_[live] = mass_[l];
+      delta_[live] = delta_[l];
+      ids_[live] = ids_[l];
+      ++live;
+    }
+    mass_.resize(live);
+    delta_.resize(live);
+    ids_.resize(live);
+  }
+  for (double& delta : delta_) delta = std::max(delta, config_.initial_delta);
+}
+
+std::vector<int> RgclLearner::classify(const data::DatasetView& ds) const {
+  if (ds.num_features() != cardinalities_.size()) {
+    throw std::invalid_argument("RgclLearner: dataset schema mismatch");
+  }
+  std::vector<int> labels(ds.num_objects(), -1);
+  if (ids_.empty()) return labels;
+  set_.freeze();
+  parallel_chunks(ds.num_objects(), 1024,
+                  [&](std::size_t lo, std::size_t hi) {
+                    std::vector<double> scratch;
+                    for (std::size_t i = lo; i < hi; ++i) {
+                      const int slot = set_.best_cluster(ds, i, scratch);
+                      labels[i] = ids_[static_cast<std::size_t>(slot)];
+                    }
+                  });
+  return labels;
+}
+
+api::Model RgclLearner::to_model(
+    std::vector<std::vector<std::string>> values) const {
+  std::vector<std::size_t> order(ids_.size());
+  for (std::size_t l = 0; l < order.size(); ++l) order[l] = l;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return ids_[a] < ids_[b]; });
+  std::vector<ClusterProfile> profiles;
+  profiles.reserve(order.size());
+  for (const std::size_t slot : order) {
+    profiles.push_back(set_.profile(static_cast<int>(slot)));
+  }
+  return api::Model::from_profiles("mcdc-online", cardinalities_,
+                                   std::move(profiles), std::move(values));
+}
+
+void RgclLearner::reset() {
+  set_ = ProfileSet(cardinalities_, 0);
+  mass_.clear();
+  delta_.clear();
+  ids_.clear();
+  next_id_ = 0;
+  rows_seen_ = 0;
+  scores_.clear();
+}
+
+double RgclLearner::total_mass() const {
+  double total = 0.0;
+  for (const double m : mass_) total += m;
+  return total;
+}
+
+baselines::ClusterResult RgclLearner::cluster(const data::DatasetView& ds,
+                                              int k, std::uint64_t seed,
+                                              const RgclConfig& config) {
+  baselines::ClusterResult result;
+  const std::size_t n = ds.num_objects();
+  const std::size_t d = ds.num_features();
+  if (k <= 0 || static_cast<std::size_t>(k) > n || d == 0) {
+    result.labels.assign(n, -1);
+    baselines::finalize_result(result, k);
+    return result;
+  }
+
+  // Per-column value counts: the content signature behind both the
+  // canonical row order and the Bernoulli draws. Counts are invariant to
+  // row shuffles (a multiset property) and to category recodings (a value
+  // keeps its count under any bijective relabelling), which is what makes
+  // the sequential per-row updates below presentation-independent.
+  std::vector<std::vector<std::uint32_t>> freq(d);
+  for (std::size_t r = 0; r < d; ++r) {
+    freq[r].assign(static_cast<std::size_t>(ds.cardinality(r)), 0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = ds.at(i, r);
+      if (v >= 0 && v < ds.cardinality(r)) {
+        ++freq[r][static_cast<std::size_t>(v)];
+      }
+    }
+  }
+  // keys[i] = the row's frequency signature (missing cells read 0 — no
+  // present value can, every one appears at least once).
+  std::vector<std::vector<std::uint32_t>> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i].resize(d);
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = ds.at(i, r);
+      keys[i][r] = (v >= 0 && v < ds.cardinality(r))
+                       ? freq[r][static_cast<std::size_t>(v)]
+                       : 0;
+    }
+  }
+  // Canonical order: densest signature first. stable_sort keeps equal-key
+  // rows in presentation order — for identical rows the updates commute,
+  // so the partition stays order-free.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return keys[a] > keys[b];
+                   });
+
+  const std::vector<std::size_t> seeds = data::density_seed_rows(ds, k);
+  ProfileSet set(ds.cardinalities(), k);
+  std::vector<double> delta(static_cast<std::size_t>(k),
+                            config.initial_delta);
+  std::vector<int> assign(n, -1);
+  for (int j = 0; j < k; ++j) {
+    set.add(j, ds, seeds[static_cast<std::size_t>(j)]);
+    assign[seeds[static_cast<std::size_t>(j)]] = j;
+  }
+
+  std::vector<double> scores(static_cast<std::size_t>(k));
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (const std::size_t i : order) {
+      set.score_all(ds, i, scores.data());
+      int v = 0;
+      double best = -1.0;
+      for (int l = 0; l < k; ++l) {
+        const double w = cluster_weight_sigmoid(delta[static_cast<std::size_t>(l)]) *
+                         scores[static_cast<std::size_t>(l)];
+        if (w > best) {
+          best = w;
+          v = l;
+        }
+      }
+      const int prev = assign[i];
+      // A cluster never gives up its last member — fixed k must survive
+      // the competition (the paper's failure flag is for methods that
+      // cannot hold the preset k).
+      if (prev >= 0 && prev != v && set.size(prev) <= 1.0) v = prev;
+      if (prev < 0) {
+        set.add(v, ds, i);
+      } else if (prev != v) {
+        set.move(prev, v, ds, i);
+      }
+      assign[i] = v;
+
+      const auto vu = static_cast<std::size_t>(v);
+      const double s_v = scores[vu];
+      std::uint64_t h = fnv_bytes(kFnvOffset, &seed, sizeof(seed));
+      h = fnv_bytes(h, &epoch, sizeof(epoch));
+      h = fnv_bytes(h, keys[i].data(), keys[i].size() * sizeof(std::uint32_t));
+      if (!config.reinforcement || uniform_from_hash(h) < clamp01(s_v)) {
+        delta[vu] += config.eta * (1.0 - s_v);
+        int rival = -1;
+        double rival_best = -1.0;
+        for (int l = 0; l < k; ++l) {
+          if (l == v) continue;
+          const double w =
+              cluster_weight_sigmoid(delta[static_cast<std::size_t>(l)]) *
+              scores[static_cast<std::size_t>(l)];
+          if (w > rival_best) {
+            rival_best = w;
+            rival = l;
+          }
+        }
+        if (rival >= 0) {
+          delta[static_cast<std::size_t>(rival)] -=
+              config.eta * scores[static_cast<std::size_t>(rival)];
+        }
+      } else {
+        delta[vu] -= config.eta * (1.0 - s_v);
+      }
+    }
+  }
+
+  // The served partition is the frozen argmax of the final bank — the
+  // same sweep classify()/Model::predict run, parallel over disjoint
+  // label chunks.
+  set.freeze();
+  result.labels.resize(n);
+  parallel_chunks(n, 1024, [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> scratch;
+    for (std::size_t i = lo; i < hi; ++i) {
+      result.labels[i] = set.best_cluster(ds, i, scratch);
+    }
+  });
+  baselines::finalize_result(result, k);
+  return result;
+}
+
+}  // namespace mcdc::core

@@ -1,0 +1,130 @@
+// RGCL — reinforcement-guided competitive learning for categorical
+// clustering (Likas 1999), adapted to the NULL-aware Sec. II-A similarity
+// as the per-row online counterpart of the MGCPL competitive stage.
+//
+// Each row runs one winner-reward / rival-penalty update on the flat
+// ProfileSet bank: every live cluster competes by u_l * s_l (u_l the
+// sigmoid cluster weight of Eqs. 12-13, s_l the Eq. (1) similarity), the
+// winner v absorbs the row, and a Bernoulli trial with success probability
+// s_v gates the reinforcement —
+//
+//   success:  delta_v += eta * (1 - s_v)   (reward the winner)
+//             delta_h -= eta * s_h         (penalise the strongest rival,
+//                                           the MGCPL de-redundancy move)
+//   failure:  delta_v -= eta * (1 - s_v)   (the action is punished)
+//
+// The trial is a hash draw, not an RNG stream: it is keyed on the run seed
+// plus content-derived bytes, so a replayed stream reproduces the same
+// decisions exactly and the batch mode below is invariant to row shuffles
+// and category recodings. `reinforcement = false` degenerates to plain
+// deterministic winner-reward/rival-penalty (the trial always succeeds).
+//
+// Two modes share the update rule:
+//
+//  - streaming: RgclLearner mirrors StreamingMgcpl (observe / end_chunk /
+//    classify / to_model, stable spawn ids, novelty spawning, weakest-mass
+//    eviction, decay + starved-cluster pruning at consolidation) so the
+//    serve::OnlineUpdater drives either learner through one adapter. The
+//    same single-writer thread contract applies.
+//
+//  - batch: cluster() backs the "mcdc-online" registry method. Clusters
+//    are density-seeded (data/seeding.h), then `epochs` sequential passes
+//    run the per-row update with rows in a canonical content order —
+//    densest frequency signature first — so the partition is a function of
+//    the multiset of rows, not of their presentation order or encoding
+//    (the metamorphic contract every registry method owes). A final frozen
+//    classify sweep produces the labels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "api/model.h"
+#include "baselines/clusterer.h"
+#include "core/profile_set.h"
+#include "data/dataset.h"
+#include "data/view.h"
+
+namespace mcdc::core {
+
+struct RgclConfig {
+  // Reinforcement learning rate of the delta updates.
+  double eta = 0.05;
+  // delta at spawn/seed (see StageConfig::initial_delta).
+  double initial_delta = 0.5;
+  // Bernoulli-gated reward; false makes every trial succeed (pure
+  // winner-reward/rival-penalty, no exploration).
+  bool reinforcement = true;
+  // Batch mode: passes over the rows.
+  int epochs = 4;
+  // Streaming mode (same semantics as StreamingConfig).
+  double decay = 1.0;
+  double novelty_threshold = 0.15;
+  std::size_t max_clusters = 256;
+};
+
+class RgclLearner {
+ public:
+  // The schema must be fixed up front; `seed` keys the Bernoulli draws.
+  RgclLearner(std::vector<int> cardinalities, std::uint64_t seed = 1,
+              const RgclConfig& config = {});
+
+  // Processes one object; returns the stable id of the cluster it joined
+  // (ids retire on eviction/pruning, they are never re-aimed — the
+  // StreamingMgcpl contract).
+  int observe(const data::Value* row);
+  // observe() over every row, then end_chunk(). Per-row stable ids.
+  std::vector<int> observe_chunk(const data::DatasetView& chunk);
+  // End-of-chunk consolidation: decay, prune starved clusters, floor the
+  // deltas back to initial_delta.
+  void end_chunk();
+
+  // Frozen assignment to the live clusters (stable ids; -1 on an empty
+  // learner), without learning.
+  std::vector<int> classify(const data::DatasetView& ds) const;
+
+  // Snapshot boundary, identical contract to StreamingMgcpl::to_model:
+  // model cluster j = j-th smallest live stable id; an empty learner
+  // exports a valid k = 0 model.
+  api::Model to_model(std::vector<std::vector<std::string>> values = {}) const;
+
+  // Drops every cluster and all competition state; the draw sequence
+  // restarts too, so reset + replay reproduces a fresh learner exactly.
+  void reset();
+
+  std::size_t num_clusters() const { return ids_.size(); }
+  const std::vector<int>& cluster_ids() const { return ids_; }
+  double total_mass() const;
+
+  // Batch entry point of the "mcdc-online" registry method: density
+  // seeding, `config.epochs` canonical-order reinforcement passes over the
+  // rows at fixed k, final frozen classify sweep. Deterministic in
+  // (ds, k, seed) and invariant to row order and category recoding.
+  static baselines::ClusterResult cluster(const data::DatasetView& ds, int k,
+                                          std::uint64_t seed,
+                                          const RgclConfig& config = {});
+
+ private:
+  int slot_of(int id) const;
+  // Winner slot by u * s over scores_ (already filled); `exclude` skips
+  // the winner during the rival scan. Ties resolve to the lowest slot.
+  int strongest_slot(int exclude) const;
+  int spawn(const data::Value* row);
+  // One winner-reward/rival-penalty delta update for a row the winner
+  // already absorbed; `draw` is the Bernoulli uniform in [0, 1).
+  void reinforce(int winner, double draw);
+
+  std::vector<int> cardinalities_;
+  std::uint64_t seed_ = 1;
+  RgclConfig config_;
+  ProfileSet set_;
+  std::vector<double> mass_;
+  std::vector<double> delta_;
+  std::vector<int> ids_;
+  int next_id_ = 0;
+  std::uint64_t rows_seen_ = 0;  // folds into the streaming draws
+  mutable std::vector<double> scores_;
+};
+
+}  // namespace mcdc::core

@@ -162,6 +162,24 @@ std::vector<int> StreamingMgcpl::classify(const data::DatasetView& ds) const {
   return labels;
 }
 
+api::Model StreamingMgcpl::to_model(
+    std::vector<std::vector<std::string>> values) const {
+  // Dense model ids in ascending stable-id order: slot order is eviction
+  // churn, spawn order is history — only the id order is reproducible
+  // across two learners that converged to the same live set.
+  std::vector<std::size_t> order(ids_.size());
+  for (std::size_t l = 0; l < order.size(); ++l) order[l] = l;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return ids_[a] < ids_[b]; });
+  std::vector<ClusterProfile> profiles;
+  profiles.reserve(order.size());
+  for (const std::size_t slot : order) {
+    profiles.push_back(set_.profile(static_cast<int>(slot)));
+  }
+  return api::Model::from_profiles("streaming-mgcpl", cardinalities_,
+                                   std::move(profiles), std::move(values));
+}
+
 double StreamingMgcpl::total_mass() const {
   double total = 0.0;
   for (const double m : mass_) total += m;

@@ -34,6 +34,7 @@
 #include <optional>
 #include <vector>
 
+#include "api/model.h"
 #include "core/profile_set.h"
 #include "data/dataset.h"
 #include "data/view.h"
@@ -76,6 +77,26 @@ class StreamingMgcpl {
   // with no live clusters every row gets -1 — there is nothing to assign
   // to, and pretending "cluster 0" would alias a future first cluster.
   std::vector<int> classify(const data::DatasetView& ds) const;
+
+  // The snapshot boundary to the serving tier: exports the live clusters
+  // as an api::Model that any serve::ModelServer can publish. Model
+  // cluster j is the j-th smallest live stable id, so two exports over the
+  // same live set agree on dense labels regardless of slot churn, and the
+  // export's predict matches classify() up to that id -> dense remap.
+  // Decayed fractional histograms are truncated to integer counts (the
+  // serialisable ClusterProfile representation); with the default decay of
+  // 1.0 nothing is lost. An empty learner exports a valid k = 0 model
+  // (predict -> -1, classify()'s empty contract) that still round-trips
+  // through JSON and the binary artifact. `values` optionally carries the
+  // per-feature dictionaries of the stream's source dataset so the
+  // snapshot can re-encode foreign rows.
+  api::Model to_model(std::vector<std::vector<std::string>> values = {}) const;
+
+  // Runs the end-of-chunk consolidation (decay, starved-cluster prune,
+  // win-count reset) without observing anything. observe_chunk() calls
+  // this implicitly; a serve::OnlineUpdater driving per-row observe()
+  // calls it on its own tick cadence instead.
+  void end_chunk() { consolidate(); }
 
   std::size_t num_clusters() const { return ids_.size(); }
   // Total (decayed) mass across clusters.

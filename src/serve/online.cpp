@@ -1,0 +1,250 @@
+#include "serve/online.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace mcdc::serve {
+
+namespace {
+
+// Adapter over StreamingMgcpl (the default learner: the paper's
+// incremental MGCPL with closed-form winner/rival updates).
+class StreamingLearner final : public OnlineLearner {
+ public:
+  StreamingLearner(std::vector<int> cardinalities,
+                   std::vector<std::vector<std::string>> values,
+                   const core::StreamingConfig& config)
+      : cardinalities_(std::move(cardinalities)),
+        values_(std::move(values)),
+        config_(config),
+        learner_(cardinalities_, config_) {}
+
+  int observe(const data::Value* row) override {
+    return learner_.observe(row);
+  }
+  void end_chunk() override { learner_.end_chunk(); }
+  api::Model to_model() const override { return learner_.to_model(values_); }
+  void reset() override {
+    learner_ = core::StreamingMgcpl(cardinalities_, config_);
+  }
+  std::size_t num_clusters() const override {
+    return learner_.num_clusters();
+  }
+  std::size_t num_features() const override { return cardinalities_.size(); }
+
+ private:
+  std::vector<int> cardinalities_;
+  std::vector<std::vector<std::string>> values_;
+  core::StreamingConfig config_;
+  core::StreamingMgcpl learner_;
+};
+
+// Adapter over RgclLearner (the "mcdc-online" registry method run in its
+// streaming mode).
+class RgclOnlineLearner final : public OnlineLearner {
+ public:
+  RgclOnlineLearner(std::vector<int> cardinalities,
+                    std::vector<std::vector<std::string>> values,
+                    std::uint64_t seed, const core::RgclConfig& config)
+      : cardinalities_(std::move(cardinalities)),
+        values_(std::move(values)),
+        learner_(cardinalities_, seed, config) {}
+
+  int observe(const data::Value* row) override {
+    return learner_.observe(row);
+  }
+  void end_chunk() override { learner_.end_chunk(); }
+  api::Model to_model() const override { return learner_.to_model(values_); }
+  void reset() override { learner_.reset(); }
+  std::size_t num_clusters() const override {
+    return learner_.num_clusters();
+  }
+  std::size_t num_features() const override { return cardinalities_.size(); }
+
+ private:
+  std::vector<int> cardinalities_;
+  std::vector<std::vector<std::string>> values_;
+  core::RgclLearner learner_;
+};
+
+}  // namespace
+
+std::unique_ptr<OnlineLearner> make_online_learner(
+    const OnlineConfig& config, std::vector<int> cardinalities,
+    std::vector<std::vector<std::string>> values) {
+  if (config.learner == "streaming") {
+    return std::make_unique<StreamingLearner>(
+        std::move(cardinalities), std::move(values), config.streaming);
+  }
+  if (config.learner == "mcdc-online") {
+    return std::make_unique<RgclOnlineLearner>(
+        std::move(cardinalities), std::move(values), config.seed, config.rgcl);
+  }
+  throw std::invalid_argument("online learner: unknown kind \"" +
+                              config.learner +
+                              "\" (expected \"streaming\" or \"mcdc-online\")");
+}
+
+OnlineUpdater::OnlineUpdater(std::shared_ptr<ModelServer> server,
+                             std::unique_ptr<OnlineLearner> learner,
+                             OnlineConfig config)
+    : server_(std::move(server)),
+      learner_(std::move(learner)),
+      config_(std::move(config)) {
+  if (!server_) {
+    throw std::invalid_argument("OnlineUpdater: null server");
+  }
+  if (!learner_) {
+    throw std::invalid_argument("OnlineUpdater: null learner");
+  }
+  if (config_.tick_every == 0) {
+    throw std::invalid_argument("OnlineUpdater: tick_every must be >= 1");
+  }
+  if (config_.window_capacity == 0) {
+    throw std::invalid_argument(
+        "OnlineUpdater: window_capacity must be >= 1");
+  }
+  window_.resize(config_.window_capacity * learner_->num_features());
+}
+
+std::vector<int> OnlineUpdater::observe(const data::Value* rows,
+                                        std::size_t n) {
+  const std::size_t d = learner_->num_features();
+  const std::size_t cap = config_.window_capacity;
+  std::vector<int> ids(n);
+  std::size_t pending = 0;
+  const auto flush = [&] {
+    if (pending == 0) return;
+    std::lock_guard<std::mutex> lock(evidence_mutex_);
+    evidence_.rows_observed += pending;
+    evidence_.rows_absorbed += pending;
+    pending = 0;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const data::Value* row = rows + i * d;
+    ids[i] = learner_->observe(row);
+    std::copy(row, row + d, window_.begin() + window_next_ * d);
+    window_next_ = (window_next_ + 1) % cap;
+    window_rows_ = std::min(window_rows_ + 1, cap);
+    ++rows_since_tick_;
+    ++rows_since_publish_;
+    ++pending;
+    if (rows_since_tick_ >= config_.tick_every) {
+      flush();
+      tick();
+    }
+  }
+  flush();
+  return ids;
+}
+
+double OnlineUpdater::window_mean_score(const api::Model& model) const {
+  const std::size_t d = learner_->num_features();
+  double total = 0.0;
+  for (std::size_t j = 0; j < window_rows_; ++j) {
+    total += model.predict_score(window_.data() + j * d);
+  }
+  return window_rows_ == 0 ? 0.0 : total / static_cast<double>(window_rows_);
+}
+
+void OnlineUpdater::publish(api::Model model) {
+  const auto next = std::make_shared<const api::Model>(std::move(model));
+  server_->swap(next);
+  rows_since_publish_ = 0;
+  // Re-baseline under the published snapshot: the detector measures shift
+  // against what serving traffic actually scores on now, so each
+  // incremental swap resets the yardstick and only abrupt, unabsorbed
+  // shift accumulates into a trigger.
+  if (window_rows_ > 0) {
+    baseline_ = window_mean_score(*next);
+    baseline_set_ = true;
+  } else {
+    baseline_set_ = false;
+  }
+  std::lock_guard<std::mutex> lock(evidence_mutex_);
+  ++evidence_.generation;
+  evidence_.baseline_score = baseline_set_ ? baseline_ : 0.0;
+}
+
+TickAction OnlineUpdater::tick() {
+  learner_->end_chunk();
+
+  const std::shared_ptr<const api::Model> published = server_->snapshot();
+  double drift = 0.0;
+  double published_mean = 0.0;
+  if (published && window_rows_ > 0) {
+    published_mean = window_mean_score(*published);
+    if (!baseline_set_) {
+      baseline_ = published_mean;
+      baseline_set_ = true;
+    }
+    drift = baseline_ - published_mean;
+  }
+
+  TickAction action = TickAction::kHold;
+  std::size_t refit_rows = 0;
+  if (drift > config_.drift_threshold &&
+      window_rows_ >= config_.min_refit_rows) {
+    // The published structure no longer explains the recent window:
+    // rebuild from it instead of dragging stale clusters along.
+    action = TickAction::kRefit;
+    learner_->reset();
+    const std::size_t d = learner_->num_features();
+    const std::size_t cap = config_.window_capacity;
+    const std::size_t start = window_rows_ < cap ? 0 : window_next_;
+    for (std::size_t j = 0; j < window_rows_; ++j) {
+      learner_->observe(window_.data() + ((start + j) % cap) * d);
+    }
+    learner_->end_chunk();
+    refit_rows = window_rows_;
+    publish(learner_->to_model());
+  } else if (learner_->num_clusters() > 0 && rows_since_publish_ > 0) {
+    // Publish-if-better: the candidate only replaces the snapshot when it
+    // explains the recent window strictly better. A half-formed learner
+    // never displaces a fitted model the traffic still scores well on
+    // (and an empty learner's k = 0 model never displaces anything).
+    api::Model candidate = learner_->to_model();
+    if (window_mean_score(candidate) > published_mean) {
+      action = TickAction::kSwap;
+      publish(std::move(candidate));
+    }
+  }
+  rows_since_tick_ = 0;
+
+  record(drift);
+  std::lock_guard<std::mutex> lock(evidence_mutex_);
+  ++evidence_.ticks;
+  switch (action) {
+    case TickAction::kSwap: ++evidence_.swaps; break;
+    case TickAction::kRefit:
+      ++evidence_.refits;
+      evidence_.rows_absorbed += refit_rows;
+      if (evidence_.first_refit_tick == 0) {
+        evidence_.first_refit_tick = evidence_.ticks;
+      }
+      break;
+    case TickAction::kHold: ++evidence_.holds; break;
+  }
+  evidence_.clusters = static_cast<int>(learner_->num_clusters());
+  if (baseline_set_) evidence_.baseline_score = baseline_;
+  return action;
+}
+
+void OnlineUpdater::record(double drift) {
+  constexpr std::size_t kDriftRing = 512;
+  std::lock_guard<std::mutex> lock(evidence_mutex_);
+  if (evidence_.drift_scores.size() >= kDriftRing) {
+    evidence_.drift_scores.erase(evidence_.drift_scores.begin());
+  }
+  evidence_.drift_scores.push_back(drift);
+  evidence_.last_drift = drift;
+  evidence_.max_drift = std::max(evidence_.max_drift, drift);
+}
+
+api::OnlineEvidence OnlineUpdater::evidence() const {
+  std::lock_guard<std::mutex> lock(evidence_mutex_);
+  return evidence_;
+}
+
+}  // namespace mcdc::serve

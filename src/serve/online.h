@@ -1,0 +1,169 @@
+// OnlineUpdater — the continuous-learning serving loop that unifies the
+// streaming learners and the snapshot server behind one model lifecycle:
+//
+//            observe(rows)
+//                 |
+//          [learner absorbs, window ring records]
+//                 |
+//        tick (every tick_every rows, or manual)
+//                 |
+//          drift = baseline - mean window score under the
+//                  published snapshot
+//            |         |          |
+//       kRefit       kSwap       kHold
+//   (drift above   (the learner's  (no new rows, an empty
+//    threshold:     exported model  learner, or a candidate
+//    reset, re-     explains the    that does not beat the
+//    observe the    window better   published snapshot)
+//    window)        than the
+//                   published
+//                   snapshot)
+//            \         |
+//          ModelServer::swap(snapshot)   -> generation++
+//                 |
+//          baseline re-measured under the new snapshot
+//
+// Swaps are gated on merit — publish-if-better. Each tick exports the
+// learner and compares how the candidate and the published snapshot score
+// the recent window; the server only moves forward, so a half-formed
+// learner never replaces a fitted model that still explains the traffic.
+// Gradual drift stays below the threshold: as the published snapshot
+// slowly loses the window, the tracking learner overtakes it, the swap
+// lands, and the baseline re-measures under the new snapshot before the
+// gap ever widens. An abrupt shift outruns that escape hatch — the window
+// fills with rows the published snapshot cannot explain, its mean
+// best-score sinks past the threshold in ticks, and the learner refits
+// from the recent window instead of dragging stale structure along.
+//
+// Determinism contract: every decision is a function of the rows observed
+// and their order — the cadence is counted in rows, the drift signal is
+// Model::predict_score arithmetic, the learners replay deterministically
+// (StreamingMgcpl's update is closed-form; RgclLearner's Bernoulli trials
+// are content-keyed hash draws). There is no wall clock anywhere in the
+// loop, so a replayed stream reproduces every tick, swap and refit
+// bit-exactly at any thread width (the test_determinism online goldens pin
+// this).
+//
+// Thread-safety: observe()/tick() follow the learners' single-writer
+// contract — one updater thread. The ModelServer side is free-running:
+// predictor threads keep submitting against whatever snapshot is published
+// while the updater swaps behind them (the soak bench runs exactly this
+// storm under ASan/TSan). evidence() may be called from any thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/model.h"
+#include "api/report.h"
+#include "core/rgcl.h"
+#include "core/streaming.h"
+#include "serve/server.h"
+
+namespace mcdc::serve {
+
+// The learner side of the pipeline: anything that can absorb rows and
+// export a servable snapshot. Implementations follow the single-writer
+// contract of the streaming learners they wrap.
+class OnlineLearner {
+ public:
+  virtual ~OnlineLearner() = default;
+  // Absorbs one row (in the learner's own encoding); returns the stable
+  // cluster id it joined.
+  virtual int observe(const data::Value* row) = 0;
+  // End-of-cadence consolidation (decay, pruning) — the updater calls
+  // this once per tick.
+  virtual void end_chunk() = 0;
+  // Exports the live clusters as a servable model (k = 0 when empty).
+  virtual api::Model to_model() const = 0;
+  // Drops all learned state (the refit-from-window reset).
+  virtual void reset() = 0;
+  virtual std::size_t num_clusters() const = 0;
+  virtual std::size_t num_features() const = 0;
+};
+
+struct OnlineConfig {
+  // Which learner backs the loop: "streaming" (StreamingMgcpl) or
+  // "mcdc-online" (RgclLearner).
+  std::string learner = "streaming";
+  std::uint64_t seed = 1;  // keys the mcdc-online Bernoulli draws
+  // Rows between automatic ticks (the seeded clock: cadence is counted in
+  // rows, never wall time, so replays are deterministic).
+  std::size_t tick_every = 256;
+  // Recent rows retained for drift measurement and refits.
+  std::size_t window_capacity = 1024;
+  // A tick refits when (baseline - window mean score) exceeds this.
+  double drift_threshold = 0.08;
+  // ... but only once the window holds enough rows to refit from.
+  std::size_t min_refit_rows = 64;
+  core::StreamingConfig streaming;  // knobs for the "streaming" learner
+  core::RgclConfig rgcl;            // knobs for the "mcdc-online" learner
+  ServeConfig serve;                // Engine::serve_online's server config
+};
+
+// Builds the configured learner over a schema (and optional per-feature
+// dictionaries threaded into every exported snapshot). Throws
+// std::invalid_argument on an unknown learner kind.
+std::unique_ptr<OnlineLearner> make_online_learner(
+    const OnlineConfig& config, std::vector<int> cardinalities,
+    std::vector<std::vector<std::string>> values = {});
+
+// What one tick decided.
+enum class TickAction { kHold, kSwap, kRefit };
+
+class OnlineUpdater {
+ public:
+  // The server must already hold (or be about to receive) snapshots of the
+  // learner's feature width; every publish goes through
+  // ModelServer::swap, so width mismatches fail there with both counts
+  // named.
+  OnlineUpdater(std::shared_ptr<ModelServer> server,
+                std::unique_ptr<OnlineLearner> learner,
+                OnlineConfig config = {});
+
+  // Feeds n rows (row-major, learner encoding) to the learner and the
+  // drift window; automatic ticks fire every tick_every rows. Returns the
+  // learner's per-row stable cluster ids. Single-writer.
+  std::vector<int> observe(const data::Value* rows, std::size_t n);
+
+  // Forces a cadence point now (consolidate, measure drift, decide).
+  TickAction tick();
+
+  const std::shared_ptr<ModelServer>& server() const { return server_; }
+
+  // Snapshot of the loop's bookkeeping; callable from any thread.
+  api::OnlineEvidence evidence() const;
+
+ private:
+  // Mean best-cluster score of the window under `model` — the
+  // score-distribution signal the baseline, the drift check and the
+  // publish-if-better gate all use.
+  double window_mean_score(const api::Model& model) const;
+  // Publishes the exported model; re-measures the baseline under it.
+  void publish(api::Model model);
+  void record(double drift);
+
+  std::shared_ptr<ModelServer> server_;
+  std::unique_ptr<OnlineLearner> learner_;
+  OnlineConfig config_;
+
+  // Drift window: a ring of the last window_capacity rows, flat row-major.
+  std::vector<data::Value> window_;
+  std::size_t window_rows_ = 0;  // rows currently held (<= capacity)
+  std::size_t window_next_ = 0;  // ring write position
+  std::size_t rows_since_tick_ = 0;
+  std::size_t rows_since_publish_ = 0;
+  // Mean window score measured under the snapshot at its publish (or at
+  // the first tick after it); unset while the window was empty then.
+  double baseline_ = 0.0;
+  bool baseline_set_ = false;
+
+  mutable std::mutex evidence_mutex_;
+  api::OnlineEvidence evidence_;
+};
+
+}  // namespace mcdc::serve

@@ -4,9 +4,11 @@
 // let an unexpected exception type cross the API boundary. The corpus
 // lives in tests/corpus/ (checked in; MCDC_CORPUS_DIR points at it) and
 // regression-pins the PR 2 JSON fixes (surrogate pairs, RFC 8259 number
-// grammar, as_int range checks), the PR 4 CSV quote handling, and the
-// parser depth cap this PR adds (deep nesting used to walk the recursive
-// parser off the stack).
+// grammar, as_int range checks), the PR 4 CSV quote handling, the parser
+// depth cap (deep nesting used to walk the recursive parser off the
+// stack), and the replay-feed cuts the continuous-learning loop must
+// survive (a capture truncated at a chunk boundary, mid-record or
+// mid-quote, or corrupted with stray NUL bytes).
 #include <gtest/gtest.h>
 
 #include <fstream>
@@ -14,9 +16,11 @@
 #include <string>
 
 #include "api/artifact.h"
+#include "api/engine.h"
 #include "api/json.h"
 #include "api/model.h"
 #include "data/csv.h"
+#include "serve/online.h"
 #include "serve/server.h"
 
 namespace mcdc {
@@ -140,6 +144,67 @@ TEST(AdversarialJson, GarbageInputsNeverEscapeTheApiBoundary) {
     EXPECT_EQ(guarded([&] { api::Json::parse(slurp(name)); }),
               Outcome::rejected);
   }
+}
+
+// --- Replay feeds for the continuous-learning loop ---------------------
+//
+// `mcdc serve --learn` ingests its --replay trace through the same CSV
+// reader, then streams the rows into an OnlineUpdater. A replay file is
+// typically a capture that can be cut at an arbitrary byte (a chunk
+// boundary, a dropped connection), so the corpus pins what each cut does:
+// a record cut after a comma is ragged and rejected; a cut inside the
+// final quoted field recovers leniently (the PR 4 contract) and the
+// recovered rows must then drive the online loop without wedging it.
+
+TEST(AdversarialReplay, TruncatedMidRecordIsRejected) {
+  EXPECT_THROW(
+      data::read_csv_file(corpus_path("csv_replay_truncated_mid_record.csv")),
+      std::runtime_error);
+}
+
+TEST(AdversarialReplay, CutMidQuoteRecoversEveryRecord) {
+  const data::Dataset ds =
+      data::read_csv_file(corpus_path("csv_replay_cut_mid_quote.csv"));
+  EXPECT_EQ(ds.num_objects(), 6u);
+  EXPECT_EQ(ds.num_features(), 2u);  // last column is the label
+}
+
+TEST(AdversarialReplay, NulBytesMidStreamNeverEscapeTheApiBoundary) {
+  guarded([&] {
+    data::read_csv_file(corpus_path("csv_replay_nul_midstream.csv"));
+  });
+}
+
+TEST(AdversarialReplay, RecoveredTraceDrivesTheOnlineLoop) {
+  // The lenient recovery must hand the updater servable rows: replaying
+  // the rescued trace through observe/tick cannot wedge the loop or
+  // publish an unservable snapshot.
+  const data::Dataset ds =
+      data::read_csv_file(corpus_path("csv_replay_cut_mid_quote.csv"));
+  api::Engine engine;
+  api::FitOptions options;
+  options.method = "mcdc1";
+  options.k = 2;
+  options.seed = 7;
+  options.evaluate = false;
+  ASSERT_TRUE(engine.fit(ds, options).ok());
+  serve::OnlineConfig config;
+  config.tick_every = 4;
+  config.window_capacity = 8;
+  config.min_refit_rows = 4;
+  const auto updater = engine.serve_online(config);
+  const std::size_t n = ds.num_objects();
+  const std::size_t d = ds.num_features();
+  std::vector<data::Value> rows(n * d);
+  for (std::size_t i = 0; i < n; ++i) ds.gather_row(i, rows.data() + i * d);
+  for (int pass = 0; pass < 4; ++pass) updater->observe(rows.data(), n);
+  updater->tick();
+  const api::OnlineEvidence evidence = updater->evidence();
+  EXPECT_GT(evidence.ticks, 0u);
+  EXPECT_EQ(evidence.rows_observed, 4 * n);
+  const int label = updater->server()->predict(rows.data());
+  EXPECT_GE(label, -1);
+  updater->server()->stop();
 }
 
 // --- Model hot-reload boundary -----------------------------------------

@@ -10,7 +10,10 @@
 //   - Model::predict over a foreign dataset (dictionary re-coding path),
 //   - StreamingMgcpl::classify over a window,
 //   - active-learning select_queries (margin sweeps),
-//   - serve::ModelServer batched predicts (BatchQueue -> predict_rows).
+//   - serve::ModelServer batched predicts (BatchQueue -> predict_rows),
+//   - the full serve::OnlineUpdater loop (observe -> drift -> swap/refit)
+//     over a fixed two-act replay, snapshot predictions and every evidence
+//     counter included.
 //
 // The width-1 results are additionally pinned as FNV-1a goldens (the same
 // hash and guard as the 18-method table in test_profile_set.cpp): a moved
@@ -32,6 +35,7 @@
 #include "core/streaming.h"
 #include "data/noise.h"
 #include "data/synthetic.h"
+#include "serve/online.h"
 #include "serve/server.h"
 
 namespace mcdc {
@@ -213,6 +217,66 @@ TEST(ThreadDeterminism, ServingSweepsAreWidthInvariant) {
 #if defined(__linux__) && defined(__GLIBC__)
   EXPECT_EQ(fnv1a(kFnvSeed, labels), 0x4e5430f4751796a5ULL)
       << "single-thread served labels drifted";
+#endif
+}
+
+// The whole continuous-learning loop, replayed twice per width: a clean
+// act then a code-shifted act (the standard injected drift), closed by a
+// manual tick. The decision sequence is row-counted and every parallel
+// consumer inside it (learner classify, snapshot predict_rows) is
+// width-invariant, so ticks, swaps, refits, the published generation and
+// the final snapshot's predictions must all reproduce bit-exactly.
+TEST(ThreadDeterminism, OnlineLoopIsWidthInvariant) {
+  const data::Dataset ds = fit_dataset();
+  const std::size_t n = ds.num_objects();
+  const std::size_t d = ds.num_features();
+  std::vector<data::Value> rows(n * d);
+  for (std::size_t i = 0; i < n; ++i) ds.gather_row(i, rows.data() + i * d);
+  std::vector<data::Value> shifted(rows);
+  for (std::size_t i = 0; i < shifted.size(); ++i) {
+    const int card = ds.cardinalities()[i % d];
+    if (shifted[i] != data::kMissing && card > 1) {
+      shifted[i] = (shifted[i] + 1) % card;
+    }
+  }
+
+  const std::vector<int> outcome = sweep_widths("OnlineUpdater", [&] {
+    api::Engine engine;
+    api::FitOptions options;
+    options.method = "mcdc1";
+    options.k = 3;
+    options.seed = 17;
+    options.evaluate = false;
+    options.stage_reports = false;
+    EXPECT_TRUE(engine.fit(ds, options).ok());
+    serve::OnlineConfig config;
+    config.tick_every = 64;
+    config.window_capacity = 64;
+    config.min_refit_rows = 32;
+    config.drift_threshold = 0.1;
+    const auto updater = engine.serve_online(config);
+    std::vector<int> out = updater->observe(rows.data(), n);
+    const std::vector<int> drifted = updater->observe(shifted.data(), n);
+    out.insert(out.end(), drifted.begin(), drifted.end());
+    updater->tick();
+    const api::OnlineEvidence evidence = updater->evidence();
+    const auto snapshot = updater->server()->snapshot();
+    std::vector<int> served(n);
+    snapshot->predict_rows(shifted.data(), n, served.data());
+    out.insert(out.end(), served.begin(), served.end());
+    out.push_back(static_cast<int>(evidence.ticks));
+    out.push_back(static_cast<int>(evidence.swaps));
+    out.push_back(static_cast<int>(evidence.refits));
+    out.push_back(static_cast<int>(evidence.holds));
+    out.push_back(static_cast<int>(evidence.generation));
+    out.push_back(static_cast<int>(evidence.first_refit_tick));
+    out.push_back(evidence.clusters);
+    updater->server()->stop();
+    return out;
+  });
+#if defined(__linux__) && defined(__GLIBC__)
+  EXPECT_EQ(fnv1a(kFnvSeed, outcome), 0x839d096886eab629ULL)
+      << "single-thread online loop drifted";
 #endif
 }
 

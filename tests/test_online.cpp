@@ -1,0 +1,359 @@
+// Tests for the continuous-learning serving loop (serve/online.h) and its
+// feeders: StreamingMgcpl::to_model snapshot export (stable-id ordering,
+// JSON + binary round trips, the empty-learner k = 0 contract), the k = 0
+// swap path through ModelServer (must not wedge in-flight batches), the
+// OnlineUpdater drift detector (quiet streams never refit; an injected
+// code-shift refits within a few ticks and the recovered snapshot
+// re-partitions the drifted window like a from-scratch refit), the
+// mcdc-online registry method, and Engine::serve_online binding.
+#include "serve/online.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "api/artifact.h"
+#include "api/engine.h"
+#include "api/registry.h"
+#include "core/rgcl.h"
+#include "core/streaming.h"
+#include "data/synthetic.h"
+#include "serve/server.h"
+
+namespace mcdc {
+namespace {
+
+// High purity keeps per-cluster profiles concentrated, which is what makes
+// the drift signal (mean best-score under the published snapshot) sharp.
+data::Dataset fixture_dataset() {
+  data::WellSeparatedConfig config;
+  config.num_objects = 400;
+  config.num_features = 8;
+  config.num_clusters = 3;
+  config.cardinality = 5;
+  config.purity = 0.9;
+  config.seed = 13;
+  return data::well_separated(config);
+}
+
+std::vector<data::Value> gather_rows(const data::Dataset& ds) {
+  std::vector<data::Value> rows(ds.num_objects() * ds.num_features());
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    ds.gather_row(i, rows.data() + i * ds.num_features());
+  }
+  return rows;
+}
+
+// The abrupt concept drift used throughout: every value code shifted by
+// one (mod cardinality) — same geometry, codes the old model never saw.
+std::vector<data::Value> shift_codes(const std::vector<data::Value>& rows,
+                                     const std::vector<int>& cardinalities) {
+  const std::size_t d = cardinalities.size();
+  std::vector<data::Value> shifted(rows);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const int card = cardinalities[i % d];
+    if (shifted[i] != data::kMissing && card > 1) {
+      shifted[i] = (shifted[i] + 1) % card;
+    }
+  }
+  return shifted;
+}
+
+// Partition equality up to cluster renaming: a bijection must relate the
+// two label sets.
+bool partitions_match(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.size() != b.size()) return false;
+  std::map<int, int> forward, reverse;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto f = forward.emplace(a[i], b[i]);
+    if (!f.second && f.first->second != b[i]) return false;
+    const auto r = reverse.emplace(b[i], a[i]);
+    if (!r.second && r.first->second != a[i]) return false;
+  }
+  return true;
+}
+
+api::FitResult fit_fixture(const data::Dataset& ds, api::Engine& engine) {
+  api::FitOptions options;
+  options.method = "mcdc";
+  options.k = 3;
+  options.seed = 17;
+  options.evaluate = false;
+  options.stage_reports = false;
+  return engine.fit(ds, options);
+}
+
+// --- StreamingMgcpl::to_model ---------------------------------------------
+
+TEST(StreamingToModel, SnapshotPredictsLikeClassifyAndRoundTrips) {
+  const data::Dataset ds = fixture_dataset();
+  const std::vector<data::Value> rows = gather_rows(ds);
+  const std::size_t d = ds.num_features();
+
+  core::StreamingMgcpl learner(ds.cardinalities());
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    learner.observe(rows.data() + i * d);
+  }
+  learner.end_chunk();
+  ASSERT_GT(learner.num_clusters(), 0u);
+
+  const api::Model model = learner.to_model();
+  EXPECT_TRUE(model.fitted());
+  EXPECT_EQ(static_cast<std::size_t>(model.k()), learner.num_clusters());
+
+  // Model cluster j is the j-th smallest live stable id, so classify()
+  // output maps onto predict output through the sorted id list.
+  std::vector<int> ids = learner.cluster_ids();
+  std::sort(ids.begin(), ids.end());
+  std::map<int, int> dense;
+  for (std::size_t j = 0; j < ids.size(); ++j) {
+    dense[ids[j]] = static_cast<int>(j);
+  }
+  const std::vector<int> classified = learner.classify(ds);
+  std::vector<int> predicted(ds.num_objects());
+  model.predict_rows(rows.data(), ds.num_objects(), predicted.data());
+  for (std::size_t i = 0; i < ds.num_objects(); ++i) {
+    ASSERT_TRUE(dense.count(classified[i])) << "unknown stable id";
+    EXPECT_EQ(predicted[i], dense[classified[i]]) << "row " << i;
+  }
+
+  // JSON and binary round trips reproduce the predictions bit-exactly.
+  const api::Model via_json = api::Model::from_json(model.to_json(false));
+  const std::vector<std::uint8_t> blob = model.to_binary(true);
+  const api::Model via_binary = api::Model::from_binary(blob.data(), blob.size());
+  std::vector<int> json_labels(ds.num_objects());
+  std::vector<int> binary_labels(ds.num_objects());
+  via_json.predict_rows(rows.data(), ds.num_objects(), json_labels.data());
+  via_binary.predict_rows(rows.data(), ds.num_objects(), binary_labels.data());
+  EXPECT_EQ(json_labels, predicted);
+  EXPECT_EQ(binary_labels, predicted);
+}
+
+TEST(StreamingToModel, EmptyLearnerExportsValidKZeroModel) {
+  const data::Dataset ds = fixture_dataset();
+  const core::StreamingMgcpl learner(ds.cardinalities());
+  const api::Model model = learner.to_model();
+
+  EXPECT_TRUE(model.has_schema());
+  EXPECT_FALSE(model.fitted());
+  EXPECT_EQ(model.k(), 0);
+
+  const std::vector<data::Value> rows = gather_rows(ds);
+  EXPECT_EQ(model.predict_row(rows.data()), -1);
+  EXPECT_DOUBLE_EQ(model.predict_score(rows.data()), 0.0);
+  std::vector<int> labels(ds.num_objects(), 7);
+  model.predict_rows(rows.data(), ds.num_objects(), labels.data());
+  EXPECT_TRUE(std::all_of(labels.begin(), labels.end(),
+                          [](int l) { return l == -1; }));
+
+  // k = 0 survives both serialisations (the schema is the payload).
+  const api::Model via_json = api::Model::from_json(model.to_json(false));
+  EXPECT_EQ(via_json.k(), 0);
+  EXPECT_EQ(via_json.cardinalities(), ds.cardinalities());
+  const std::vector<std::uint8_t> blob = model.to_binary(true);
+  const api::Model via_binary = api::Model::from_binary(blob.data(), blob.size());
+  EXPECT_EQ(via_binary.k(), 0);
+  EXPECT_EQ(via_binary.predict_row(rows.data()), -1);
+}
+
+// --- k = 0 swap through ModelServer ---------------------------------------
+
+TEST(ModelServerKZero, SwapToKZeroModelDoesNotWedgeInflightBatches) {
+  const data::Dataset ds = fixture_dataset();
+  const std::vector<data::Value> rows = gather_rows(ds);
+  const std::size_t d = ds.num_features();
+
+  api::Engine engine;
+  const api::FitResult fit = fit_fixture(ds, engine);
+  ASSERT_TRUE(fit.ok());
+  auto server = std::make_shared<serve::ModelServer>(
+      std::make_shared<const api::Model>(fit.model));
+
+  const auto empty = std::make_shared<const api::Model>(
+      core::StreamingMgcpl(ds.cardinalities()).to_model());
+  ASSERT_EQ(empty->k(), 0);
+
+  // Keep requests in flight while the k = 0 model swaps in: every future
+  // must resolve (to a fitted label or -1), never hang or throw.
+  std::vector<std::future<int>> futures;
+  for (std::size_t i = 0; i < 64; ++i) {
+    futures.push_back(server->submit(rows.data() + (i % ds.num_objects()) * d));
+  }
+  server->swap(empty);
+  for (auto& future : futures) {
+    const int label = future.get();
+    EXPECT_GE(label, -1);
+    EXPECT_LT(label, fit.model.k());
+  }
+  // Post-swap traffic answers -1 — the k = 0 contract, not an error.
+  EXPECT_EQ(server->predict(rows.data()), -1);
+  server->stop();
+}
+
+// --- drift detector --------------------------------------------------------
+
+serve::OnlineConfig tight_online_config() {
+  serve::OnlineConfig config;
+  config.tick_every = 64;
+  config.window_capacity = 64;
+  config.min_refit_rows = 32;
+  config.drift_threshold = 0.1;
+  return config;
+}
+
+TEST(DriftDetector, QuietStreamNeverRefits) {
+  const data::Dataset ds = fixture_dataset();
+  const std::vector<data::Value> rows = gather_rows(ds);
+
+  api::Engine engine;
+  ASSERT_TRUE(fit_fixture(ds, engine).ok());
+  const auto updater = engine.serve_online(tight_online_config());
+  updater->observe(rows.data(), ds.num_objects());
+  updater->tick();
+
+  const api::OnlineEvidence evidence = updater->evidence();
+  EXPECT_GT(evidence.ticks, 0u);
+  EXPECT_EQ(evidence.refits, 0u) << "stationary stream triggered a refit";
+  EXPECT_EQ(evidence.first_refit_tick, 0u);
+  EXPECT_EQ(evidence.rows_observed, ds.num_objects());
+  updater->server()->stop();
+}
+
+TEST(DriftDetector, InjectedShiftRefitsWithinTicks) {
+  const data::Dataset ds = fixture_dataset();
+  const std::vector<data::Value> rows = gather_rows(ds);
+  const std::vector<data::Value> shifted =
+      shift_codes(rows, ds.cardinalities());
+
+  api::Engine engine;
+  ASSERT_TRUE(fit_fixture(ds, engine).ok());
+  const auto updater = engine.serve_online(tight_online_config());
+
+  updater->observe(rows.data(), ds.num_objects());
+  const std::uint64_t clean_ticks = updater->evidence().ticks;
+  EXPECT_EQ(updater->evidence().refits, 0u);
+
+  updater->observe(shifted.data(), ds.num_objects());
+  updater->tick();
+
+  const api::OnlineEvidence evidence = updater->evidence();
+  EXPECT_GE(evidence.refits, 1u) << "injected shift went undetected";
+  ASSERT_GT(evidence.first_refit_tick, 0u);
+  // Detection latency: the refit must land within a few cadence points of
+  // the shift (window 64 / tick 64: the second post-shift window is fully
+  // drifted, so 3 ticks is already generous).
+  EXPECT_LE(evidence.first_refit_tick, clean_ticks + 3);
+  EXPECT_GT(evidence.max_drift, tight_online_config().drift_threshold);
+  updater->server()->stop();
+}
+
+TEST(DriftDetector, RecoveredSnapshotMatchesFromScratchRefit) {
+  const data::Dataset ds = fixture_dataset();
+  const std::size_t n = ds.num_objects();
+  const std::size_t d = ds.num_features();
+  const std::vector<data::Value> rows = gather_rows(ds);
+  const std::vector<data::Value> shifted =
+      shift_codes(rows, ds.cardinalities());
+
+  api::Engine engine;
+  ASSERT_TRUE(fit_fixture(ds, engine).ok());
+  const serve::OnlineConfig config = tight_online_config();
+  const auto updater = engine.serve_online(config);
+
+  updater->observe(rows.data(), n);
+  updater->observe(shifted.data(), n);
+  updater->tick();
+  ASSERT_GE(updater->evidence().refits, 1u);
+
+  // Served labels on the trailing drifted window vs a from-scratch learner
+  // refit on exactly that window: same partition, ids free to differ.
+  const std::size_t tail = std::min(config.window_capacity, n);
+  const data::Value* window = shifted.data() + (n - tail) * d;
+  auto scratch = serve::make_online_learner(config, ds.cardinalities());
+  for (std::size_t j = 0; j < tail; ++j) {
+    scratch->observe(window + j * d);
+  }
+  scratch->end_chunk();
+  const api::Model refit = scratch->to_model();
+
+  const std::shared_ptr<const api::Model> snapshot =
+      updater->server()->snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  std::vector<int> served(tail), rebuilt(tail);
+  snapshot->predict_rows(window, tail, served.data());
+  refit.predict_rows(window, tail, rebuilt.data());
+  EXPECT_TRUE(partitions_match(served, rebuilt));
+  updater->server()->stop();
+}
+
+// --- mcdc-online registry method ------------------------------------------
+
+TEST(McdcOnline, RegisteredWithOnlineFamilyAndFits) {
+  const api::MethodInfo* info = api::registry().info("mcdc-online");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->family, api::MethodFamily::online);
+
+  const data::Dataset ds = fixture_dataset();
+  api::Engine engine;
+  api::FitOptions options;
+  options.method = "mcdc-online";
+  options.k = 3;
+  options.seed = 17;
+  const api::FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok()) << fit.status.message;
+  EXPECT_EQ(fit.report.clusters_found, 3);
+  EXPECT_EQ(fit.report.labels.size(), ds.num_objects());
+}
+
+TEST(McdcOnline, BacksTheUpdaterLoop) {
+  const data::Dataset ds = fixture_dataset();
+  const std::vector<data::Value> rows = gather_rows(ds);
+
+  api::Engine engine;
+  ASSERT_TRUE(fit_fixture(ds, engine).ok());
+  serve::OnlineConfig config = tight_online_config();
+  config.learner = "mcdc-online";
+  const auto updater = engine.serve_online(config);
+  updater->observe(rows.data(), ds.num_objects());
+  updater->tick();
+
+  const api::OnlineEvidence evidence = updater->evidence();
+  EXPECT_GT(evidence.ticks, 0u);
+  EXPECT_EQ(evidence.rows_observed, ds.num_objects());
+  EXPECT_GT(evidence.clusters, 0);
+  updater->server()->stop();
+}
+
+// --- Engine::serve_online / make_online_learner ---------------------------
+
+TEST(ServeOnline, ThrowsBeforeAnyFitAndBindsAfter) {
+  api::Engine engine;
+  EXPECT_THROW(engine.serve_online(), std::logic_error);
+
+  const data::Dataset ds = fixture_dataset();
+  ASSERT_TRUE(fit_fixture(ds, engine).ok());
+  const auto updater = engine.serve_online();
+  ASSERT_NE(updater, nullptr);
+  ASSERT_NE(updater->server(), nullptr);
+
+  const std::vector<data::Value> rows = gather_rows(ds);
+  EXPECT_GE(updater->server()->predict(rows.data()), 0);
+  const std::vector<int> ids = updater->observe(rows.data(), 4);
+  EXPECT_EQ(ids.size(), 4u);
+  updater->server()->stop();
+}
+
+TEST(ServeOnline, UnknownLearnerKindIsRejected) {
+  serve::OnlineConfig config;
+  config.learner = "nope";
+  EXPECT_THROW(serve::make_online_learner(config, {2, 2}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcdc

@@ -320,6 +320,7 @@ TEST(KernelGoldens, FixedSeedLabelsAreUnchangedAcrossTheRegistry) {
       {"mcdc+gudmm", 0x2e3c3ee3572bbf45ULL},
       {"mcdc+kmodes", 0xb95c6b07541d9f45ULL},
       {"mcdc-dist", 0xee915b63ea6ffda5ULL},
+      {"mcdc-online", 0xb95c6b07541d9f45ULL},
       {"mcdc1", 0xee915b63ea6ffda5ULL},
       {"mcdc2", 0x4afc7a195d994b85ULL},
       {"mcdc3", 0x3febd69b0c634a65ULL},

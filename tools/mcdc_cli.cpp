@@ -23,6 +23,8 @@
 //   mcdc serve <model.json|model.bin|data> --replay <data> [--shards N]
 //              [--routing hash|locality] [--artifact model.bin]
 //              [--producers N] [--batch B] [--repeat R] [--swap-every-ms M]
+//              [--learn] [--learner streaming|mcdc-online] [--tick-every T]
+//              [--window W] [--drift-threshold F] [--drift-inject F]
 //              [--out labels.csv] [--json report.json]
 //       Spins up the concurrent serving layer on a saved model (a .json
 //       report or .bin artifact) or on a fresh fit of <data> (then
@@ -37,6 +39,17 @@
 //       traffic starts. Prints throughput, batch occupancy, p50/p99/p99.9
 //       latency, swap count and (cluster) the routed-per-shard histogram;
 //       --json writes the report with the serving evidence.
+//       --learn switches to the continuous-learning loop (docs/API.md,
+//       "Online learning"): each replayed row is served off the live
+//       snapshot, then fed to a serve::OnlineUpdater whose drift-triggered
+//       refits and incremental swaps publish back mid-traffic. --learner
+//       picks the learner behind the loop, --tick-every/--window/
+//       --drift-threshold tune the detector, and --drift-inject F shifts
+//       every value code (v -> (v+1) mod cardinality) after the first F
+//       fraction of requests — an abrupt, deterministic concept drift the
+//       detector must catch; the exit code then reports whether the served
+//       snapshot recovered (refitted, and re-partitioned the drifted
+//       window like a from-scratch refit would).
 //   mcdc explore  <data> [--seed S] [--newick]
 //       Prints the granularity staircase kappa, per-stage internal validity
 //       and the nested-cluster dendrogram.
@@ -56,6 +69,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -302,14 +316,186 @@ int cmd_predict(const Cli& cli) {
   return 0;
 }
 
+// Exact-partition equality up to cluster renaming: two labelings describe
+// the same partition iff their label sets are related by a bijection.
+bool partitions_match(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.size() != b.size()) return false;
+  std::map<int, int> forward;
+  std::map<int, int> reverse;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto f = forward.emplace(a[i], b[i]);
+    if (!f.second && f.first->second != b[i]) return false;
+    const auto r = reverse.emplace(b[i], a[i]);
+    if (!r.second && r.first->second != a[i]) return false;
+  }
+  return true;
+}
+
+// The `serve --learn` loop: a single-threaded replay that serves each row
+// off the live snapshot, then feeds it to the OnlineUpdater — predict and
+// observe interleave in row order, so every tick, swap and refit lands at
+// the same request index on every run (no wall clock anywhere).
+int run_serve_learn(const Cli& cli, std::shared_ptr<const api::Model> model,
+                    api::RunReport report, const std::vector<data::Value>& rows,
+                    std::size_t n, std::size_t d,
+                    const serve::ServeConfig& shard_config) {
+  serve::OnlineConfig online;
+  online.learner = cli.get("learner", "streaming");
+  online.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  online.tick_every =
+      static_cast<std::size_t>(std::max(1L, cli.get_int("tick-every", 256)));
+  online.window_capacity =
+      static_cast<std::size_t>(std::max(1L, cli.get_int("window", 1024)));
+  online.drift_threshold = cli.get_double("drift-threshold", 0.1);
+  online.min_refit_rows =
+      std::min(online.window_capacity,
+               static_cast<std::size_t>(
+                   std::max(1L, cli.get_int("min-refit-rows", 64))));
+  online.serve = shard_config;
+
+  const int repeat = std::max(1, static_cast<int>(cli.get_int("repeat", 1)));
+  const double inject = cli.get_double("drift-inject", 0.0);
+  const std::vector<int>& cardinalities = model->cardinalities();
+
+  auto server = std::make_shared<serve::ModelServer>(model, online.serve);
+  serve::OnlineUpdater updater(
+      server,
+      serve::make_online_learner(online, cardinalities,
+                                 model->value_dictionaries()),
+      online);
+
+  const std::size_t total = n * static_cast<std::size_t>(repeat);
+  // --drift-inject F: from request floor(F * total) on, every value code
+  // shifts deterministically (v -> (v+1) mod cardinality) — an abrupt
+  // concept drift that keeps the cluster geometry but moves it to codes
+  // the published snapshot has never counted.
+  const std::size_t inject_at =
+      inject > 0.0 && inject < 1.0
+          ? static_cast<std::size_t>(inject * static_cast<double>(total))
+          : total;
+  const auto drifted_row = [&](std::size_t i, data::Value* out) {
+    for (std::size_t r = 0; r < d; ++r) {
+      data::Value v = rows[i * d + r];
+      if (v != data::kMissing && cardinalities[r] > 1) {
+        v = (v + 1) % cardinalities[r];
+      }
+      out[r] = v;
+    }
+  };
+
+  std::vector<int> labels(n, -1);
+  std::vector<data::Value> row(d);
+  Timer timer;
+  std::size_t request = 0;
+  for (int rep = 0; rep < repeat; ++rep) {
+    for (std::size_t i = 0; i < n; ++i, ++request) {
+      if (request >= inject_at) {
+        drifted_row(i, row.data());
+      } else {
+        std::copy(rows.begin() + static_cast<std::ptrdiff_t>(i * d),
+                  rows.begin() + static_cast<std::ptrdiff_t>((i + 1) * d),
+                  row.begin());
+      }
+      labels[i] = server->predict(row.data());
+      updater.observe(row.data(), 1);
+    }
+  }
+  // Flush the tail: consolidate and publish whatever arrived after the
+  // last automatic tick.
+  updater.tick();
+  const double seconds = timer.elapsed_seconds();
+
+  const std::shared_ptr<const api::Model> snapshot = server->snapshot();
+  server->stop();
+  report.serve = server->stats();
+  report.online = updater.evidence();
+
+  std::printf(
+      "online replay: %zu request(s) over %zu rows in %.3fs (%s learner, "
+      "tick every %zu)\n",
+      total, n, seconds, online.learner.c_str(), online.tick_every);
+  std::printf(
+      "ticks %llu: %llu swap(s), %llu refit(s), %llu hold(s); generation "
+      "%llu, %d live cluster(s)\n",
+      static_cast<unsigned long long>(report.online.ticks),
+      static_cast<unsigned long long>(report.online.swaps),
+      static_cast<unsigned long long>(report.online.refits),
+      static_cast<unsigned long long>(report.online.holds),
+      static_cast<unsigned long long>(report.online.generation),
+      report.online.clusters);
+  std::printf("baseline %.3f, last drift %+.3f, max drift %+.3f\n",
+              report.online.baseline_score, report.online.last_drift,
+              report.online.max_drift);
+  std::printf("latency p50 %.1fus  p99 %.1fus  p99.9 %.1fus\n",
+              report.serve.p50_latency_us, report.serve.p99_latency_us,
+              report.serve.p999_latency_us);
+
+  bool ok = true;
+  if (inject_at < total) {
+    std::printf("drift injected at request %zu; first refit at tick %llu%s\n",
+                inject_at,
+                static_cast<unsigned long long>(report.online.first_refit_tick),
+                report.online.refits == 0 ? " (NONE)" : "");
+    if (report.online.refits == 0) ok = false;
+
+    // Recovery: the served snapshot must partition the drifted tail the
+    // same way a from-scratch learner refit on exactly that window does —
+    // cluster ids may differ, the grouping may not.
+    const std::size_t tail =
+        std::min(online.window_capacity, total - inject_at);
+    std::vector<data::Value> window(tail * d);
+    for (std::size_t j = 0; j < tail; ++j) {
+      drifted_row((total - tail + j) % n, window.data() + j * d);
+    }
+    auto scratch = serve::make_online_learner(online, cardinalities,
+                                              model->value_dictionaries());
+    for (std::size_t j = 0; j < tail; ++j) {
+      scratch->observe(window.data() + j * d);
+    }
+    scratch->end_chunk();
+    const api::Model refit = scratch->to_model();
+    std::vector<int> served(tail);
+    std::vector<int> rebuilt(tail);
+    snapshot->predict_rows(window.data(), tail, served.data());
+    refit.predict_rows(window.data(), tail, rebuilt.data());
+    const bool match = partitions_match(served, rebuilt);
+    std::printf(
+        "recovery: served labels on the drifted window match a from-scratch "
+        "refit: %s\n",
+        match ? "yes" : "NO");
+    if (!match) ok = false;
+  }
+
+  const std::string out_path = cli.get("out", "");
+  if (!out_path.empty()) {
+    if (!write_labels_csv(out_path, labels)) return 1;
+    std::printf("labels written to %s\n", out_path.c_str());
+  }
+  const std::string json_path = cli.get("json", "");
+  if (!json_path.empty()) {
+    std::ofstream file(json_path);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    api::Json out = report.to_json();
+    out["model"] = snapshot->to_json(false);
+    file << out.dump(2) << '\n';
+    std::printf("report written to %s\n", json_path.c_str());
+  }
+  return ok ? 0 : 1;
+}
+
 int cmd_serve(const Cli& cli) {
   if (cli.positional().size() < 2 || !cli.has("replay")) {
     std::fprintf(stderr,
                  "usage: mcdc serve <model.json|model.bin|data> --replay "
                  "<data> [--shards N] [--routing hash|locality] "
                  "[--artifact model.bin] [--producers N] [--batch B] "
-                 "[--repeat R] [--swap-every-ms M] [--out labels.csv] "
-                 "[--json report.json]\n");
+                 "[--repeat R] [--swap-every-ms M] [--learn] "
+                 "[--learner streaming|mcdc-online] [--tick-every T] "
+                 "[--window W] [--drift-threshold F] [--drift-inject F] "
+                 "[--out labels.csv] [--json report.json]\n");
     return 2;
   }
   const std::string& source = cli.positional()[1];
@@ -380,6 +566,17 @@ int cmd_serve(const Cli& cli) {
   if (batch > 0) {
     shard_config.queue.max_batch = static_cast<std::size_t>(batch);
     if (batch == 1) shard_config.queue.linger_us = 0.0;
+  }
+
+  if (cli.has("learn")) {
+    if (cli.get_int("shards", 0) > 0) {
+      std::fprintf(stderr,
+                   "mcdc serve: --learn drives a single ModelServer; drop "
+                   "--shards\n");
+      return 2;
+    }
+    return run_serve_learn(cli, std::move(model), std::move(report), rows, n,
+                           d, shard_config);
   }
 
   // --shards N serves through a ServingCluster of N ModelServer shards
