@@ -188,6 +188,7 @@ std::vector<std::vector<data::Value>> Model::encoding_map(
   // translation tables make the per-cell cost O(1).
   std::vector<std::vector<data::Value>> remap(ds.num_features());
   for (std::size_t r = 0; r < ds.num_features(); ++r) {
+    // mcdc-lint: allow(D3) lookup-only translation table; never iterated
     std::unordered_map<std::string, data::Value> codes;
     if (r < values_.size()) {
       codes.reserve(values_[r].size());

@@ -1,6 +1,7 @@
 #include "dist/prepartition.h"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -9,9 +10,14 @@ namespace mcdc::dist {
 namespace {
 
 // Groups object indices by cluster id; returns one member list per id.
-std::unordered_map<int, std::vector<std::size_t>> members_by_cluster(
+// Ordered map on purpose: partition() iterates this to build its unit
+// list, and hash order must never decide anything that reaches the shard
+// assignment (the content-keyed sorts downstream canonicalise the result
+// today, but the iteration order itself is part of the determinism
+// contract — see docs/TESTING.md, rule D3).
+std::map<int, std::vector<std::size_t>> members_by_cluster(
     const std::vector<int>& clusters) {
-  std::unordered_map<int, std::vector<std::size_t>> members;
+  std::map<int, std::vector<std::size_t>> members;
   for (std::size_t i = 0; i < clusters.size(); ++i) {
     members[clusters[i]].push_back(i);
   }
@@ -54,6 +60,7 @@ double locality_of(const std::vector<int>& shard,
                    const std::vector<int>& clusters) {
   check_same_length(shard, clusters, "locality_of");
   if (clusters.empty()) return 1.0;
+  // mcdc-lint: allow(D3) only counted below (commutative sum); never ordered
   std::unordered_map<int, int> home;  // cluster -> shard, -2 = split
   for (std::size_t i = 0; i < clusters.size(); ++i) {
     const auto [it, inserted] = home.emplace(clusters[i], shard[i]);
@@ -71,6 +78,7 @@ std::size_t communication_volume(const std::vector<int>& shard,
   check_same_length(shard, clusters, "communication_volume");
   // Per cluster: shard -> member count; objects outside the plurality
   // shard must cross the network.
+  // mcdc-lint: allow(D3) iterated for a commutative sum/max; order never leaks
   std::unordered_map<int, std::unordered_map<int, std::size_t>> counts;
   for (std::size_t i = 0; i < clusters.size(); ++i) {
     ++counts[clusters[i]][shard[i]];
@@ -113,6 +121,7 @@ PrepartitionResult MicroClusterPartitioner::partition(
   for (auto& [id, members] : members_by_cluster(micro)) {
     Unit unit;
     unit.members = std::move(members);
+    // mcdc-lint: allow(D3) lookup-only tally; plurality scan walks members
     std::unordered_map<int, std::size_t> parent_counts;
     std::size_t best = 0;
     for (const std::size_t i : unit.members) {
@@ -126,8 +135,10 @@ PrepartitionResult MicroClusterPartitioner::partition(
   }
 
   // Coarse groups of units, largest first, so sibling micro-clusters get
-  // the chance to land on one shard before space runs out.
-  std::unordered_map<int, std::vector<std::size_t>> by_parent;
+  // the chance to land on one shard before space runs out. Ordered map:
+  // the iteration below seeds the group list, and group order reaches the
+  // shard assignment whenever the size sorts tie (rule D3).
+  std::map<int, std::vector<std::size_t>> by_parent;
   for (std::size_t u = 0; u < units.size(); ++u) {
     by_parent[units[u].parent].push_back(u);
   }

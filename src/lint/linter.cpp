@@ -1,0 +1,547 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+namespace mcdc::lint {
+
+namespace {
+
+bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream in(s);
+  while (std::getline(in, part, sep)) parts.push_back(part);
+  return parts;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t lo = 0;
+  std::size_t hi = s.size();
+  while (lo < hi && std::isspace(static_cast<unsigned char>(s[lo]))) ++lo;
+  while (hi > lo && std::isspace(static_cast<unsigned char>(s[hi - 1]))) --hi;
+  return s.substr(lo, hi - lo);
+}
+
+// Splits the source into two same-shaped texts: `code` has comments and
+// string/char literal *contents* blanked to spaces (quotes survive so
+// token boundaries stay put), `comment` has everything except comment
+// interiors blanked. Newlines survive in both, so line numbers line up.
+struct StrippedSource {
+  std::string code;
+  std::string comment;
+};
+
+StrippedSource strip(const std::string& src) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  StrippedSource out;
+  out.code.assign(src.size(), ' ');
+  out.comment.assign(src.size(), ' ');
+  State state = State::kCode;
+  std::string raw_delim;  // the )delim" terminator of a raw string
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    if (c == '\n') {
+      out.code[i] = '\n';
+      out.comment[i] = '\n';
+      if (state == State::kLineComment) state = State::kCode;
+      continue;
+    }
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"' && i > 0 && src[i - 1] == 'R' &&
+                   (i < 2 || !is_word(src[i - 2]) || src[i - 2] == 'u' ||
+                    src[i - 2] == 'U' || src[i - 2] == 'L' ||
+                    src[i - 2] == '8')) {
+          // R"delim( ... )delim"
+          out.code[i] = '"';
+          raw_delim = ")";
+          for (std::size_t j = i + 1; j < src.size() && src[j] != '('; ++j) {
+            raw_delim += src[j];
+          }
+          raw_delim += '"';
+          state = State::kRawString;
+        } else if (c == '"') {
+          out.code[i] = '"';
+          state = State::kString;
+        } else if (c == '\'' && (i == 0 || !is_word(src[i - 1]))) {
+          out.code[i] = '\'';
+          state = State::kChar;
+        } else {
+          out.code[i] = c;
+        }
+        break;
+      }
+      case State::kLineComment:
+        out.comment[i] = c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < src.size() && src[i + 1] == '/') {
+          ++i;
+          state = State::kCode;
+        } else {
+          out.comment[i] = c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < src.size()) {
+          ++i;
+        } else if (c == '"') {
+          out.code[i] = '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < src.size()) {
+          ++i;
+        } else if (c == '\'') {
+          out.code[i] = '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          out.code[i] = '"';
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool has_code(const std::string& line) {
+  return std::any_of(line.begin(), line.end(), [](char c) {
+    return !std::isspace(static_cast<unsigned char>(c));
+  });
+}
+
+bool is_preprocessor(const std::string& line) {
+  const std::string t = trim(line);
+  return !t.empty() && t.front() == '#';
+}
+
+struct Directive {
+  std::set<Rule> rules;
+  std::string reason;
+  int line = 0;  // where the directive text lives (1-based)
+};
+
+// The regexes are compiled once; const access from multiple threads is
+// safe and the linter is single-threaded anyway.
+const std::regex& directive_re() {
+  static const std::regex re(
+      R"re(mcdc-lint:\s*allow\(\s*(D[0-9](?:\s*,\s*D[0-9])*)\s*\)\s*(.*)$)re");
+  return re;
+}
+
+const std::regex& d1_re() {
+  static const std::regex re(
+      R"re(\b(system_clock|steady_clock|high_resolution_clock|clock_gettime|gettimeofday|timespec_get|localtime|gmtime|mktime|asctime|difftime)\b|\b(time|clock)\s*\()re");
+  return re;
+}
+
+const std::regex& d2_re() {
+  static const std::regex re(
+      R"re(\b(random_device|mt19937(_64)?|minstd_rand0?|default_random_engine|ranlux(24|48)(_base)?|knuth_b|rand_r|drand48|lrand48|srand)\b|\brand\s*\()re");
+  return re;
+}
+
+const std::regex& d3_re() {
+  static const std::regex re(R"re(\bunordered_(map|set|multimap|multiset)\b)re");
+  return re;
+}
+
+const std::regex& d4_container_re() {
+  // An associative container whose *first* template argument is a pointer
+  // type: no comma may appear before the `*`.
+  static const std::regex re(
+      R"re(\b(unordered_)?(map|set|multimap|multiset)\s*<[^<>,;]*\*)re");
+  return re;
+}
+
+const std::regex& d4_address_re() {
+  static const std::regex re(R"re(\buintptr_t\b|less<[^<>]*\*\s*>)re");
+  return re;
+}
+
+const std::regex& d5_atomic_re() {
+  static const std::regex re(R"re(\batomic\s*<\s*(float|double|long\s+double)\b)re");
+  return re;
+}
+
+Rule rule_from_id(const std::string& id, bool& ok) {
+  ok = true;
+  if (id == "D1") return Rule::kD1WallClock;
+  if (id == "D2") return Rule::kD2AmbientRng;
+  if (id == "D3") return Rule::kD3UnorderedContainer;
+  if (id == "D4") return Rule::kD4PointerKey;
+  if (id == "D5") return Rule::kD5ParallelReduction;
+  ok = false;
+  return Rule::kBadSuppression;
+}
+
+// --- D5 extent analysis ----------------------------------------------------
+
+struct Extent {
+  std::size_t begin = 0;  // char offset of the opening '('
+  std::size_t end = 0;    // char offset one past the matching ')'
+};
+
+std::vector<Extent> parallel_extents(const std::string& code) {
+  static const std::regex call_re(R"re(\b(parallel_chunks|parallel_for)\s*\()re");
+  std::vector<Extent> extents;
+  for (std::sregex_iterator it(code.begin(), code.end(), call_re), end;
+       it != end; ++it) {
+    const std::size_t open = static_cast<std::size_t>(it->position()) +
+                             static_cast<std::size_t>(it->length()) - 1;
+    int depth = 0;
+    std::size_t close = code.size();
+    for (std::size_t i = open; i < code.size(); ++i) {
+      if (code[i] == '(') ++depth;
+      if (code[i] == ')' && --depth == 0) {
+        close = i + 1;
+        break;
+      }
+    }
+    extents.push_back({open, close});
+  }
+  return extents;
+}
+
+// Reads the identifier chain ending just before `pos` (e.g. `acc`,
+// `state.total`, `out->sum`) and returns its base identifier, or "" when
+// the target is an indexed/parenthesised expression (disjoint per-index
+// writes are the sanctioned pattern).
+std::string accumulation_base(const std::string& code, std::size_t pos) {
+  std::size_t i = pos;
+  while (i > 0 && std::isspace(static_cast<unsigned char>(code[i - 1]))) --i;
+  if (i == 0) return "";
+  if (code[i - 1] == ']' || code[i - 1] == ')') return "";
+  std::string base;
+  while (i > 0) {
+    const char c = code[i - 1];
+    if (is_word(c)) {
+      base.insert(base.begin(), c);
+      --i;
+    } else if (c == '.' || c == ':') {
+      base.clear();
+      --i;
+    } else if (c == '>' && i > 1 && code[i - 2] == '-') {
+      base.clear();
+      i -= 2;
+    } else {
+      break;
+    }
+  }
+  if (!base.empty() && std::isdigit(static_cast<unsigned char>(base[0]))) {
+    return "";  // numeric literal, not a variable
+  }
+  return base;
+}
+
+bool declared_in_extent(const std::string& code, const Extent& extent,
+                        const std::string& name) {
+  // A chunk-local accumulator is fine: `double local = 0;` declared
+  // inside the body makes the reduction per-chunk and the final combine
+  // explicit. Lambda parameters (`std::size_t lo`) count as declarations.
+  const std::regex decl_re(
+      R"re(\b(auto|double|float|int|long|unsigned|short|bool|char|size_t|std::\w+|[A-Z]\w*)\s*(const\b)?\s*[&*]?\s+)re" +
+      name + R"re(\s*[=;,{)\[])re");
+  const std::string body = code.substr(extent.begin, extent.end - extent.begin);
+  return std::regex_search(body, decl_re);
+}
+
+}  // namespace
+
+const char* rule_id(Rule rule) {
+  switch (rule) {
+    case Rule::kD1WallClock: return "D1";
+    case Rule::kD2AmbientRng: return "D2";
+    case Rule::kD3UnorderedContainer: return "D3";
+    case Rule::kD4PointerKey: return "D4";
+    case Rule::kD5ParallelReduction: return "D5";
+    case Rule::kBadSuppression: return "SUPP";
+  }
+  return "?";
+}
+
+const char* rule_summary(Rule rule) {
+  switch (rule) {
+    case Rule::kD1WallClock:
+      return "wall clock outside common/timer.h, bench/, examples/, CLI reporting";
+    case Rule::kD2AmbientRng:
+      return "ambient randomness outside common/rng";
+    case Rule::kD3UnorderedContainer:
+      return "unordered container in a scoring path (core/serve/dist/metrics/api)";
+    case Rule::kD4PointerKey:
+      return "pointer-valued key or address-derived ordering";
+    case Rule::kD5ParallelReduction:
+      return "undocumented cross-chunk accumulation in a parallel region";
+    case Rule::kBadSuppression:
+      return "malformed or reason-less mcdc-lint directive";
+  }
+  return "?";
+}
+
+bool path_in_scoring_scope(const std::string& path) {
+  for (const std::string& seg : split(path, '/')) {
+    if (seg == "core" || seg == "serve" || seg == "dist" || seg == "metrics" ||
+        seg == "api") {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool path_clock_allowlisted(const std::string& path) {
+  const std::vector<std::string> segs = split(path, '/');
+  for (const std::string& seg : segs) {
+    if (seg == "bench" || seg == "examples") return true;
+  }
+  if (segs.empty()) return false;
+  const std::string& file = segs.back();
+  if (file == "mcdc_cli.cpp") return true;  // CLI latency/throughput reporting
+  if (segs.size() >= 2 && segs[segs.size() - 2] == "common" &&
+      file == "timer.h") {
+    return true;  // the one sanctioned clock wrapper
+  }
+  return false;
+}
+
+bool path_rng_allowlisted(const std::string& path) {
+  const std::vector<std::string> segs = split(path, '/');
+  for (const std::string& seg : segs) {
+    if (seg == "bench" || seg == "examples") return true;
+  }
+  if (segs.size() >= 2 && segs[segs.size() - 2] == "common" &&
+      (segs.back() == "rng.h" || segs.back() == "rng.cpp")) {
+    return true;  // the seeded-stream home itself
+  }
+  return false;
+}
+
+FileReport lint_source(const std::string& path, const std::string& content) {
+  FileReport report;
+  const StrippedSource stripped = strip(content);
+  const std::vector<std::string> code_lines = split(stripped.code, '\n');
+  const std::vector<std::string> comment_lines = split(stripped.comment, '\n');
+  const int num_lines = static_cast<int>(code_lines.size());
+
+  // --- collect suppression directives -------------------------------------
+  // target line (1-based) -> directives covering it
+  std::map<int, std::vector<Directive>> covering;
+  for (int ln = 0; ln < static_cast<int>(comment_lines.size()); ++ln) {
+    const std::string& comment = comment_lines[ln];
+    const std::size_t at = comment.find("mcdc-lint");
+    if (at == std::string::npos) continue;
+    // Backtick-quoted mentions are documentation about the directive
+    // syntax (docs headers, this linter's own comments), not directives.
+    if (comment.find('`') != std::string::npos && comment.find('`') < at) {
+      continue;
+    }
+    std::smatch m;
+    if (!std::regex_search(comment, m, directive_re())) {
+      report.findings.push_back({path, ln + 1, Rule::kBadSuppression,
+                                 "malformed mcdc-lint directive (expected "
+                                 "`mcdc-lint: allow(Dn) reason`)",
+                                 false, ""});
+      continue;
+    }
+    Directive directive;
+    directive.line = ln + 1;
+    bool ok = true;
+    for (const std::string& id : split(m[1].str(), ',')) {
+      bool known = false;
+      const Rule rule = rule_from_id(trim(id), known);
+      if (!known) {
+        ok = false;
+        report.findings.push_back({path, ln + 1, Rule::kBadSuppression,
+                                   "unknown rule '" + trim(id) +
+                                       "' in mcdc-lint directive",
+                                   false, ""});
+        break;
+      }
+      directive.rules.insert(rule);
+    }
+    if (!ok) continue;
+    directive.reason = trim(m[2].str());
+    // Block comments may close on the directive line; the terminator is
+    // stripped already, but a stray trailing '*' from `* ... */` art rows
+    // is not a reason.
+    while (!directive.reason.empty() &&
+           (directive.reason.back() == '*' || directive.reason.back() == '/')) {
+      directive.reason.pop_back();
+      directive.reason = trim(directive.reason);
+    }
+    if (directive.reason.empty()) {
+      report.findings.push_back({path, ln + 1, Rule::kBadSuppression,
+                                 "mcdc-lint directive has no reason; every "
+                                 "exemption must say why it is safe",
+                                 false, ""});
+      continue;
+    }
+    // Same-line code -> covers this line; comment-only line -> covers the
+    // next statement: from the next line that carries code through the
+    // line that ends it (';', '{' or '}'), capped at 10 lines so a
+    // directive can never blanket half a file.
+    if (has_code(code_lines[ln])) {
+      covering[ln + 1].push_back(directive);
+      continue;
+    }
+    int begin = num_lines;  // dangling until proven otherwise
+    for (int j = ln + 1; j < num_lines; ++j) {
+      if (has_code(code_lines[j])) {
+        begin = j;
+        break;
+      }
+    }
+    for (int j = begin; j < std::min(begin + 10, num_lines); ++j) {
+      covering[j + 1].push_back(directive);
+      const std::string t = trim(code_lines[j]);
+      if (!t.empty() &&
+          (t.back() == ';' || t.back() == '{' || t.back() == '}')) {
+        break;
+      }
+    }
+  }
+
+  // --- per-line token rules ------------------------------------------------
+  const bool d3_applies = path_in_scoring_scope(path);
+  const bool d1_applies = !path_clock_allowlisted(path);
+  const bool d2_applies = !path_rng_allowlisted(path);
+
+  std::vector<Finding> raw;
+  for (int ln = 0; ln < num_lines; ++ln) {
+    const std::string& line = code_lines[ln];
+    if (!has_code(line) || is_preprocessor(line)) continue;
+    std::smatch m;
+    if (d1_applies && std::regex_search(line, m, d1_re())) {
+      raw.push_back({path, ln + 1, Rule::kD1WallClock,
+                     "wall-clock use ('" + trim(m.str()) +
+                         "'): time may inform reporting, never labels",
+                     false, ""});
+    }
+    if (d2_applies && std::regex_search(line, m, d2_re())) {
+      raw.push_back({path, ln + 1, Rule::kD2AmbientRng,
+                     "ambient randomness ('" + trim(m.str()) +
+                         "'): draw from a seeded common/rng stream instead",
+                     false, ""});
+    }
+    if (d3_applies && std::regex_search(line, m, d3_re())) {
+      raw.push_back({path, ln + 1, Rule::kD3UnorderedContainer,
+                     "'" + m.str() +
+                         "' in a scoring path: hash iteration order leaks "
+                         "into labels/JSON; use std::map or a sorted vector, "
+                         "or annotate why this map is never iterated",
+                     false, ""});
+    }
+    if (std::regex_search(line, m, d4_container_re())) {
+      raw.push_back({path, ln + 1, Rule::kD4PointerKey,
+                     "pointer-valued container key ('" + trim(m.str()) +
+                         "'): addresses differ run to run; key on content",
+                     false, ""});
+    }
+    if (std::regex_search(line, m, d4_address_re())) {
+      raw.push_back({path, ln + 1, Rule::kD4PointerKey,
+                     "address-derived ordering ('" + trim(m.str()) +
+                         "'): addresses differ run to run; key on content",
+                     false, ""});
+    }
+    if (std::regex_search(line, m, d5_atomic_re())) {
+      raw.push_back({path, ln + 1, Rule::kD5ParallelReduction,
+                     "floating-point atomic ('" + trim(m.str()) +
+                         "'): concurrent FP accumulation has no fixed "
+                         "reduction order",
+                     false, ""});
+    }
+  }
+
+  // --- D5: cross-chunk accumulation inside parallel bodies -----------------
+  std::vector<std::size_t> line_starts{0};
+  for (std::size_t i = 0; i < stripped.code.size(); ++i) {
+    if (stripped.code[i] == '\n') line_starts.push_back(i + 1);
+  }
+  const auto line_of = [&](std::size_t pos) {
+    const auto it =
+        std::upper_bound(line_starts.begin(), line_starts.end(), pos);
+    return static_cast<int>(it - line_starts.begin());  // 1-based
+  };
+  for (const Extent& extent : parallel_extents(stripped.code)) {
+    for (std::size_t i = extent.begin; i + 1 < extent.end; ++i) {
+      const char op = stripped.code[i];
+      if (op != '+' && op != '-' && op != '*' && op != '/') continue;
+      if (stripped.code[i + 1] != '=') continue;
+      if (i + 2 < stripped.code.size() && stripped.code[i + 2] == '=') continue;
+      if (i > 0 && (stripped.code[i - 1] == op || stripped.code[i - 1] == '<' ||
+                    stripped.code[i - 1] == '>')) {
+        continue;  // ++/--/shift-assign lookalikes
+      }
+      const std::string base = accumulation_base(stripped.code, i);
+      if (base.empty()) continue;  // indexed / parenthesised: disjoint write
+      if (declared_in_extent(stripped.code, extent, base)) continue;
+      raw.push_back({path, line_of(i), Rule::kD5ParallelReduction,
+                     "compound accumulation into captured '" + base +
+                         "' inside a parallel body: chunk scheduling would "
+                         "pick the reduction order; use per-chunk locals or "
+                         "document the reduction order",
+                     false, ""});
+    }
+  }
+
+  // --- apply suppressions ---------------------------------------------------
+  for (Finding& finding : raw) {
+    const auto it = covering.find(finding.line);
+    if (it != covering.end()) {
+      for (const Directive& directive : it->second) {
+        if (directive.rules.count(finding.rule)) {
+          finding.suppressed = true;
+          finding.reason = directive.reason;
+          break;
+        }
+      }
+    }
+    report.findings.push_back(std::move(finding));
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return std::string_view(rule_id(a.rule)) <
+                     std::string_view(rule_id(b.rule));
+            });
+  for (const Finding& finding : report.findings) {
+    if (finding.suppressed) {
+      ++report.suppressed;
+    } else {
+      ++report.unsuppressed;
+    }
+  }
+  return report;
+}
+
+std::string format_finding(const Finding& finding) {
+  std::string out = finding.path + ":" + std::to_string(finding.line) +
+                    ": [" + rule_id(finding.rule) + "] " + finding.message;
+  if (finding.suppressed) {
+    out += " (suppressed: " + finding.reason + ")";
+  }
+  return out;
+}
+
+}  // namespace mcdc::lint

@@ -1,0 +1,86 @@
+#pragma once
+// mcdc_lint: static enforcement of the repo's determinism contract.
+//
+// The serving-tier guarantees (byte-identical labels at any thread width,
+// bit-exact online replays, content-keyed tie-breaks) are runtime
+// invariants that golden/metamorphic/determinism tests can only catch
+// after the fact. This linter catches the known violation classes at
+// build time, before a golden ever runs. It is a token-level scanner
+// (comments and string/char literals are stripped before matching), not a
+// full AST checker: libclang is not guaranteed in CI, and every rule
+// below is expressible on the token stream with path scoping.
+//
+// Rules (documented in docs/TESTING.md, "Static analysis"):
+//   D1  no wall clock (`system_clock`, `steady_clock`, `time(`, ...)
+//       outside the allowlist (common/timer.h, bench/, examples/, the
+//       CLI's reporting paths). Timing may inform *reporting*, never
+//       labels.
+//   D2  no ambient randomness (`rand`, `random_device`, raw `mt19937`,
+//       ...) outside common/rng — every stochastic choice must flow from
+//       an explicitly seeded common/rng stream.
+//   D3  no `unordered_map`/`unordered_set` in scoring paths (core/,
+//       serve/, dist/, metrics/, api/) — hash iteration order leaks into
+//       labels and JSON output (the FKMAWCW bug class). Lookup-only maps
+//       are fine but must carry an explicit annotation saying so.
+//   D4  no pointer-valued keys or address-derived ordering — addresses
+//       differ run to run, so any tie-break through them is
+//       nondeterministic by construction.
+//   D5  no compound accumulation into captured (cross-chunk) state inside
+//       a `parallel_chunks`/`parallel_for` body, and no floating-point
+//       atomics — chunk scheduling must never pick the reduction order.
+//
+// Suppression: `// mcdc-lint: allow(Dn) reason` on the offending line, or
+// on a comment line directly above it (the directive then covers the next
+// line that carries code). A directive with no reason, an unknown rule
+// id, or a malformed rule list is itself reported (rule id SUPP) and
+// suppresses nothing: every exemption must say why it is safe.
+
+#include <string>
+#include <vector>
+
+namespace mcdc::lint {
+
+enum class Rule {
+  kD1WallClock,
+  kD2AmbientRng,
+  kD3UnorderedContainer,
+  kD4PointerKey,
+  kD5ParallelReduction,
+  kBadSuppression,  // malformed / reason-less directive
+};
+
+// "D1".."D5", or "SUPP" for kBadSuppression.
+const char* rule_id(Rule rule);
+// One-line human description of what the rule protects.
+const char* rule_summary(Rule rule);
+
+struct Finding {
+  std::string path;  // as passed to lint_source (repo-relative)
+  int line = 0;      // 1-based
+  Rule rule = Rule::kD1WallClock;
+  std::string message;     // what matched and why it is a finding
+  bool suppressed = false; // true when covered by a well-formed directive
+  std::string reason;      // the directive's reason when suppressed
+};
+
+struct FileReport {
+  std::vector<Finding> findings;  // suppressed and unsuppressed alike
+  int unsuppressed = 0;
+  int suppressed = 0;
+};
+
+// Path scoping. Paths are '/'-separated and repo-relative; scoping works
+// on path segments so fixture trees (tests/lint_fixtures/core/...) scope
+// exactly like the real tree (src/core/...).
+bool path_in_scoring_scope(const std::string& path);   // D3 applies
+bool path_clock_allowlisted(const std::string& path);  // D1 exempt
+bool path_rng_allowlisted(const std::string& path);    // D2 exempt
+
+// Lints one translation unit. `path` decides rule scoping and is echoed
+// into findings; `content` is the raw source text.
+FileReport lint_source(const std::string& path, const std::string& content);
+
+// Formats one finding as "path:line: [Dn] message".
+std::string format_finding(const Finding& finding);
+
+}  // namespace mcdc::lint

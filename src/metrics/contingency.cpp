@@ -13,6 +13,7 @@ namespace {
 // keeps the table |distinct| wide instead of (max id + 1).
 std::vector<std::size_t> densify(const std::vector<int>& labels,
                                  std::size_t& count) {
+  // mcdc-lint: allow(D3) lookup-only; dense ids assigned in first-seen order
   std::unordered_map<int, std::size_t> dense;  // holds |distinct|, not n
   std::vector<std::size_t> out(labels.size());
   for (std::size_t i = 0; i < labels.size(); ++i) {

@@ -46,6 +46,9 @@ bool BatchQueue::next_batch(Batch& out) {
   // win. A closed queue and a full batch both cut the wait short.
   if (config_.linger_us > 0.0 && !closed_ &&
       pending_locked() < config_.max_batch) {
+    // mcdc-lint: allow(D1) linger deadline shapes batch occupancy/latency
+    // only; every row's label is computed by the same frozen sweep
+    // whichever batch it lands in.
     const auto linger = std::chrono::duration_cast<
         std::chrono::steady_clock::duration>(
         std::chrono::duration<double, std::micro>(config_.linger_us));

@@ -168,6 +168,7 @@ class ServingCluster {
   std::atomic<std::uint64_t> target_generation_{1};
   std::unique_ptr<std::atomic<std::uint64_t>[]> shard_generation_;
   std::atomic<std::uint64_t> rolling_swaps_{0};
+  // mcdc-lint: allow(D5) single-writer stats() timing; reporting only
   std::atomic<double> last_window_seconds_{0.0};
 
   // Requests routed per shard (predict/submit and bulk rows alike).

@@ -1,0 +1,19 @@
+// Lint fixture: mirrors src/common/timer.h — the one sanctioned clock
+// wrapper. The path allowlist must keep this clean despite steady_clock.
+#pragma once
+#include <chrono>
+
+namespace fixture {
+
+class Timer {
+ public:
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_ = Clock::now();
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Lint fixture: directives that must NOT suppress anything. Expected:
+// the D1 finding stays unsuppressed and each bad directive is reported
+// as SUPP.
+#include <chrono>
+
+namespace fixture {
+
+double stamp() {
+  // mcdc-lint: allow(D1)
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// mcdc-lint: allow(D9) nonexistent rule id
+int nine = 9;
+
+// mcdc-lint: allowing(D1) typo in the verb
+int typo = 1;
+
+}  // namespace fixture

@@ -1,0 +1,49 @@
+// Lint fixture: contract-clean scoring code that leans on every
+// edge the scanner must NOT trip over. Expected findings: none.
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+void parallel_chunks(std::size_t n, std::size_t grain, const void* body);
+
+// Ordered map iteration: deterministic by construction.
+int best_cluster(const std::map<int, double>& score) {
+  int best = -1;
+  double top = -1.0;
+  for (const auto& [cluster, s] : score) {
+    if (s > top) {
+      top = s;
+      best = cluster;
+    }
+  }
+  return best;
+}
+
+// Identifier *containing* a banned word is not a banned call.
+double elapsed_time(double x);
+double report_elapsed_time(double x) { return elapsed_time(x); }
+
+// Banned tokens inside literals and comments are invisible to the
+// scanner: "std::chrono::system_clock::now()" stays a string, and a
+// mention of random_device in prose (like this one) stays a comment.
+const char* kDocumentation =
+    "never call std::chrono::system_clock::now() or rand() in scoring";
+
+// Disjoint per-index writes and chunk-local accumulators are the
+// sanctioned parallel patterns.
+void chunked_sums(std::size_t n, const double* score, double* out,
+                  std::vector<double>& per_row) {
+  parallel_chunks(n, 64, [&](std::size_t lo, std::size_t hi) {
+    double local = 0.0;  // chunk-local: combine order is explicit
+    for (std::size_t i = lo; i < hi; ++i) {
+      local += score[i];
+      per_row[i] += score[i];  // indexed: chunks write disjoint slots
+    }
+    out[lo] = local;
+  });
+}
+
+}  // namespace fixture

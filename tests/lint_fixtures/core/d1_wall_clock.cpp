@@ -1,0 +1,17 @@
+// Lint fixture: seeded D1 violations (wall clock in a scoring path).
+// Not compiled — consumed by tests/test_lint.cpp as scanner input.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double stamp_seconds() {
+  const auto now = std::chrono::steady_clock::now();  // D1
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+long raw_epoch() {
+  return static_cast<long>(std::time(nullptr));  // D1
+}
+
+}  // namespace fixture

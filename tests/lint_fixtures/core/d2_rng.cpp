@@ -1,0 +1,18 @@
+// Lint fixture: seeded D2 violations (ambient randomness outside
+// common/rng). Not compiled — consumed by tests/test_lint.cpp.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int ambient_choice(int k) {
+  std::random_device seed;  // D2
+  std::mt19937 gen(seed());  // D2 (twice over: raw engine, ambient seed)
+  return static_cast<int>(gen() % static_cast<unsigned>(k));
+}
+
+int libc_choice(int k) {
+  return rand() % k;  // D2
+}
+
+}  // namespace fixture

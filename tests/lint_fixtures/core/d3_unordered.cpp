@@ -1,0 +1,17 @@
+// Lint fixture: seeded D3 violation (unordered container iterated in a
+// scoring path — the FKMAWCW bug class). Not compiled.
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// Iteration order decides which cluster id wins ties: nondeterministic.
+std::vector<int> order_leaks(const std::unordered_map<int, double>& score) {
+  std::vector<int> winners;
+  for (const auto& [cluster, s] : score) {
+    if (s > 0.5) winners.push_back(cluster);
+  }
+  return winners;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Lint fixture: seeded D4 violations (pointer-valued keys and
+// address-derived ordering in tie-breaks). Not compiled.
+#include <cstdint>
+#include <map>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+// Key is an address: map order differs run to run.
+int count_by_node(const std::map<const Node*, int>& by_node) {  // D4
+  int total = 0;
+  for (const auto& [node, c] : by_node) total += c;
+  return total;
+}
+
+// Address-derived tie-break: same class of bug without a container.
+bool tie_break(const Node* a, const Node* b) {
+  return reinterpret_cast<std::uintptr_t>(a) <  // D4
+         reinterpret_cast<std::uintptr_t>(b);
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Lint fixture: seeded D5 violations (cross-chunk accumulation whose
+// reduction order the chunk scheduler would pick). Not compiled.
+#include <atomic>
+#include <cstddef>
+
+namespace fixture {
+
+void parallel_chunks(std::size_t n, std::size_t grain, const void* body);
+
+double racy_total(std::size_t n, const double* score) {
+  double total = 0.0;  // captured by the body below
+  parallel_chunks(n, 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      total += score[i];  // D5: captured accumulator, order = schedule
+    }
+  });
+  return total;
+}
+
+std::atomic<double> g_mass{0.0};  // D5: FP atomic has no reduction order
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Lint fixture: one violation per rule, each carrying a well-formed
+// `mcdc-lint: allow(Dn) reason` directive. Expected: 0 unsuppressed,
+// 5 suppressed, every reason preserved.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+double stamp() {
+  // mcdc-lint: allow(D1) latency reporting only; labels never see this
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int jitter(int k) {
+  return rand() % k;  // mcdc-lint: allow(D2) test-harness jitter, not scoring
+}
+
+// mcdc-lint: allow(D3) lookup-only cache; never iterated
+std::unordered_map<int, double> g_score_cache;
+
+struct Node {
+  int id = 0;
+};
+unsigned long long identity(const Node* a) {
+  // mcdc-lint: allow(D4) identity tag for debug logging, never an ordering
+  return reinterpret_cast<std::uintptr_t>(a);
+}
+
+// mcdc-lint: allow(D5) single-writer gauge; readers only observe
+std::atomic<double> g_occupancy{0.0};
+
+}  // namespace fixture

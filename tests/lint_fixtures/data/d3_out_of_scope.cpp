@@ -1,0 +1,18 @@
+// Lint fixture: unordered iteration OUTSIDE the scoring scope (data/ is
+// ingestion, not scoring) — D3 must not fire here.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::vector<std::string> names(
+    const std::unordered_map<std::string, int>& interned) {
+  std::vector<std::string> out(interned.size());
+  for (const auto& [name, code] : interned) {
+    out[static_cast<std::size_t>(code)] = name;
+  }
+  return out;
+}
+
+}  // namespace fixture

@@ -2,6 +2,7 @@
 // micro-cluster pre-partitioning, the simulated cluster, node grouping.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "core/mgcpl.h"
@@ -79,6 +80,29 @@ TEST(Prepartition, BalanceWithinSlack) {
   // Max shard may exceed ideal only within slack (plus one indivisible
   // micro-cluster of tolerance).
   EXPECT_LT(result.balance, 1.6);
+}
+
+// Regression pin for the D3 audit (determinism contract, rule D3):
+// partition() used to seed its unit and group lists from unordered_map
+// iteration, so cluster *ids* could steer the walk order via the hash.
+// Units and groups are identified by member content and the maps are
+// ordered now — a bijective relabeling of every cluster id must leave the
+// shard assignment bit-identical.
+TEST(Prepartition, ShardAssignmentInvariantUnderClusterRelabeling) {
+  const auto analysis = nested_analysis();
+  core::MgcplResult relabeled = analysis;
+  for (auto& partition : relabeled.partitions) {
+    const int max_id = *std::max_element(partition.begin(), partition.end());
+    for (int& id : partition) id = max_id - id;  // reverse the id order
+  }
+  PrepartitionConfig config;
+  config.num_shards = 4;
+  const MicroClusterPartitioner partitioner(config);
+  const auto base = partitioner.partition(analysis);
+  const auto renamed = partitioner.partition(relabeled);
+  EXPECT_EQ(base.shard, renamed.shard);
+  EXPECT_EQ(base.shard_sizes, renamed.shard_sizes);
+  EXPECT_DOUBLE_EQ(base.micro_locality, renamed.micro_locality);
 }
 
 TEST(Prepartition, BeatsRoundRobinOnLocality) {

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Format gate for *changed* files only: clang-format (pinned by the
+# checked-in .clang-format) must be a no-op on every C++ file the current
+# branch touches relative to the diff base. Untouched files are never
+# checked, so adopting the gate forces no repo-wide reformat churn.
+#
+#   tools/check_format.sh [BASE_REF]
+#
+# BASE_REF defaults to the merge base with origin/main, falling back to
+# HEAD~1 (useful on push builds of main itself).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not found, skipping (CI runs it)" >&2
+  exit 0
+fi
+
+BASE="${1:-}"
+if [[ -z "$BASE" ]]; then
+  BASE="$(git merge-base HEAD origin/main 2>/dev/null || true)"
+fi
+if [[ -z "$BASE" || "$BASE" == "$(git rev-parse HEAD)" ]]; then
+  BASE="$(git rev-parse HEAD~1 2>/dev/null || true)"
+fi
+if [[ -z "$BASE" ]]; then
+  echo "check_format: no diff base resolvable, skipping" >&2
+  exit 0
+fi
+
+mapfile -t changed < <(git diff --name-only --diff-filter=ACMR "$BASE" -- \
+    'src/*.cpp' 'src/*.h' 'tools/*.cpp' 'tests/*.cpp' 'bench/*.cpp' \
+    'bench/*.h' 'examples/*.cpp' \
+    | grep -v '^tests/lint_fixtures/' || true)
+if [[ "${#changed[@]}" == 0 ]]; then
+  echo "check_format: no C++ changes vs $BASE"
+  exit 0
+fi
+
+echo "check_format: $(clang-format --version)"
+echo "check_format: ${#changed[@]} changed file(s) vs $BASE"
+clang-format --style=file --dry-run --Werror "${changed[@]}"
+echo "check_format: clean"

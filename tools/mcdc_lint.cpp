@@ -1,0 +1,157 @@
+// mcdc_lint — build-time enforcement of the determinism contract.
+//
+// Walks the given paths (default: src/ and tools/ under --root), lints
+// every C++ source/header with the D1-D5 rules in src/lint/linter.h, and
+// exits nonzero when any unsuppressed finding remains. Suppressed
+// findings are counted and, with --show-suppressed, listed with their
+// reasons so exemptions stay auditable.
+//
+// Usage:
+//   mcdc_lint [--root DIR] [--show-suppressed] [--quiet] [paths...]
+//   mcdc_lint --list-rules
+//
+// Registered as a tier-1 ctest, and run (next to clang-tidy and cppcheck)
+// by tools/static_analysis.sh and the CI static-analysis job.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".h" || ext == ".hpp" || ext == ".cc";
+}
+
+// '/'-separated path of `p` relative to `root` (falls back to `p` itself
+// when it is not under root), so rule scoping sees `src/core/...` shapes
+// on every platform.
+std::string relative_slash(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  if (ec || rel.empty() || *rel.begin() == "..") rel = p;
+  return rel.generic_string();
+}
+
+void list_rules() {
+  using mcdc::lint::Rule;
+  for (const Rule rule :
+       {Rule::kD1WallClock, Rule::kD2AmbientRng, Rule::kD3UnorderedContainer,
+        Rule::kD4PointerKey, Rule::kD5ParallelReduction,
+        Rule::kBadSuppression}) {
+    std::cout << mcdc::lint::rule_id(rule) << "  "
+              << mcdc::lint::rule_summary(rule) << "\n";
+  }
+  std::cout << "\nSuppress with `// mcdc-lint: allow(Dn) reason` on the "
+               "offending line\nor on the comment line directly above it.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  bool show_suppressed = false;
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--show-suppressed") {
+      show_suppressed = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      list_rules();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: mcdc_lint [--root DIR] [--show-suppressed] "
+                   "[--quiet] [paths...]\n       mcdc_lint --list-rules\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "mcdc_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tools"};
+
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    fs::path abs = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+    std::error_code ec;
+    if (fs::is_directory(abs, ec)) {
+      for (fs::recursive_directory_iterator it(abs, ec), end; it != end;
+           it.increment(ec)) {
+        if (!ec && it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(abs, ec)) {
+      files.push_back(abs);
+    } else {
+      std::cerr << "mcdc_lint: no such file or directory: " << abs << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  int unsuppressed = 0;
+  int suppressed = 0;
+  int rule_counts[6] = {0, 0, 0, 0, 0, 0};
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "mcdc_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto report =
+        mcdc::lint::lint_source(relative_slash(file, root), buf.str());
+    unsuppressed += report.unsuppressed;
+    suppressed += report.suppressed;
+    for (const auto& finding : report.findings) {
+      if (!finding.suppressed) {
+        ++rule_counts[static_cast<int>(finding.rule)];
+        std::cout << mcdc::lint::format_finding(finding) << "\n";
+      } else if (show_suppressed) {
+        std::cout << mcdc::lint::format_finding(finding) << "\n";
+      }
+    }
+  }
+
+  if (!quiet) {
+    std::cout << "mcdc_lint: " << files.size() << " files, " << unsuppressed
+              << " finding(s), " << suppressed << " suppressed";
+    if (unsuppressed > 0) {
+      std::cout << " [";
+      bool first = true;
+      for (const mcdc::lint::Rule rule :
+           {mcdc::lint::Rule::kD1WallClock, mcdc::lint::Rule::kD2AmbientRng,
+            mcdc::lint::Rule::kD3UnorderedContainer,
+            mcdc::lint::Rule::kD4PointerKey,
+            mcdc::lint::Rule::kD5ParallelReduction,
+            mcdc::lint::Rule::kBadSuppression}) {
+        const int count = rule_counts[static_cast<int>(rule)];
+        if (count == 0) continue;
+        if (!first) std::cout << " ";
+        std::cout << mcdc::lint::rule_id(rule) << ":" << count;
+        first = false;
+      }
+      std::cout << "]";
+    }
+    std::cout << "\n";
+  }
+  return unsuppressed > 0 ? 1 : 0;
+}
