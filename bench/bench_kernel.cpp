@@ -1,18 +1,26 @@
 // Batch object-cluster scoring throughput: nested per-cluster ClusterProfile
-// walks vs the flat ProfileSet kernel (live, frozen, and frozen + threaded),
-// at the Fig. 6 synthetic scales (Syn_n: d = 10, cardinality 4).
+// walks vs the flat ProfileSet kernel (live, frozen per-row, the production
+// cache-blocked SIMD batch sweep, and frozen + threaded), at the Fig. 6
+// synthetic scales (Syn_n: d = 10, cardinality 4).
 //
 //   bench_kernel [--smoke] [--paper] [--json [file]] [--n N] [--repeats R]
 //
-// Every path must produce identical argmax labels (the kernel's byte-identity
-// contract); the bench aborts with a non-zero exit if they diverge. --smoke
-// shrinks the sweep for CI and still checks the equivalence.
+// Every byte-identity path must produce identical argmax labels; the bench
+// aborts with a non-zero exit if they diverge. --smoke shrinks the sweep for
+// CI and still checks the equivalence. The opt-in compact float32 bank is
+// NOT byte-identity-contracted: its label agreement is reported per k but
+// gated by Model::try_compact_scorer in production, not here.
 //
-// Acceptance target (ISSUE 3): the single-thread frozen flat kernel sustains
-// >= 2x the rows/sec of the nested per-cluster path.
+// Acceptance targets:
+//   * ISSUE 3: single-thread frozen sweep >= 2x the nested path (k >= 16)
+//   * ISSUE 9: the AVX2 frozen sweep >= 1.5x the same sweep forced scalar
+//     at k >= 64 — hard gate on AVX2 hardware, skipped with a note (and a
+//     "skipped" ratio list in the JSON) where AVX2 is unavailable.
 //
 // --json writes the machine-readable record (default BENCH_kernel.json)
-// with per-k frozen-vs-nested ratios for the bench_diff regression gate.
+// with frozen-vs-nested, blocked-vs-naive and simd-vs-scalar ratios for
+// the bench_diff regression gate. frozen_rps measures the production batch
+// path (ProfileSet::best_clusters — what Model::predict_rows runs).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -24,6 +32,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/profile_set.h"
+#include "core/simd.h"
 #include "core/similarity.h"
 #include "data/synthetic.h"
 
@@ -67,6 +76,8 @@ double time_nested(const data::Dataset& ds,
   return timer.elapsed_seconds();
 }
 
+// Per-row flat sweep (live or frozen depending on the set's state) — the
+// "naive" frozen baseline the cache-blocked batch path is compared to.
 double time_flat(const data::Dataset& ds, const core::ProfileSet& set,
                  int repeats, std::vector<int>& labels) {
   const std::size_t n = ds.num_objects();
@@ -80,16 +91,24 @@ double time_flat(const data::Dataset& ds, const core::ProfileSet& set,
   return timer.elapsed_seconds();
 }
 
-double time_flat_mt(const data::Dataset& ds, const core::ProfileSet& set,
+// The production batch path: cache-blocked SIMD best_clusters, one thread.
+double time_blocked(const data::Dataset& ds, const core::ProfileSet& set,
                     int repeats, std::vector<int>& labels) {
   const std::size_t n = ds.num_objects();
   Timer timer;
   for (int rep = 0; rep < repeats; ++rep) {
+    set.best_clusters(ds, 0, n, labels.data());
+  }
+  return timer.elapsed_seconds();
+}
+
+double time_blocked_mt(const data::Dataset& ds, const core::ProfileSet& set,
+                       int repeats, std::vector<int>& labels) {
+  const std::size_t n = ds.num_objects();
+  Timer timer;
+  for (int rep = 0; rep < repeats; ++rep) {
     parallel_chunks(n, 1024, [&](std::size_t lo, std::size_t hi) {
-      std::vector<double> scratch;
-      for (std::size_t i = lo; i < hi; ++i) {
-        labels[i] = set.best_cluster(ds, i, scratch);
-      }
+      set.best_clusters(ds, lo, hi, labels.data() + lo);
     });
   }
   return timer.elapsed_seconds();
@@ -107,45 +126,73 @@ int main(int argc, char** argv) {
   const std::vector<int> ks = smoke ? std::vector<int>{4, 16}
                                     : std::vector<int>{4, 16, 64, 256};
 
+  const bool avx2 = core::simd::level() == core::simd::Level::kAvx2;
   const data::Dataset ds = data::syn_n(n);
-  std::printf("batch scoring throughput, Syn_n n=%zu d=%zu (repeats=%d)\n", n,
-              ds.num_features(), repeats);
-  std::printf("%-6s %12s %12s %12s %12s %8s %8s\n", "k", "nested(r/s)",
-              "flat(r/s)", "frozen(r/s)", "frozen+mt", "fz/ne", "mt/ne");
+  std::printf("batch scoring throughput, Syn_n n=%zu d=%zu (repeats=%d, simd=%s)\n",
+              n, ds.num_features(), repeats,
+              core::simd::level_name(core::simd::level()));
+  std::printf("%-6s %12s %12s %12s %12s %8s %8s %8s\n", "k", "nested(r/s)",
+              "naive(r/s)", "frozen(r/s)", "frozen+mt", "fz/ne", "blk/nv",
+              "simd/sc");
 
   bool all_match = true;
+  bool compact_match = true;
   bool meets_target = true;
+  bool meets_simd_target = true;
   api::Json metrics = api::Json::object();
   api::Json ratios = api::Json::object();
+  api::Json skipped = api::Json::array();
   for (const int k : ks) {
     const auto assignment = random_assignment(n, k, 42);
     const auto profiles = core::build_profiles(ds, assignment, k);
     core::ProfileSet set = core::ProfileSet::from_assignment(ds, assignment, k);
 
-    std::vector<int> nested_labels(n), flat_labels(n), frozen_labels(n),
-        mt_labels(n);
+    std::vector<int> nested_labels(n), flat_labels(n), naive_labels(n),
+        frozen_labels(n), mt_labels(n), scalar_labels(n), compact_labels(n);
     const double t_nested = time_nested(ds, profiles, repeats, nested_labels);
     const double t_flat = time_flat(ds, set, repeats, flat_labels);
     set.freeze();
-    const double t_frozen = time_flat(ds, set, repeats, frozen_labels);
-    const double t_mt = time_flat_mt(ds, set, repeats, mt_labels);
+    const double t_naive = time_flat(ds, set, repeats, naive_labels);
+    const double t_frozen = time_blocked(ds, set, repeats, frozen_labels);
+    const double t_mt = time_blocked_mt(ds, set, repeats, mt_labels);
+    // Same blocked sweep with the dispatch forced scalar — isolates the
+    // vector ISA from the blocking, on identical code paths.
+    double t_scalar = 0.0;
+    if (avx2) {
+      const core::simd::Level prev =
+          core::simd::set_level(core::simd::Level::kScalar);
+      t_scalar = time_blocked(ds, set, repeats, scalar_labels);
+      core::simd::set_level(prev);
+    }
+    // Opt-in compact float32 bank over the same blocked sweep.
+    set.freeze_compact();
+    const double t_compact = time_blocked(ds, set, repeats, compact_labels);
+    set.thaw_compact();
 
-    if (flat_labels != nested_labels || frozen_labels != nested_labels ||
-        mt_labels != nested_labels) {
+    if (flat_labels != nested_labels || naive_labels != nested_labels ||
+        frozen_labels != nested_labels || mt_labels != nested_labels ||
+        (avx2 && scalar_labels != nested_labels)) {
       all_match = false;
     }
+    if (compact_labels != nested_labels) compact_match = false;
     const double rows = static_cast<double>(n) * repeats;
     const double fz_speedup = t_frozen > 0.0 ? t_nested / t_frozen : 0.0;
-    std::printf("%-6d %12.0f %12.0f %12.0f %12.0f %7.2fx %7.2fx\n", k,
-                rows / t_nested, rows / t_flat, rows / t_frozen, rows / t_mt,
-                fz_speedup, t_mt > 0.0 ? t_nested / t_mt : 0.0);
+    const double blk_speedup = t_frozen > 0.0 ? t_naive / t_frozen : 0.0;
+    const double simd_speedup =
+        avx2 && t_frozen > 0.0 ? t_scalar / t_frozen : 0.0;
+    std::printf("%-6d %12.0f %12.0f %12.0f %12.0f %7.2fx %7.2fx %7.2fx\n", k,
+                rows / t_nested, rows / t_naive, rows / t_frozen, rows / t_mt,
+                fz_speedup, blk_speedup, simd_speedup);
     std::fflush(stdout);
     const std::string suffix = "_k" + std::to_string(k);
     api::Json at_k = api::Json::object();
     at_k["nested_rps"] = rows / t_nested;
     at_k["flat_rps"] = rows / t_flat;
+    at_k["frozen_naive_rps"] = rows / t_naive;
     at_k["frozen_rps"] = rows / t_frozen;
     at_k["frozen_mt_rps"] = rows / t_mt;
+    at_k["compact_rps"] = rows / t_compact;
+    if (avx2) at_k["frozen_scalar_rps"] = rows / t_scalar;
     metrics["k" + std::to_string(k)] = std::move(at_k);
     // Only the gated cluster counts are recorded as ratios: below ~8
     // clusters there is no k x d loop to invert, so the ratio there is
@@ -155,6 +202,18 @@ int main(int argc, char** argv) {
     // sweeps k = 50..5000; below ~8 clusters there is no k x d loop to
     // invert and both paths run at row-load speed).
     if (k >= 16 && fz_speedup < 2.0) meets_target = false;
+    // Blocking and the vector ISA only matter once the k x d working set
+    // is real; both ratios are recorded (and the simd one gated) at
+    // k >= 64, the cliff the blocked sweep exists for.
+    if (k >= 64) {
+      ratios["blocked_vs_naive" + suffix] = blk_speedup;
+      if (avx2) {
+        ratios["simd_vs_scalar" + suffix] = simd_speedup;
+        if (simd_speedup < 1.5) meets_simd_target = false;
+      } else {
+        skipped.push_back("simd_vs_scalar" + suffix);
+      }
+    }
   }
 
   if (!all_match) {
@@ -163,9 +222,19 @@ int main(int argc, char** argv) {
                  "contract broken)\n");
     return 1;
   }
-  std::printf("labels identical across all paths: yes\n");
+  std::printf("labels identical across all byte-identity paths: yes\n");
+  std::printf("compact f32 bank labels identical (informative): %s\n",
+              compact_match ? "yes" : "no");
   std::printf("frozen single-thread >= 2x nested (k >= 16): %s\n",
               meets_target ? "yes" : "NO");
+  if (avx2) {
+    std::printf("avx2 frozen sweep >= 1.5x scalar (k >= 64): %s\n",
+                meets_simd_target ? "yes" : "NO");
+  } else {
+    std::printf(
+        "avx2 frozen sweep >= 1.5x scalar (k >= 64): skipped — no AVX2 on "
+        "this host (scalar dispatch)\n");
+  }
 
   std::string json_path = cli.get("json", "");
   if (cli.has("json") && json_path.empty()) json_path = "BENCH_kernel.json";
@@ -177,17 +246,24 @@ int main(int argc, char** argv) {
     workload["n"] = n;
     workload["d"] = ds.num_features();
     workload["repeats"] = repeats;
+    workload["simd"] =
+        std::string(core::simd::level_name(core::simd::level()));
     doc["workload"] = std::move(workload);
     doc["metrics"] = std::move(metrics);
     doc["ratios"] = std::move(ratios);
+    // Ratio keys a non-AVX2 host cannot measure; bench_diff notes them
+    // instead of failing on the missing key.
+    if (skipped.size() > 0) doc["skipped"] = std::move(skipped);
     if (!bench::write_json(json_path, doc)) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
     std::printf("record written to %s\n", json_path.c_str());
   }
-  // The 2x acceptance gate is informative under --smoke (tiny inputs, shared
-  // CI runners); it hard-fails only on the full-size run.
+  // Both acceptance gates are informative under --smoke (tiny inputs,
+  // shared CI runners); they hard-fail only on the full-size run — and the
+  // simd gate only where AVX2 hardware is there to measure.
   if (!smoke && !meets_target) return 2;
+  if (!smoke && avx2 && !meets_simd_target) return 3;
   return 0;
 }

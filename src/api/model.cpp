@@ -29,10 +29,7 @@ bool refine_to_fixpoint(const data::DatasetView& ds, int k,
     }
     profiles.freeze();
     parallel_chunks(labels.size(), 2048, [&](std::size_t lo, std::size_t hi) {
-      std::vector<double> scratch;
-      for (std::size_t i = lo; i < hi; ++i) {
-        next[i] = profiles.best_cluster(ds, i, scratch);
-      }
+      profiles.best_clusters(ds, lo, hi, next.data() + lo);
     });
     if (next == labels) return true;
     labels.swap(next);
@@ -151,12 +148,53 @@ void Model::predict_rows(const data::Value* rows, std::size_t n,
   }
   const std::size_t d = num_features();
   parallel_chunks(n, 64, [&](std::size_t lo, std::size_t hi) {
-    std::vector<double> scratch;
-    for (std::size_t i = lo; i < hi; ++i) {
-      out[i] = scorer_.best_cluster(rows + i * d, scratch);
-    }
+    scorer_.best_clusters(rows + lo * d, hi - lo, out + lo);
   });
 }
+
+bool Model::try_compact_scorer(const data::DatasetView& ds) {
+  if (!has_schema()) {
+    throw std::logic_error("Model::try_compact_scorer: unfitted model");
+  }
+  if (ds.num_features() != num_features()) {
+    throw std::invalid_argument(feature_width_message(
+        "Model::try_compact_scorer", num_features(), ds.num_features()));
+  }
+  const std::size_t n = ds.num_objects();
+  // No rows proves nothing — keep the bit-exact f64 bank.
+  if (k_ == 0 || n == 0) return false;
+  scorer_.freeze();
+  std::vector<int> f64_labels(n);
+  scorer_.best_clusters(ds, 0, n, f64_labels.data());
+  scorer_.freeze_compact();
+  std::vector<int> f32_labels(n);
+  scorer_.best_clusters(ds, 0, n, f32_labels.data());
+  if (f64_labels != f32_labels) {
+    scorer_.thaw_compact();
+    return false;
+  }
+  return true;
+}
+
+bool Model::try_compact_scorer(const data::Value* rows, std::size_t n) {
+  if (!has_schema()) {
+    throw std::logic_error("Model::try_compact_scorer: unfitted model");
+  }
+  if (k_ == 0 || n == 0) return false;
+  scorer_.freeze();
+  std::vector<int> f64_labels(n);
+  scorer_.best_clusters(rows, n, f64_labels.data());
+  scorer_.freeze_compact();
+  std::vector<int> f32_labels(n);
+  scorer_.best_clusters(rows, n, f32_labels.data());
+  if (f64_labels != f32_labels) {
+    scorer_.thaw_compact();
+    return false;
+  }
+  return true;
+}
+
+bool Model::compact_scorer() const { return scorer_.compact_frozen(); }
 
 std::vector<data::Value> Model::cluster_mode(int l) const {
   if (!fitted()) throw std::logic_error("Model::cluster_mode: unfitted model");
@@ -221,19 +259,21 @@ std::vector<int> Model::predict(const data::DatasetView& ds) const {
   // Scoring is per-row independent against the frozen bank, so rows fan
   // out over the shared pool; chunks write disjoint label slots, keeping
   // predict() byte-identical to a serial sweep regardless of thread count.
+  // Each chunk re-encodes its rows into one contiguous buffer and runs
+  // the cache-blocked batch argmax over it.
   std::vector<int> labels(ds.num_objects());
+  const std::size_t d = ds.num_features();
   parallel_chunks(ds.num_objects(), 1024, [&](std::size_t lo, std::size_t hi) {
-    std::vector<data::Value> encoded(ds.num_features());
-    std::vector<double> scratch;
+    std::vector<data::Value> encoded((hi - lo) * d);
     for (std::size_t i = lo; i < hi; ++i) {
-      for (std::size_t r = 0; r < ds.num_features(); ++r) {
+      data::Value* row = encoded.data() + (i - lo) * d;
+      for (std::size_t r = 0; r < d; ++r) {
         const data::Value v = ds.at(i, r);
-        encoded[r] = v == data::kMissing
-                         ? data::kMissing
-                         : remap[r][static_cast<std::size_t>(v)];
+        row[r] = v == data::kMissing ? data::kMissing
+                                     : remap[r][static_cast<std::size_t>(v)];
       }
-      labels[i] = scorer_.best_cluster(encoded.data(), scratch);
     }
+    scorer_.best_clusters(encoded.data(), hi - lo, labels.data() + lo);
   });
   return labels;
 }

@@ -103,11 +103,31 @@ class Model {
 
   // Batched predict_row: `rows` packs n rows of num_features() values each
   // (row-major, already in the model's encoding), labels land in
-  // out[0..n). One frozen score_all sweep per row, fanned over the shared
-  // pool in disjoint chunks — byte-identical to n predict_row calls at any
-  // thread count. This is the serving hot path (serve::BatchQueue drains
-  // coalesced requests through it).
+  // out[0..n). Runs the cache-blocked SIMD batch argmax
+  // (ProfileSet::best_clusters) per chunk, fanned over the shared pool —
+  // byte-identical to n predict_row calls at any thread count and any
+  // dispatch level. This is the serving hot path (serve::BatchQueue
+  // drains coalesced requests through it).
   void predict_rows(const data::Value* rows, std::size_t n, int* out) const;
+
+  // Opt-in compact scoring bank: narrows the frozen quotient cache to
+  // float32 (half the working set of the batch sweep), adopting it ONLY
+  // if every row of `ds` — which must be in the model's own encoding,
+  // e.g. the training view or an online window — gets the same label from
+  // both banks. Returns whether the compact bank was adopted; on false
+  // (including an empty `ds`, which proves nothing) the bit-exact f64
+  // bank stays. After adoption, predict labels on rows beyond `ds` may in
+  // principle differ at f32 rounding, and predict_score may differ in
+  // low-order bits — callers that need the byte-identity contract leave
+  // this off (it is opt-in per fit: FitOptions/OnlineConfig
+  // compact_scorer). Rebuilding the scorer (refit, JSON/binary load)
+  // drops the compact bank until revalidated.
+  bool try_compact_scorer(const data::DatasetView& ds);
+  // The same gate over n contiguous row-major rows in the model's
+  // encoding — the OnlineUpdater validates against its drift window.
+  bool try_compact_scorer(const data::Value* rows, std::size_t n);
+  // True while the compact float32 bank is active.
+  bool compact_scorer() const;
 
   // Vectorised predict over a whole dataset. Because datasets are
   // dictionary-encoded per source in first-seen order, codes of an

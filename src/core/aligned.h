@@ -1,0 +1,50 @@
+// 64-byte-aligned allocation for the ProfileSet banks.
+//
+// The SIMD kernels (core/simd.h) sweep the value-major cell blocks with
+// 32-byte vector loads; starting every bank at a cache-line boundary (and
+// rounding the slot stride to a whole line, see ProfileSet) keeps each
+// (feature, value) cell block line-aligned, so a k-cluster sweep never
+// splits its first vector across two lines. Alignment is a performance
+// contract only — the kernels use unaligned loads and stay correct on any
+// pointer — so AlignedVec is a plain std::vector with an aligned allocator,
+// keeping the full container API the bank maintenance code already uses.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace mcdc::core {
+
+inline constexpr std::size_t kBankAlignment = 64;
+
+template <class T>
+struct AlignedAlloc {
+  using value_type = T;
+
+  AlignedAlloc() = default;
+  template <class U>
+  AlignedAlloc(const AlignedAlloc<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(
+        n * sizeof(T), std::align_val_t(kBankAlignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(kBankAlignment));
+  }
+
+  template <class U>
+  bool operator==(const AlignedAlloc<U>&) const noexcept {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const AlignedAlloc<U>&) const noexcept {
+    return false;
+  }
+};
+
+template <class T>
+using AlignedVec = std::vector<T, AlignedAlloc<T>>;
+
+}  // namespace mcdc::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/simd.h"
+
 namespace mcdc::core {
 
 double cluster_weight_sigmoid(double delta) {
@@ -83,31 +85,25 @@ int CompetitiveStage::run() {
       for (double g : g_prev_) g_total += g;
 
       // One batched sweep scores x_i against every cluster (Eq. 14 with the
-      // per-cluster weight columns); winner (Eq. 6) and rival (Eq. 9) then
-      // fall out of one scan. Ties resolve to the lowest cluster id, making
-      // runs reproducible.
+      // per-cluster weight columns). The Eq. (7) penalty transform is
+      // elementwise, after which winner (Eq. 6) and rival (Eq. 9) are two
+      // vectorised lowest-id argmax scans — the second with the winner
+      // masked by a sentinel below any transformed score (all are >= 0).
+      // This reproduces the classic single-pass top-2 scan exactly,
+      // including its lowest-id tie resolution, keeping runs reproducible.
       scores_.resize(k);
       set_.weighted_score_all(ds_, i, wt_.data(), scores_.data());
-      std::size_t v = 0;
-      std::size_t h = 1;
-      double best = -1.0;
-      double second = -1.0;
       for (std::size_t l = 0; l < k; ++l) {
         // Eq. (7); under cumulative_rho g_prev_ mirrors the
         // stage-cumulative counts, otherwise it holds the previous sweep's
         // frozen counts.
         const double rho = g_total > 0.0 ? g_prev_[l] / g_total : 0.0;
-        const double s = (1.0 - rho) * u_[l] * scores_[l];
-        if (s > best) {
-          second = best;
-          h = v;
-          best = s;
-          v = l;
-        } else if (s > second) {
-          second = s;
-          h = l;
-        }
+        scores_[l] = (1.0 - rho) * u_[l] * scores_[l];
       }
+      const simd::Kernels& kr = simd::kernels();
+      const auto v = static_cast<std::size_t>(kr.argmax(scores_.data(), k));
+      scores_[v] = -1.0;
+      const auto h = static_cast<std::size_t>(kr.argmax(scores_.data(), k));
 
       // Assign x_i to the winner (Eq. 4 row update).
       const int old = assignment_[i];

@@ -1,12 +1,44 @@
 #include "core/profile_set.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cstdint>
 #include <stdexcept>
+
+#include "core/simd.h"
 
 namespace mcdc::core {
 
+namespace {
+
+// Slots per cache line; stride_ is kept a multiple of this so every cell
+// block of a 64-byte-aligned bank starts line-aligned.
+constexpr std::size_t kLineSlots = kBankAlignment / sizeof(double);
+
+constexpr std::size_t round_up_stride(std::size_t slots) {
+  return (slots + kLineSlots - 1) / kLineSlots * kLineSlots;
+}
+
+// Rows per gathered tile of the batch argmax: cell offsets for 32 rows are
+// resolved in one pass (amortising any view indirection) before the
+// register-blocked score_row microkernel sweeps them.
+constexpr std::size_t kRowTile = 32;
+
+template <class T>
+void assert_bank_aligned(const AlignedVec<T>& bank) {
+  // mcdc-lint: allow(D4) debug alignment assert — the address feeds a
+  // modulus check, never an ordering or a key.
+  assert(bank.empty() ||
+         reinterpret_cast<std::uintptr_t>(bank.data()) % kBankAlignment == 0);
+  (void)bank;
+}
+
+}  // namespace
+
 ProfileSet::ProfileSet(const std::vector<int>& cardinalities, int k)
-    : k_(k), stride_(static_cast<std::size_t>(k)), cardinalities_(cardinalities) {
+    : k_(k),
+      stride_(round_up_stride(static_cast<std::size_t>(k))),
+      cardinalities_(cardinalities) {
   if (k < 0) throw std::invalid_argument("ProfileSet: negative k");
   offsets_.resize(cardinalities_.size() + 1);
   offsets_[0] = 0;
@@ -20,6 +52,8 @@ ProfileSet::ProfileSet(const std::vector<int>& cardinalities, int k)
   counts_.assign(total_cells_ * stride_, 0.0);
   non_null_.assign(cardinalities_.size() * stride_, 0.0);
   size_.assign(stride_, 0.0);
+  assert_bank_aligned(counts_);
+  assert_bank_aligned(non_null_);
 }
 
 ProfileSet ProfileSet::from_assignment(const data::DatasetView& ds,
@@ -220,11 +254,13 @@ int ProfileSet::append_cluster() {
     // Spare slot available — already all-zero by invariant.
     return k_++;
   }
-  // Grow the stride geometrically and re-lay the bank once.
+  // Grow the stride geometrically and re-lay the bank once. Doubling a
+  // line-multiple keeps the stride a line-multiple (first growth from an
+  // empty set lands on one full line).
   const std::size_t old_stride = stride_;
-  const std::size_t new_stride = std::max<std::size_t>(1, old_stride * 2);
-  const auto relay = [&](std::vector<double>& bank, std::size_t slots) {
-    std::vector<double> out(slots * new_stride, 0.0);
+  const std::size_t new_stride = std::max(kLineSlots, old_stride * 2);
+  const auto relay = [&](AlignedVec<double>& bank, std::size_t slots) {
+    AlignedVec<double> out(slots * new_stride, 0.0);
     for (std::size_t s = 0; s < slots; ++s) {
       std::copy_n(bank.data() + s * old_stride, old_stride,
                   out.data() + s * new_stride);
@@ -235,6 +271,8 @@ int ProfileSet::append_cluster() {
   relay(non_null_, cardinalities_.size());
   size_.resize(new_stride, 0.0);
   stride_ = new_stride;
+  assert_bank_aligned(counts_);
+  assert_bank_aligned(non_null_);
   return k_++;
 }
 
@@ -265,7 +303,7 @@ std::vector<int> ProfileSet::remove_clusters(const std::vector<char>& dead) {
   // In-place left compaction within the existing stride: remap[l] <= l, so
   // ascending writes never clobber a yet-unread slot. Freed slots go back
   // to zero (the spare-slot invariant append_cluster relies on).
-  const auto compact = [&](std::vector<double>& bank, std::size_t slots) {
+  const auto compact = [&](AlignedVec<double>& bank, std::size_t slots) {
     for (std::size_t s = 0; s < slots; ++s) {
       double* p = bank.data() + s * stride_;
       for (std::size_t l = 0; l < old_k; ++l) {
@@ -288,51 +326,58 @@ std::vector<int> ProfileSet::remove_clusters(const std::vector<char>& dead) {
 void ProfileSet::score_all(const data::Value* row, double* out) const {
   const auto k = static_cast<std::size_t>(k_);
   const std::size_t d = cardinalities_.size();
+  const simd::Kernels& kr = simd::kernels();
   std::fill(out, out + k, 0.0);
-  if (frozen_) {
+  if (frozen_ && !probs_f32_.empty()) {
     for (std::size_t r = 0; r < d; ++r) {
       const data::Value v = row[r];
       if (!in_domain(r, v)) continue;
-      const double* p = probs_.data() + cell(r, v) * stride_;
-      for (std::size_t l = 0; l < k; ++l) out[l] += p[l];
+      kr.acc_f32(out, probs_f32_.data() + cell(r, v) * stride_, k);
+    }
+  } else if (frozen_) {
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = row[r];
+      if (!in_domain(r, v)) continue;
+      kr.acc_f64(out, probs_.data() + cell(r, v) * stride_, k);
     }
   } else {
     for (std::size_t r = 0; r < d; ++r) {
       const data::Value v = row[r];
       if (!in_domain(r, v)) continue;
-      const double* c = counts_.data() + cell(r, v) * stride_;
-      const double* nn = non_null_.data() + r * stride_;
-      for (std::size_t l = 0; l < k; ++l) {
-        out[l] += nn[l] > 0.0 ? c[l] / nn[l] : 0.0;
-      }
+      kr.quot_f64(out, counts_.data() + cell(r, v) * stride_,
+                  non_null_.data() + r * stride_, k);
     }
   }
-  for (std::size_t l = 0; l < k; ++l) out[l] /= static_cast<double>(d);
+  kr.div_f64(out, static_cast<double>(d), k);
 }
 
 void ProfileSet::weighted_score_all(const data::Value* row,
                                     const double* weights, double* out) const {
   const auto k = static_cast<std::size_t>(k_);
   const std::size_t d = cardinalities_.size();
+  const simd::Kernels& kr = simd::kernels();
   std::fill(out, out + k, 0.0);
-  if (frozen_) {
+  if (frozen_ && !probs_f32_.empty()) {
     for (std::size_t r = 0; r < d; ++r) {
       const data::Value v = row[r];
       if (!in_domain(r, v)) continue;
-      const double* p = probs_.data() + cell(r, v) * stride_;
-      const double* w = weights + r * k;
-      for (std::size_t l = 0; l < k; ++l) out[l] += w[l] * p[l];
+      kr.acc_w_f32(out, weights + r * k,
+                   probs_f32_.data() + cell(r, v) * stride_, k);
+    }
+  } else if (frozen_) {
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = row[r];
+      if (!in_domain(r, v)) continue;
+      kr.acc_w_f64(out, weights + r * k, probs_.data() + cell(r, v) * stride_,
+                   k);
     }
   } else {
     for (std::size_t r = 0; r < d; ++r) {
       const data::Value v = row[r];
       if (!in_domain(r, v)) continue;
-      const double* c = counts_.data() + cell(r, v) * stride_;
-      const double* nn = non_null_.data() + r * stride_;
-      const double* w = weights + r * k;
-      for (std::size_t l = 0; l < k; ++l) {
-        out[l] += nn[l] > 0.0 ? w[l] * (c[l] / nn[l]) : 0.0;
-      }
+      kr.quot_w_f64(out, weights + r * k,
+                    counts_.data() + cell(r, v) * stride_,
+                    non_null_.data() + r * stride_, k);
     }
   }
 }
@@ -360,51 +405,58 @@ void ProfileSet::score_all(const data::DatasetView& ds, std::size_t i,
                            double* out) const {
   const auto k = static_cast<std::size_t>(k_);
   const std::size_t d = cardinalities_.size();
+  const simd::Kernels& kr = simd::kernels();
   std::fill(out, out + k, 0.0);
-  if (frozen_) {
+  if (frozen_ && !probs_f32_.empty()) {
     for (std::size_t r = 0; r < d; ++r) {
       const data::Value v = ds.at(i, r);
       if (!in_domain(r, v)) continue;
-      const double* p = probs_.data() + cell(r, v) * stride_;
-      for (std::size_t l = 0; l < k; ++l) out[l] += p[l];
+      kr.acc_f32(out, probs_f32_.data() + cell(r, v) * stride_, k);
+    }
+  } else if (frozen_) {
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = ds.at(i, r);
+      if (!in_domain(r, v)) continue;
+      kr.acc_f64(out, probs_.data() + cell(r, v) * stride_, k);
     }
   } else {
     for (std::size_t r = 0; r < d; ++r) {
       const data::Value v = ds.at(i, r);
       if (!in_domain(r, v)) continue;
-      const double* c = counts_.data() + cell(r, v) * stride_;
-      const double* nn = non_null_.data() + r * stride_;
-      for (std::size_t l = 0; l < k; ++l) {
-        out[l] += nn[l] > 0.0 ? c[l] / nn[l] : 0.0;
-      }
+      kr.quot_f64(out, counts_.data() + cell(r, v) * stride_,
+                  non_null_.data() + r * stride_, k);
     }
   }
-  for (std::size_t l = 0; l < k; ++l) out[l] /= static_cast<double>(d);
+  kr.div_f64(out, static_cast<double>(d), k);
 }
 
 void ProfileSet::weighted_score_all(const data::DatasetView& ds, std::size_t i,
                                     const double* weights, double* out) const {
   const auto k = static_cast<std::size_t>(k_);
   const std::size_t d = cardinalities_.size();
+  const simd::Kernels& kr = simd::kernels();
   std::fill(out, out + k, 0.0);
-  if (frozen_) {
+  if (frozen_ && !probs_f32_.empty()) {
     for (std::size_t r = 0; r < d; ++r) {
       const data::Value v = ds.at(i, r);
       if (!in_domain(r, v)) continue;
-      const double* p = probs_.data() + cell(r, v) * stride_;
-      const double* w = weights + r * k;
-      for (std::size_t l = 0; l < k; ++l) out[l] += w[l] * p[l];
+      kr.acc_w_f32(out, weights + r * k,
+                   probs_f32_.data() + cell(r, v) * stride_, k);
+    }
+  } else if (frozen_) {
+    for (std::size_t r = 0; r < d; ++r) {
+      const data::Value v = ds.at(i, r);
+      if (!in_domain(r, v)) continue;
+      kr.acc_w_f64(out, weights + r * k, probs_.data() + cell(r, v) * stride_,
+                   k);
     }
   } else {
     for (std::size_t r = 0; r < d; ++r) {
       const data::Value v = ds.at(i, r);
       if (!in_domain(r, v)) continue;
-      const double* c = counts_.data() + cell(r, v) * stride_;
-      const double* nn = non_null_.data() + r * stride_;
-      const double* w = weights + r * k;
-      for (std::size_t l = 0; l < k; ++l) {
-        out[l] += nn[l] > 0.0 ? w[l] * (c[l] / nn[l]) : 0.0;
-      }
+      kr.quot_w_f64(out, weights + r * k,
+                    counts_.data() + cell(r, v) * stride_,
+                    non_null_.data() + r * stride_, k);
     }
   }
 }
@@ -434,32 +486,86 @@ int ProfileSet::best_cluster(const data::Value* row,
                              std::vector<double>& scratch) const {
   scratch.resize(static_cast<std::size_t>(k_));
   score_all(row, scratch.data());
-  int best = 0;
-  double best_score = -1.0;
-  for (int l = 0; l < k_; ++l) {
-    const double s = scratch[static_cast<std::size_t>(l)];
-    if (s > best_score) {
-      best_score = s;
-      best = l;
-    }
-  }
-  return best;
+  return simd::kernels().argmax(scratch.data(),
+                                static_cast<std::size_t>(k_));
 }
 
 int ProfileSet::best_cluster(const data::DatasetView& ds, std::size_t i,
                              std::vector<double>& scratch) const {
   scratch.resize(static_cast<std::size_t>(k_));
   score_all(ds, i, scratch.data());
-  int best = 0;
-  double best_score = -1.0;
-  for (int l = 0; l < k_; ++l) {
-    const double s = scratch[static_cast<std::size_t>(l)];
-    if (s > best_score) {
-      best_score = s;
-      best = l;
+  return simd::kernels().argmax(scratch.data(),
+                                static_cast<std::size_t>(k_));
+}
+
+void ProfileSet::best_clusters_tile(const std::size_t* cells, std::size_t m,
+                                    double* scores, int* out) const {
+  const auto k = static_cast<std::size_t>(k_);
+  const std::size_t d = cardinalities_.size();
+  const simd::Kernels& kr = simd::kernels();
+  // The score_row microkernel register-blocks the k x d sweep: a
+  // 32-cluster block of accumulators stays in registers across the whole
+  // feature loop, with one fused divide-and-store at the end. Per lane
+  // the op sequence (zero, += per feature in r order, one division) is
+  // exactly the per-row acc/div path, so labels stay byte-identical.
+  if (!probs_f32_.empty()) {
+    const float* bank = probs_f32_.data();
+    for (std::size_t t = 0; t < m; ++t) {
+      kr.score_row_f32(scores, bank, cells + t * d, d,
+                       static_cast<double>(d), k);
+      out[t] = kr.argmax(scores, k);
+    }
+  } else {
+    const double* bank = probs_.data();
+    for (std::size_t t = 0; t < m; ++t) {
+      kr.score_row_f64(scores, bank, cells + t * d, d,
+                       static_cast<double>(d), k);
+      out[t] = kr.argmax(scores, k);
     }
   }
-  return best;
+}
+
+void ProfileSet::best_clusters(const data::DatasetView& ds, std::size_t lo,
+                               std::size_t hi, int* out) const {
+  if (hi <= lo) return;
+  if (!frozen_) freeze();
+  const auto k = static_cast<std::size_t>(k_);
+  const std::size_t d = cardinalities_.size();
+  std::vector<std::size_t> cells(kRowTile * d);
+  std::vector<double> scores(k);
+  for (std::size_t t0 = lo; t0 < hi; t0 += kRowTile) {
+    const std::size_t m = std::min(kRowTile, hi - t0);
+    for (std::size_t t = 0; t < m; ++t) {
+      for (std::size_t r = 0; r < d; ++r) {
+        const data::Value v = ds.at(t0 + t, r);
+        cells[t * d + r] =
+            in_domain(r, v) ? cell(r, v) * stride_ : simd::kNoCell;
+      }
+    }
+    best_clusters_tile(cells.data(), m, scores.data(), out + (t0 - lo));
+  }
+}
+
+void ProfileSet::best_clusters(const data::Value* rows, std::size_t n,
+                               int* out) const {
+  if (n == 0) return;
+  if (!frozen_) freeze();
+  const auto k = static_cast<std::size_t>(k_);
+  const std::size_t d = cardinalities_.size();
+  std::vector<std::size_t> cells(kRowTile * d);
+  std::vector<double> scores(k);
+  for (std::size_t t0 = 0; t0 < n; t0 += kRowTile) {
+    const std::size_t m = std::min(kRowTile, n - t0);
+    for (std::size_t t = 0; t < m; ++t) {
+      const data::Value* row = rows + (t0 + t) * d;
+      for (std::size_t r = 0; r < d; ++r) {
+        const data::Value v = row[r];
+        cells[t * d + r] =
+            in_domain(r, v) ? cell(r, v) * stride_ : simd::kNoCell;
+      }
+    }
+    best_clusters_tile(cells.data(), m, scores.data(), out + t0);
+  }
 }
 
 void ProfileSet::freeze() const {
@@ -477,6 +583,31 @@ void ProfileSet::freeze() const {
     }
   }
   frozen_ = true;
+  assert_bank_aligned(probs_);
+}
+
+void ProfileSet::freeze_compact() const {
+  freeze();
+  if (!probs_f32_.empty()) return;
+  probs_f32_.resize(probs_.size());
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    probs_f32_[i] = static_cast<float>(probs_[i]);
+  }
+  // Drop the f64 cache — halving the working set is the whole point. It
+  // is rebuilt deterministically from the counts by thaw_compact().
+  probs_.clear();
+  probs_.shrink_to_fit();
+  assert_bank_aligned(probs_f32_);
+}
+
+void ProfileSet::thaw_compact() const {
+  if (probs_f32_.empty()) return;
+  probs_f32_.clear();
+  probs_f32_.shrink_to_fit();
+  if (frozen_) {
+    frozen_ = false;
+    freeze();
+  }
 }
 
 std::vector<data::Value> ProfileSet::mode(int l) const {

@@ -39,6 +39,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/aligned.h"
 #include "core/similarity.h"
 #include "data/dataset.h"
 #include "data/view.h"
@@ -139,15 +140,49 @@ class ProfileSet {
   int best_cluster(const data::DatasetView& ds, std::size_t i,
                    std::vector<double>& scratch) const;
 
+  // Frozen batched argmax over a row range: out[i - lo] =
+  // best_cluster(ds, i) for i in [lo, hi), labels byte-identical to the
+  // per-row call. Freezes lazily (same single-writer contract as
+  // freeze()); sweeps cache-blocked k x d tiles so a block of clusters
+  // stays resident across features when k is large — the production
+  // batch path (Model::predict_rows, refine_to_fixpoint, classify).
+  void best_clusters(const data::DatasetView& ds, std::size_t lo,
+                     std::size_t hi, int* out) const;
+  // The same over n contiguous pre-encoded rows (row i at
+  // rows + i * num_features()).
+  void best_clusters(const data::Value* rows, std::size_t n, int* out) const;
+
   // Precomputes every count/non_null quotient so subsequent score sweeps
   // are division-free. Call when the profiles are frozen for a batch pass;
-  // any mutation invalidates the cache automatically. The cache is lazily
-  // (re)built in place — const, so read-only consumers (e.g. streaming
-  // classify) can freeze without copying the bank — but like every other
-  // member it must not race with a concurrent first freeze() call;
-  // parallel sweeps freeze once before fanning out.
+  // any mutation invalidates the cache automatically.
+  //
+  // Thread-safety contract, precisely: the cache is rebuilt lazily in
+  // place (const method, mutable members), so read-only consumers can
+  // freeze without copying the bank — but freeze() WRITES that cache, so
+  // the first freeze() after a mutation must complete on one thread, with
+  // a happens-before edge (thread creation, task-queue handoff) to every
+  // other user, before any concurrent access; parallel sweeps therefore
+  // freeze once before fanning out. After that, any number of threads may
+  // score concurrently — including re-entering freeze(), which returns
+  // immediately once frozen_ is set. What is NOT safe is a first freeze()
+  // racing reads or another freeze(): "const" here is logically-const,
+  // not internally synchronised. test_profile_set.ConcurrentFrozenReads
+  // pins this contract under TSan.
   void freeze() const;
   bool frozen() const { return frozen_; }
+
+  // Opt-in compact frozen bank: narrows the frozen quotients to float32
+  // and drops the float64 cache, halving the sweep's working set. Scores
+  // still accumulate in double (each f32 widened exactly), but the
+  // narrowing itself rounds, so scores — and potentially labels — may
+  // differ from the f64 bank. Consumers must prove label-identity on
+  // their own data before adopting it (api::Model::try_compact_scorer);
+  // thaw_compact() deterministically rebuilds the f64 cache from the
+  // counts. Same single-writer contract as freeze(); any mutation thaws
+  // both banks.
+  void freeze_compact() const;
+  void thaw_compact() const;
+  bool compact_frozen() const { return frozen_ && !probs_f32_.empty(); }
 
   // Most frequent value of cluster l per feature (ties -> smallest code;
   // data::kMissing for an all-NULL column), as ClusterProfile::mode().
@@ -168,21 +203,34 @@ class ProfileSet {
   void thaw() {
     frozen_ = false;
     probs_.clear();
+    probs_f32_.clear();
   }
+  // One cache-blocked tile of the batched argmax: cells[t * d + r] is the
+  // bank offset of row t's (r, v) cell block (kNoCell when missing/out of
+  // domain), scores is m * k scratch, out receives m labels.
+  void best_clusters_tile(const std::size_t* cells, std::size_t m,
+                          double* scores, int* out) const;
 
   int k_ = 0;
   // Slots per (feature, value) cell, >= k_; slots in [k_, stride_) are
-  // always all-zero (the append_cluster reuse invariant).
+  // always all-zero (the append_cluster reuse invariant). Rounded up to a
+  // whole cache line of doubles (kBankAlignment / sizeof(double) = 8) so
+  // every cell block of the 64-byte-aligned banks starts line-aligned for
+  // the SIMD sweeps.
   std::size_t stride_ = 0;
   std::vector<int> cardinalities_;
   std::vector<std::size_t> offsets_;  // offsets_[r] = sum of cardinalities < r
   std::size_t total_cells_ = 0;       // sum of cardinalities
-  std::vector<double> counts_;        // [cell * stride + l]
-  std::vector<double> non_null_;      // [r * stride + l]
-  std::vector<double> size_;          // [l], length stride_
-  // Lazily built frozen-quotient cache (counts_ layout); mutable so const
-  // read-only consumers can freeze() without copying the bank.
-  mutable std::vector<double> probs_;
+  AlignedVec<double> counts_;         // [cell * stride + l]
+  AlignedVec<double> non_null_;       // [r * stride + l]
+  AlignedVec<double> size_;           // [l], length stride_
+  // Lazily built frozen-quotient caches (counts_ layout): probs_ is the
+  // bit-exact float64 bank; probs_f32_ is the opt-in compact bank, present
+  // only between freeze_compact() and thaw_compact(), during which probs_
+  // is dropped. Mutable for the logically-const lazy freeze — see
+  // freeze() for the single-writer contract.
+  mutable AlignedVec<double> probs_;
+  mutable AlignedVec<float> probs_f32_;
   mutable bool frozen_ = false;
 };
 

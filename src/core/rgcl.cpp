@@ -193,10 +193,11 @@ std::vector<int> RgclLearner::classify(const data::DatasetView& ds) const {
   set_.freeze();
   parallel_chunks(ds.num_objects(), 1024,
                   [&](std::size_t lo, std::size_t hi) {
-                    std::vector<double> scratch;
+                    std::vector<int> slots(hi - lo);
+                    set_.best_clusters(ds, lo, hi, slots.data());
                     for (std::size_t i = lo; i < hi; ++i) {
-                      const int slot = set_.best_cluster(ds, i, scratch);
-                      labels[i] = ids_[static_cast<std::size_t>(slot)];
+                      labels[i] =
+                          ids_[static_cast<std::size_t>(slots[i - lo])];
                     }
                   });
   return labels;
@@ -355,10 +356,7 @@ baselines::ClusterResult RgclLearner::cluster(const data::DatasetView& ds,
   set.freeze();
   result.labels.resize(n);
   parallel_chunks(n, 1024, [&](std::size_t lo, std::size_t hi) {
-    std::vector<double> scratch;
-    for (std::size_t i = lo; i < hi; ++i) {
-      result.labels[i] = set.best_cluster(ds, i, scratch);
-    }
+    set.best_clusters(ds, lo, hi, result.labels.data() + lo);
   });
   baselines::finalize_result(result, k);
   return result;

@@ -153,7 +153,7 @@ const std::regex& directive_re() {
 
 const std::regex& d1_re() {
   static const std::regex re(
-      R"re(\b(system_clock|steady_clock|high_resolution_clock|clock_gettime|gettimeofday|timespec_get|localtime|gmtime|mktime|asctime|difftime)\b|\b(time|clock)\s*\()re");
+      R"re(\b(system_clock|steady_clock|high_resolution_clock|clock_gettime|gettimeofday|timespec_get|localtime|gmtime|mktime|asctime|difftime|__rdtscp?|_rdtsc|__builtin_ia32_rdtscp?)\b|\b(time|clock)\s*\()re");
   return re;
 }
 
@@ -186,6 +186,23 @@ const std::regex& d5_atomic_re() {
   return re;
 }
 
+// D6 token rule: intrinsic calls and vector register types. `_mm_...`,
+// `_mm256_...`, `_mm512_...`, `__m128[di]`, `__m256[di]`, `__m512[di]`.
+const std::regex& d6_token_re() {
+  static const std::regex re(
+      R"re(\b_mm(256|512)?_[A-Za-z0-9_]+|\b__m(128|256|512)[di]?\b)re");
+  return re;
+}
+
+// D6 include rule, matched against preprocessor lines (the token rules
+// skip those): the x86 intrinsics umbrella and per-ISA headers, plus the
+// ARM vector headers for good measure.
+const std::regex& d6_include_re() {
+  static const std::regex re(
+      R"re(#\s*include\s*[<"]([a-z]mmintrin|immintrin|x86intrin|x86gprintrin|avx\w*intrin|arm_neon|arm_sve)\.h[>"])re");
+  return re;
+}
+
 Rule rule_from_id(const std::string& id, bool& ok) {
   ok = true;
   if (id == "D1") return Rule::kD1WallClock;
@@ -193,6 +210,7 @@ Rule rule_from_id(const std::string& id, bool& ok) {
   if (id == "D3") return Rule::kD3UnorderedContainer;
   if (id == "D4") return Rule::kD4PointerKey;
   if (id == "D5") return Rule::kD5ParallelReduction;
+  if (id == "D6") return Rule::kD6SimdIntrinsics;
   ok = false;
   return Rule::kBadSuppression;
 }
@@ -277,6 +295,7 @@ const char* rule_id(Rule rule) {
     case Rule::kD3UnorderedContainer: return "D3";
     case Rule::kD4PointerKey: return "D4";
     case Rule::kD5ParallelReduction: return "D5";
+    case Rule::kD6SimdIntrinsics: return "D6";
     case Rule::kBadSuppression: return "SUPP";
   }
   return "?";
@@ -294,6 +313,8 @@ const char* rule_summary(Rule rule) {
       return "pointer-valued key or address-derived ordering";
     case Rule::kD5ParallelReduction:
       return "undocumented cross-chunk accumulation in a parallel region";
+    case Rule::kD6SimdIntrinsics:
+      return "raw SIMD intrinsics outside the dispatched simd* units";
     case Rule::kBadSuppression:
       return "malformed or reason-less mcdc-lint directive";
   }
@@ -335,6 +356,16 @@ bool path_rng_allowlisted(const std::string& path) {
     return true;  // the seeded-stream home itself
   }
   return false;
+}
+
+bool path_simd_allowlisted(const std::string& path) {
+  // The sanctioned home for intrinsics: files whose basename starts with
+  // "simd" (core/simd.h, core/simd.cpp, core/simd_avx2.cpp, and future
+  // simd_*.cpp ISA units), where the dispatch table proves byte-identity
+  // against the scalar reference.
+  const std::vector<std::string> segs = split(path, '/');
+  if (segs.empty()) return false;
+  return segs.back().rfind("simd", 0) == 0;
 }
 
 FileReport lint_source(const std::string& path, const std::string& content) {
@@ -426,12 +457,34 @@ FileReport lint_source(const std::string& path, const std::string& content) {
   const bool d3_applies = path_in_scoring_scope(path);
   const bool d1_applies = !path_clock_allowlisted(path);
   const bool d2_applies = !path_rng_allowlisted(path);
+  const bool d6_applies = !path_simd_allowlisted(path);
 
   std::vector<Finding> raw;
   for (int ln = 0; ln < num_lines; ++ln) {
     const std::string& line = code_lines[ln];
-    if (!has_code(line) || is_preprocessor(line)) continue;
+    if (!has_code(line)) continue;
     std::smatch m;
+    if (is_preprocessor(line)) {
+      // Token rules skip preprocessor lines, so the D6 include check runs
+      // here explicitly — `#include <immintrin.h>` is the usual first
+      // symptom of inline vector code.
+      if (d6_applies && std::regex_search(line, m, d6_include_re())) {
+        raw.push_back({path, ln + 1, Rule::kD6SimdIntrinsics,
+                       "intrinsics header ('" + trim(m.str()) +
+                           "'): vector code belongs in the core/simd "
+                           "dispatch units (simd*-named files)",
+                       false, ""});
+      }
+      continue;
+    }
+    if (d6_applies && std::regex_search(line, m, d6_token_re())) {
+      raw.push_back({path, ln + 1, Rule::kD6SimdIntrinsics,
+                     "raw SIMD intrinsic ('" + trim(m.str()) +
+                         "'): call through core/simd's dispatched kernel "
+                         "table instead, where byte-identity with the "
+                         "scalar path is enforced",
+                     false, ""});
+    }
     if (d1_applies && std::regex_search(line, m, d1_re())) {
       raw.push_back({path, ln + 1, Rule::kD1WallClock,
                      "wall-clock use ('" + trim(m.str()) +

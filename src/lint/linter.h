@@ -28,6 +28,14 @@
 //   D5  no compound accumulation into captured (cross-chunk) state inside
 //       a `parallel_chunks`/`parallel_for` body, and no floating-point
 //       atomics — chunk scheduling must never pick the reduction order.
+//   D6  no raw SIMD intrinsics (`<immintrin.h>` and friends, `_mm*` calls,
+//       `__m128/__m256/__m512` types) outside files whose basename starts
+//       with `simd` — vector code must live behind the core/simd dispatch
+//       table, where byte-identity with the scalar path is proven and
+//       enforced, never inline in a scoring path. Intrinsics-header
+//       includes are caught on preprocessor lines explicitly (token rules
+//       skip them). A deliberate exception carries an audited
+//       `allow(D6)` directive like any other rule.
 //
 // Suppression: `// mcdc-lint: allow(Dn) reason` on the offending line, or
 // on a comment line directly above it (the directive then covers the next
@@ -46,10 +54,11 @@ enum class Rule {
   kD3UnorderedContainer,
   kD4PointerKey,
   kD5ParallelReduction,
+  kD6SimdIntrinsics,
   kBadSuppression,  // malformed / reason-less directive
 };
 
-// "D1".."D5", or "SUPP" for kBadSuppression.
+// "D1".."D6", or "SUPP" for kBadSuppression.
 const char* rule_id(Rule rule);
 // One-line human description of what the rule protects.
 const char* rule_summary(Rule rule);
@@ -75,6 +84,7 @@ struct FileReport {
 bool path_in_scoring_scope(const std::string& path);   // D3 applies
 bool path_clock_allowlisted(const std::string& path);  // D1 exempt
 bool path_rng_allowlisted(const std::string& path);    // D2 exempt
+bool path_simd_allowlisted(const std::string& path);   // D6 exempt
 
 // Lints one translation unit. `path` decides rule scoping and is echoed
 // into findings; `content` is the raw source text.

@@ -149,6 +149,21 @@ double OnlineUpdater::window_mean_score(const api::Model& model) const {
 }
 
 void OnlineUpdater::publish(api::Model model) {
+  if (config_.compact_scorer && window_rows_ > 0 && model.fitted()) {
+    // Validate the compact float32 bank against the window in ring order
+    // (adopt only if every window row keeps its label; the f64 bank stays
+    // otherwise). Ring order matches the refit replay order, keeping the
+    // whole loop a function of the observed row stream.
+    const std::size_t d = learner_->num_features();
+    const std::size_t cap = config_.window_capacity;
+    const std::size_t start = window_rows_ < cap ? 0 : window_next_;
+    std::vector<data::Value> rows(window_rows_ * d);
+    for (std::size_t j = 0; j < window_rows_; ++j) {
+      const data::Value* src = window_.data() + ((start + j) % cap) * d;
+      std::copy(src, src + d, rows.begin() + static_cast<std::ptrdiff_t>(j * d));
+    }
+    model.try_compact_scorer(rows.data(), window_rows_);
+  }
   const auto next = std::make_shared<const api::Model>(std::move(model));
   server_->swap(next);
   rows_since_publish_ = 0;

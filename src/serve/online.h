@@ -100,6 +100,13 @@ struct OnlineConfig {
   double drift_threshold = 0.08;
   // ... but only once the window holds enough rows to refit from.
   std::size_t min_refit_rows = 64;
+  // Try to adopt the compact float32 scoring bank on every published
+  // snapshot, validated against the current drift window (adopted only
+  // when every window row keeps its label — Model::try_compact_scorer).
+  // Off by default; when on, predict_score (and hence the drift signal)
+  // may differ from the f64 bank in low-order bits, though still
+  // deterministically for a given row stream.
+  bool compact_scorer = false;
   core::StreamingConfig streaming;  // knobs for the "streaming" learner
   core::RgclConfig rgcl;            // knobs for the "mcdc-online" learner
   ServeConfig serve;                // Engine::serve_online's server config

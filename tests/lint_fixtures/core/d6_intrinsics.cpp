@@ -1,0 +1,16 @@
+// Lint fixture: seeded D6 violations — raw SIMD intrinsics inline in a
+// scoring-path file instead of behind the core/simd dispatch table.
+// Expected: 3 unsuppressed D6 findings (the include, the load line, the
+// store line). Scanner input only; never compiled.
+#include <immintrin.h>
+
+namespace fixture {
+
+double sum4(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  alignas(32) double out[4];
+  _mm256_store_pd(out, v);
+  return out[0] + out[1] + out[2] + out[3];
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Lint fixture: a simd*-named unit — the sanctioned home for intrinsics,
+// exempt from D6 by basename. Expected: 0 findings. Scanner input only;
+// never compiled.
+#include <immintrin.h>
+
+namespace fixture::simd {
+
+__m256d add4(__m256d a, __m256d b) { return _mm256_add_pd(a, b); }
+
+__m256d widen4(const float* p) { return _mm256_cvtps_pd(_mm_loadu_ps(p)); }
+
+}  // namespace fixture::simd

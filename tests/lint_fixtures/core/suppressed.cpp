@@ -1,6 +1,6 @@
 // Lint fixture: one violation per rule, each carrying a well-formed
 // `mcdc-lint: allow(Dn) reason` directive. Expected: 0 unsuppressed,
-// 5 suppressed, every reason preserved.
+// 6 suppressed, every reason preserved.
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -32,5 +32,10 @@ unsigned long long identity(const Node* a) {
 
 // mcdc-lint: allow(D5) single-writer gauge; readers only observe
 std::atomic<double> g_occupancy{0.0};
+
+int lane_width() {
+  // mcdc-lint: allow(D6) audited: width probe only, no data path touched
+  return sizeof(__m256d) / sizeof(double);
+}
 
 }  // namespace fixture

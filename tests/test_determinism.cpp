@@ -13,7 +13,10 @@
 //   - serve::ModelServer batched predicts (BatchQueue -> predict_rows),
 //   - the full serve::OnlineUpdater loop (observe -> drift -> swap/refit)
 //     over a fixed two-act replay, snapshot predictions and every evidence
-//     counter included.
+//     counter included,
+//   - every registered method's frozen Model::predict under each SIMD
+//     dispatch level × thread width (the core/simd.h byte-identity
+//     contract).
 //
 // The width-1 results are additionally pinned as FNV-1a goldens (the same
 // hash and guard as the 18-method table in test_profile_set.cpp): a moved
@@ -30,6 +33,7 @@
 
 #include "api/engine.h"
 #include "common/thread_pool.h"
+#include "core/simd.h"
 #include "core/active.h"
 #include "core/mgcpl.h"
 #include "core/streaming.h"
@@ -217,6 +221,54 @@ TEST(ThreadDeterminism, ServingSweepsAreWidthInvariant) {
 #if defined(__linux__) && defined(__GLIBC__)
   EXPECT_EQ(fnv1a(kFnvSeed, labels), 0x4e5430f4751796a5ULL)
       << "single-thread served labels drifted";
+#endif
+}
+
+// Dispatch-level determinism: core/simd.h promises byte-identical labels
+// across the scalar and AVX2 kernel tables at every thread width. For
+// every registered method this fits once (the fit itself is level-
+// invariant — the registry goldens in test_profile_set.cpp pin it), then
+// sweeps the frozen consumer Model::predict over a foreign dataset under
+// {scalar, avx2} × {1, 2, 8 workers}, asserting label identity and
+// accumulating one FNV golden per dispatch level. On hosts without AVX2
+// the avx2 leg degrades to scalar (set_level's documented behaviour), so
+// the comparison is trivially green there and the golden still holds; on
+// AVX2 hardware a split between the two hashes means the vector path
+// reassociated or fused where the scalar path does not.
+TEST(ThreadDeterminism, FrozenPredictsMatchAcrossSimdLevelsAndWidths) {
+  const data::Dataset ds = fit_dataset();
+  const data::Dataset foreign = foreign_dataset();
+  const core::simd::Level entry = core::simd::level();
+
+  std::uint64_t hashes[2] = {kFnvSeed, kFnvSeed};
+  std::size_t covered = 0;
+  for (const api::MethodInfo& method : api::registry().methods()) {
+    const api::FitResult result = fit(ds, method.key.c_str());
+    std::vector<int> per_level[2];
+    for (const core::simd::Level level :
+         {core::simd::Level::kScalar, core::simd::Level::kAvx2}) {
+      const auto idx = static_cast<std::size_t>(level);
+      core::simd::set_level(level);
+      per_level[idx] = sweep_widths(method.key.c_str(), [&] {
+        return result.ok() ? result.model.predict(foreign)
+                           : std::vector<int>();
+      });
+      hashes[idx] = fnv1a(hashes[idx], per_level[idx]);
+    }
+    EXPECT_EQ(per_level[0], per_level[1])
+        << method.key << ": labels diverged between the scalar and "
+        << core::simd::level_name(core::simd::level()) << " kernel tables";
+    ++covered;
+  }
+  core::simd::set_level(entry);
+  // Every registered method must take part; a new registration is covered
+  // automatically but still has to keep the goldens below in place.
+  EXPECT_EQ(covered, api::registry().methods().size());
+#if defined(__linux__) && defined(__GLIBC__)
+  EXPECT_EQ(hashes[0], 0xdde65f00d377d996ULL)
+      << "scalar frozen predict labels drifted";
+  EXPECT_EQ(hashes[1], hashes[0])
+      << "AVX2 kernels diverged from the scalar baseline";
 #endif
 }
 

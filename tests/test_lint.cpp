@@ -1,6 +1,6 @@
 // Tests for the determinism-contract linter (src/lint/linter.h).
 //
-// Fixture files under tests/lint_fixtures/ carry seeded D1-D5
+// Fixture files under tests/lint_fixtures/ carry seeded D1-D6
 // violations, contract-clean edge cases, and suppression directives;
 // they are scanner *input*, never compiled. The fixture tree mirrors the
 // real layout (core/, common/, data/) because rule scoping works on path
@@ -81,6 +81,23 @@ TEST(LintFixtures, D5ParallelReductionFires) {
   EXPECT_EQ(report.unsuppressed, 2);
 }
 
+TEST(LintFixtures, D6IntrinsicsFire) {
+  const auto report = lint_fixture("core/d6_intrinsics.cpp");
+  EXPECT_EQ(report.suppressed, 0);
+  // the <immintrin.h> include (a preprocessor line), the __m256d load
+  // line, and the store line
+  EXPECT_EQ(count_rule(report, Rule::kD6SimdIntrinsics, false), 3);
+  EXPECT_EQ(report.unsuppressed, 3);
+}
+
+TEST(LintFixtures, SimdNamedUnitIsExemptFromD6) {
+  const auto report = lint_fixture("core/simd_widget.cpp");
+  EXPECT_EQ(report.unsuppressed, 0)
+      << (report.findings.empty() ? ""
+                                  : format_finding(report.findings.front()));
+  EXPECT_EQ(report.suppressed, 0);
+}
+
 // --- clean fixtures: edges the scanner must not trip over ------------------
 
 TEST(LintFixtures, CleanScoringCodePasses) {
@@ -110,10 +127,11 @@ TEST(LintFixtures, SuppressionsCoverEveryRuleAndKeepReasons) {
   EXPECT_EQ(report.unsuppressed, 0)
       << (report.findings.empty() ? ""
                                   : format_finding(report.findings.front()));
-  EXPECT_EQ(report.suppressed, 5);  // one per rule
+  EXPECT_EQ(report.suppressed, 6);  // one per rule
   for (const Rule rule :
        {Rule::kD1WallClock, Rule::kD2AmbientRng, Rule::kD3UnorderedContainer,
-        Rule::kD4PointerKey, Rule::kD5ParallelReduction}) {
+        Rule::kD4PointerKey, Rule::kD5ParallelReduction,
+        Rule::kD6SimdIntrinsics}) {
     EXPECT_EQ(count_rule(report, rule, true), 1) << rule_id(rule);
   }
   for (const auto& finding : report.findings) {
@@ -130,7 +148,7 @@ TEST(LintFixtures, StrippingDirectivesResurfacesEveryViolation) {
   }
   const auto report = lint_source("core/suppressed.cpp", source);
   EXPECT_EQ(report.suppressed, 0);
-  EXPECT_EQ(report.unsuppressed, 5);
+  EXPECT_EQ(report.unsuppressed, 6);
 }
 
 TEST(LintFixtures, BadDirectivesSuppressNothingAndAreReported) {
@@ -203,6 +221,11 @@ TEST(LintEngine, ScopingHelpers) {
   EXPECT_FALSE(path_clock_allowlisted("src/serve/batch_queue.cpp"));
   EXPECT_TRUE(path_rng_allowlisted("src/common/rng.cpp"));
   EXPECT_FALSE(path_rng_allowlisted("src/core/mcdc.cpp"));
+  EXPECT_TRUE(path_simd_allowlisted("src/core/simd.h"));
+  EXPECT_TRUE(path_simd_allowlisted("src/core/simd_avx2.cpp"));
+  EXPECT_TRUE(path_simd_allowlisted("core/simd_widget.cpp"));
+  EXPECT_FALSE(path_simd_allowlisted("src/core/profile_set.cpp"));
+  EXPECT_FALSE(path_simd_allowlisted("src/core/mcdc_simd.cpp"));
 }
 
 TEST(LintEngine, FindingFormatIsClickable) {

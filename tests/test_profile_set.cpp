@@ -2,13 +2,18 @@
 // with the per-cluster ClusterProfile path on randomised datasets with
 // NULLs, incremental maintenance, cluster append/remove restriding,
 // out-of-domain clamping, and fixed-seed label goldens across every
-// registered method (the byte-identity contract of the kernel rewire).
+// registered method (the byte-identity contract of the kernel rewire);
+// plus the register-blocked batch argmax vs the per-row scan, the compact
+// float32 bank round trip and its Model-level adoption gate, and the
+// freeze() single-writer contract under concurrent frozen readers (the
+// tsan CI job runs this binary).
 #include "core/profile_set.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/engine.h"
@@ -252,6 +257,180 @@ TEST(ProfileSet, BestClusterBreaksTiesToLowestId) {
   for (std::size_t i = 0; i < ds.num_objects(); ++i) {
     EXPECT_EQ(set.best_cluster(ds, i, scratch), 0);
   }
+}
+
+// The register-blocked batch argmax must label exactly as the per-row
+// scan. The shapes deliberately straddle every boundary in the kernel:
+// the 32-row gather tile, the 32-cluster register block, the 4-wide and
+// scalar cluster tails, and k smaller than one vector — with ~10% missing
+// cells throughout (kNoCell skips in the microkernel).
+TEST(ProfileSet, BlockedBestClustersMatchPerRowArgmax) {
+  struct Shape {
+    std::uint64_t seed;
+    std::size_t n;
+    std::size_t d;
+    int k;
+  };
+  const Shape shapes[] = {
+      {71, 1, 4, 3},     // single row, k below one vector
+      {72, 31, 5, 5},    // just under one row tile
+      {73, 33, 6, 33},   // crosses the row tile; k one past a register block
+      {74, 97, 3, 67},   // three tiles; k = 2 blocks + scalar tail
+      {75, 101, 7, 70},  // k = 2 blocks + 4-wide tail + scalar tail
+  };
+  for (const Shape& s : shapes) {
+    const RandomCase c = random_case(s.seed, s.n, s.d, s.k);
+    const core::ProfileSet set =
+        core::ProfileSet::from_assignment(c.ds, c.labels, c.k);
+    const std::size_t n = c.ds.num_objects();
+    const std::size_t d = c.ds.num_features();
+
+    std::vector<int> blocked(n, -2);
+    set.best_clusters(c.ds, 0, n, blocked.data());
+    std::vector<double> scratch;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(blocked[i], set.best_cluster(c.ds, i, scratch))
+          << "seed " << s.seed << " row " << i;
+    }
+    // A sub-range lands in the same labels at shifted positions.
+    if (n > 2) {
+      std::vector<int> sub(n - 2, -2);
+      set.best_clusters(c.ds, 1, n - 1, sub.data());
+      for (std::size_t i = 1; i + 1 < n; ++i) {
+        EXPECT_EQ(sub[i - 1], blocked[i]) << "seed " << s.seed;
+      }
+    }
+    // The pre-encoded rows overload sees the same cells, same labels.
+    std::vector<data::Value> rows(n * d);
+    for (std::size_t i = 0; i < n; ++i) {
+      c.ds.gather_row(i, rows.data() + i * d);
+    }
+    std::vector<int> from_rows(n, -2);
+    set.best_clusters(rows.data(), n, from_rows.data());
+    EXPECT_EQ(from_rows, blocked) << "seed " << s.seed;
+  }
+}
+
+// Compact-bank semantics: freeze_compact narrows the quotients to f32
+// (batch and per-row paths agree with each other on that bank),
+// thaw_compact rebuilds the bit-exact f64 cache from the counts, and any
+// mutation thaws both banks.
+TEST(ProfileSet, CompactFreezeRoundTripAndThaw) {
+  const RandomCase c = random_case(81, 120, 6, 40);
+  core::ProfileSet set =
+      core::ProfileSet::from_assignment(c.ds, c.labels, c.k);
+  const std::size_t n = c.ds.num_objects();
+
+  set.freeze();
+  ASSERT_TRUE(set.frozen());
+  EXPECT_FALSE(set.compact_frozen());
+  std::vector<int> f64_labels(n);
+  set.best_clusters(c.ds, 0, n, f64_labels.data());
+
+  set.freeze_compact();
+  EXPECT_TRUE(set.frozen());
+  EXPECT_TRUE(set.compact_frozen());
+  std::vector<int> f32_labels(n);
+  set.best_clusters(c.ds, 0, n, f32_labels.data());
+  // The compact bank is not bit-contracted against f64, but the batch and
+  // per-row paths must agree with each other on it.
+  std::vector<double> scratch;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(f32_labels[i], set.best_cluster(c.ds, i, scratch)) << i;
+  }
+  // Idempotent: a second freeze_compact is a no-op.
+  set.freeze_compact();
+  EXPECT_TRUE(set.compact_frozen());
+
+  // thaw_compact rebuilds the f64 cache deterministically: same labels.
+  set.thaw_compact();
+  EXPECT_TRUE(set.frozen());
+  EXPECT_FALSE(set.compact_frozen());
+  std::vector<int> rebuilt(n);
+  set.best_clusters(c.ds, 0, n, rebuilt.data());
+  EXPECT_EQ(rebuilt, f64_labels);
+
+  // Any mutation thaws both banks.
+  set.freeze_compact();
+  set.add(0, c.ds, 0);
+  EXPECT_FALSE(set.frozen());
+  EXPECT_FALSE(set.compact_frozen());
+}
+
+// Pins the freeze() thread-safety contract stated in profile_set.h: the
+// first freeze() completes on one thread with a happens-before edge to
+// every reader (here: thread creation), after which any number of
+// threads may score concurrently — including re-entering freeze(), which
+// must return immediately. The tsan CI job runs this suite, so an
+// unsynchronised write in any read path is a build failure, not a hope.
+TEST(ProfileSet, ConcurrentFrozenReads) {
+  const RandomCase c = random_case(91, 256, 6, 40);
+  const core::ProfileSet set =
+      core::ProfileSet::from_assignment(c.ds, c.labels, c.k);
+  const std::size_t n = c.ds.num_objects();
+  set.freeze();
+  std::vector<int> reference(n);
+  set.best_clusters(c.ds, 0, n, reference.data());
+
+  constexpr int kReaders = 4;
+  std::vector<std::vector<int>> got(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      set.freeze();  // re-entry on a frozen set: immediate return
+      std::vector<int> mine(n);
+      set.best_clusters(c.ds, 0, n, mine.data());
+      // Per-row reads share the same cache concurrently.
+      std::vector<double> scores(static_cast<std::size_t>(c.k));
+      set.score_all(c.ds, static_cast<std::size_t>(t), scores.data());
+      got[static_cast<std::size_t>(t)] = std::move(mine);
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  for (const std::vector<int>& labels : got) EXPECT_EQ(labels, reference);
+}
+
+// The Model-level adoption gate: try_compact_scorer adopts the float32
+// bank only on proven label-identity over the supplied rows, proves
+// nothing from empty input, and FitOptions::compact_scorer wires the same
+// gate through Engine::fit without moving the fit's labels.
+TEST(Model, TryCompactScorerGate) {
+  data::WellSeparatedConfig config;
+  config.num_objects = 300;
+  config.purity = 0.8;
+  config.seed = 3;
+  const data::Dataset ds =
+      data::with_missing_cells(data::well_separated(config), 0.05, 11);
+  api::Engine engine;
+  api::FitOptions options;
+  options.method = "mcdc1";
+  options.k = 3;
+  options.seed = 9;
+  options.evaluate = false;
+  api::FitResult fit = engine.fit(ds, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_FALSE(fit.model.compact_scorer());
+  const std::vector<int> f64_labels = fit.model.predict(ds);
+
+  // Empty input proves nothing: the f64 bank stays.
+  EXPECT_FALSE(fit.model.try_compact_scorer(nullptr, 0));
+  EXPECT_FALSE(fit.model.compact_scorer());
+
+  const bool adopted = fit.model.try_compact_scorer(ds);
+  EXPECT_EQ(fit.model.compact_scorer(), adopted);
+  if (adopted) {
+    // The gate's promise: every validated row keeps its label.
+    EXPECT_EQ(fit.model.predict(ds), f64_labels);
+  }
+
+  // The Engine wiring reaches the same decision and the same labels.
+  options.compact_scorer = true;
+  const api::FitResult compact_fit = engine.fit(ds, options);
+  ASSERT_TRUE(compact_fit.ok());
+  EXPECT_EQ(compact_fit.model.compact_scorer(), adopted);
+  EXPECT_EQ(compact_fit.report.labels, fit.report.labels);
+  EXPECT_EQ(compact_fit.model.predict(ds), f64_labels);
 }
 
 TEST(Model, PredictMatchesPredictRow) {

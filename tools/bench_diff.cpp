@@ -12,6 +12,11 @@
 // the "build" stamps of both documents are printed so a cross-flavour
 // comparison is visible in the log.
 //
+// A current run may carry a top-level "skipped" array naming ratio keys its
+// host could not measure (e.g. "simd_vs_scalar_k64" on a machine without
+// AVX2). A recorded ratio listed there prints a note instead of failing —
+// the hardware cannot regress a path it cannot run.
+//
 // Exit codes: 0 all ratios hold, 1 regression, 2 usage/IO/parse failure.
 #include <cstdio>
 #include <fstream>
@@ -73,8 +78,22 @@ int main(int argc, char** argv) {
     const api::Json& want = record.at("ratios");
     const api::Json& have = current.at("ratios");
 
+    const auto skipped_by_host = [&current](const std::string& key) {
+      if (!current.contains("skipped")) return false;
+      const api::Json& skipped = current.at("skipped");
+      for (std::size_t i = 0; i < skipped.size(); ++i) {
+        if (skipped.at(i).as_string() == key) return true;
+      }
+      return false;
+    };
+
     bool ok = true;
     for (const auto& [key, recorded] : want.items()) {
+      if (skipped_by_host(key)) {
+        std::printf("%-28s recorded %.3f, skipped by the current host\n",
+                    key.c_str(), recorded.as_double());
+        continue;
+      }
       if (!have.contains(key)) {
         std::printf("%-28s recorded %.3f, MISSING from current run\n",
                     key.c_str(), recorded.as_double());

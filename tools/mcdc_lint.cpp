@@ -1,7 +1,7 @@
 // mcdc_lint — build-time enforcement of the determinism contract.
 //
 // Walks the given paths (default: src/ and tools/ under --root), lints
-// every C++ source/header with the D1-D5 rules in src/lint/linter.h, and
+// every C++ source/header with the D1-D6 rules in src/lint/linter.h, and
 // exits nonzero when any unsuppressed finding remains. Suppressed
 // findings are counted and, with --show-suppressed, listed with their
 // reasons so exemptions stay auditable.
@@ -47,7 +47,7 @@ void list_rules() {
   for (const Rule rule :
        {Rule::kD1WallClock, Rule::kD2AmbientRng, Rule::kD3UnorderedContainer,
         Rule::kD4PointerKey, Rule::kD5ParallelReduction,
-        Rule::kBadSuppression}) {
+        Rule::kD6SimdIntrinsics, Rule::kBadSuppression}) {
     std::cout << mcdc::lint::rule_id(rule) << "  "
               << mcdc::lint::rule_summary(rule) << "\n";
   }
@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
 
   int unsuppressed = 0;
   int suppressed = 0;
-  int rule_counts[6] = {0, 0, 0, 0, 0, 0};
+  int rule_counts[7] = {0, 0, 0, 0, 0, 0, 0};
   for (const fs::path& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -142,6 +142,7 @@ int main(int argc, char** argv) {
             mcdc::lint::Rule::kD3UnorderedContainer,
             mcdc::lint::Rule::kD4PointerKey,
             mcdc::lint::Rule::kD5ParallelReduction,
+            mcdc::lint::Rule::kD6SimdIntrinsics,
             mcdc::lint::Rule::kBadSuppression}) {
         const int count = rule_counts[static_cast<int>(rule)];
         if (count == 0) continue;

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Static-analysis gate: mcdc_lint (determinism contract D1-D5) +
+# Static-analysis gate: mcdc_lint (determinism contract D1-D6) +
 # clang-tidy (pinned .clang-tidy profile) + cppcheck, all driven off the
 # CMake-exported compile_commands.json.
 #
