@@ -38,8 +38,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <algorithm>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -559,6 +561,75 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- drift trigger latency: rows from injection to refit, per bank -----
+  // Deterministic by construction (single-threaded, row-counted, no wall
+  // clock): settle the baseline on two clean windows, then feed the
+  // code-shifted trace one row at a time until the bank refits. The gated
+  // ratio is the inverted margin budget / latency_rows (higher is better,
+  // 0 on a miss), one per detector bank, so a change that slows any
+  // detector's reaction past tolerance fails the tools/bench_diff gate.
+  const std::vector<std::string> detector_specs = {"mean", "hist", "ph",
+                                                   "quantile", "ensemble"};
+  std::vector<double> trigger_latency_rows(detector_specs.size(), 0.0);
+  std::vector<double> trigger_margin(detector_specs.size(), 0.0);
+  {
+    const std::vector<data::Value> shifted =
+        shift_codes(rows, ds.cardinalities(), n, d);
+    const std::size_t window = 512;
+    const std::size_t chunk = 256;
+    const std::size_t cadence = 512;
+    // The warmup deliberately runs half a tick PAST the last cadence point:
+    // a publish rebases every detector, and an injection landing exactly on
+    // a rebase would hand the sequential tests a stream that is uniformly
+    // at the new level from their first post-reset observation (nothing to
+    // detect). Real drift never phase-locks to the publish cadence either.
+    // The half-cadence tail also puts the first post-injection tick at a
+    // 50% drifted window mix, which the windowed detectors need to clear
+    // their default thresholds before incremental swaps absorb the shift.
+    const std::size_t warmup = std::min(n, window * 2 + cadence / 2);
+    const std::size_t budget = std::min(n, window * 4);
+    for (std::size_t s = 0; s < detector_specs.size(); ++s) {
+      serve::OnlineConfig online;
+      online.tick_every = cadence;
+      online.window_capacity = window;
+      online.detector = detector_specs[s];
+      auto server = std::make_shared<serve::ModelServer>(model);
+      serve::OnlineUpdater updater(
+          server, serve::make_online_learner(online, ds.cardinalities()),
+          online);
+      for (std::size_t i = 0; i < warmup; i += chunk) {
+        updater.observe(rows.data() + i * d, std::min(chunk, warmup - i));
+      }
+      const std::uint64_t clean_refits = updater.evidence().refits;
+      std::size_t fed = 0;
+      while (fed < budget) {
+        updater.observe(shifted.data() + fed * d, 1);
+        ++fed;
+        if (updater.evidence().refits > clean_refits) break;
+      }
+      server->stop();
+      const bool fired = updater.evidence().refits > clean_refits;
+      trigger_latency_rows[s] = static_cast<double>(fed);
+      trigger_margin[s] =
+          fired ? static_cast<double>(budget) / static_cast<double>(fed) : 0.0;
+      std::printf(
+          "%-12s %-8s bank refit after %5zu drifted row(s)%s  margin %.2fx\n",
+          "trigger", detector_specs[s].c_str(), fed, fired ? "" : " (miss)",
+          trigger_margin[s]);
+      // A solo bank may legitimately sleep through this workload (e.g. a
+      // cyclic shift on near-uniform pooled marginals is invisible to hist;
+      // the loop then absorbs the drift through incremental swaps instead).
+      // Only the ensemble must react — it carries every signal at once.
+      if (!fired && detector_specs[s] == "ensemble") {
+        std::fprintf(stderr,
+                     "FAIL: ensemble bank never refitted within %zu drifted "
+                     "rows\n",
+                     budget);
+        ok = false;
+      }
+    }
+  }
+
   if (!ok) return 1;
   std::printf("labels identical to bulk predict across all phases: yes\n");
 
@@ -622,12 +693,22 @@ int main(int argc, char** argv) {
     online_json["swaps"] = online_evidence.swaps;
     online_json["refits"] = online_evidence.refits;
     online_json["generation"] = online_evidence.generation;
+    api::Json latency_json = api::Json::object();
+    for (std::size_t s = 0; s < detector_specs.size(); ++s) {
+      latency_json[detector_specs[s]] = trigger_latency_rows[s];
+    }
+    online_json["trigger_latency_rows"] = std::move(latency_json);
     metrics["online"] = std::move(online_json);
     doc["metrics"] = std::move(metrics);
     api::Json ratios = api::Json::object();
     ratios["batched_vs_unbatched"] = batched_ratio;
     ratios["binary_vs_json_roundtrip"] = artifact_ratio;
     if (gate_cluster) ratios["cluster_vs_single_shard"] = cluster_ratio;
+    // Row counts, not wall clock: these margins reproduce bit-exactly on
+    // any host, so bench_diff can gate them at zero hardware tolerance.
+    for (std::size_t s = 0; s < detector_specs.size(); ++s) {
+      ratios["online_trigger_margin_" + detector_specs[s]] = trigger_margin[s];
+    }
     doc["ratios"] = std::move(ratios);
     if (!bench::write_json(json_path, doc)) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

@@ -146,6 +146,13 @@ class Model {
   std::vector<std::vector<data::Value>> encoding_map(
       const data::DatasetView& ds) const;
 
+  // The flat scoring bank — every cluster's per-feature value histograms
+  // in ProfileSet layout. Read-only; the serving drift detectors pool its
+  // per-feature marginals (ProfileSet::marginal_distribution) to compare
+  // live traffic against what the model was trained on. Empty (k = 0)
+  // until the model is fitted.
+  const core::ProfileSet& profile_bank() const { return scorer_; }
+
   // Mode (most frequent value per feature, ties to the smallest code) and
   // training mass of cluster l — the locality router's view of a cluster
   // as a micro-cluster sketch. Throws std::logic_error when unfitted.

@@ -124,6 +124,26 @@ Json RunReport::to_json() const {
     Json drift_json = Json::array();
     for (const double s : online.drift_scores) drift_json.push_back(s);
     online_json["drift_scores"] = std::move(drift_json);
+    if (!online.detectors.empty()) {
+      Json detectors_json = Json::array();
+      for (const DriftDetectorEvidence& detector : online.detectors) {
+        Json detector_json = Json::object();
+        detector_json["name"] = detector.name;
+        detector_json["voting"] = detector.voting;
+        detector_json["fired_ticks"] =
+            static_cast<double>(detector.fired_ticks);
+        detector_json["refits"] = static_cast<double>(detector.refits);
+        detector_json["last_statistic"] = detector.last_statistic;
+        detector_json["max_statistic"] = detector.max_statistic;
+        detectors_json.push_back(std::move(detector_json));
+      }
+      online_json["detectors"] = std::move(detectors_json);
+      Json triggers_json = Json::array();
+      for (const std::string& fired : online.refit_detectors) {
+        triggers_json.push_back(fired);
+      }
+      online_json["refit_detectors"] = std::move(triggers_json);
+    }
     out["online"] = std::move(online_json);
   }
 

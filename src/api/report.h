@@ -98,6 +98,21 @@ struct ServeEvidence {
   std::uint64_t generation = 0;        // cluster target model generation
 };
 
+// Per-detector bookkeeping of the online loop's drift bank
+// (serve/drift.h): one entry per constructed detector, in bank order (the
+// mean detector is always first). `voting` marks the detectors whose
+// verdicts count toward the refit trigger policy; non-voting detectors
+// (the mean signal when another detector was selected) still report their
+// statistics for observability.
+struct DriftDetectorEvidence {
+  std::string name;                // "mean", "hist", "ph", "quantile"
+  bool voting = false;             // counts toward the trigger policy
+  std::uint64_t fired_ticks = 0;   // ticks where the statistic crossed
+  std::uint64_t refits = 0;        // refits this detector's vote was part of
+  double last_statistic = 0.0;     // statistic at the last evaluated tick
+  double max_statistic = 0.0;
+};
+
 // Evidence of a continuous-learning session (filled from
 // serve::OnlineUpdater::evidence): the tick-by-tick bookkeeping of the
 // observe -> drift-check -> swap/refit/hold -> publish loop. ticks == 0
@@ -108,7 +123,12 @@ struct OnlineEvidence {
   std::uint64_t refits = 0;         // drift-triggered refit-from-window
   std::uint64_t holds = 0;          // ticks that published nothing
   std::uint64_t rows_observed = 0;  // rows fed to the learner
-  std::uint64_t rows_absorbed = 0;  // observed + re-observed on refits
+  // Distinct stream rows absorbed by the learner — each observed row
+  // counted exactly once; refit replays re-observe rows already counted
+  // and do not increment (they coincide with rows_observed today, and
+  // diverge the day an admission/sampling path lands in front of the
+  // learner).
+  std::uint64_t rows_absorbed = 0;
   std::uint64_t generation = 0;     // published snapshot generation
   std::uint64_t first_refit_tick = 0;  // 1-based; 0 = no refit happened
   int clusters = 0;                 // live learner clusters at capture
@@ -116,6 +136,12 @@ struct OnlineEvidence {
   double last_drift = 0.0;          // baseline - window mean, last tick
   double max_drift = 0.0;
   std::vector<double> drift_scores;  // per-tick drift, most recent <= 512
+  // Per-detector state, bank order (mean first; see DriftDetectorEvidence).
+  std::vector<DriftDetectorEvidence> detectors;
+  // Which detectors fired each refit, oldest first, most recent <= 512 —
+  // voting detectors whose verdicts fired on the triggering tick, joined
+  // "mean+hist" in bank order.
+  std::vector<std::string> refit_detectors;
 };
 
 struct RunReport {

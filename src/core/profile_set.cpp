@@ -638,4 +638,19 @@ ClusterProfile ProfileSet::profile(int l) const {
                                      static_cast<int>(size(l)));
 }
 
+double ProfileSet::marginal_distribution(std::size_t r,
+                                         std::vector<double>& out) const {
+  const auto card = static_cast<std::size_t>(cardinalities_[r]);
+  out.assign(card, 0.0);
+  double mass = 0.0;
+  for (int l = 0; l < k_; ++l) mass += non_null(l, r);
+  if (mass <= 0.0) return 0.0;
+  for (data::Value v = 0; v < cardinalities_[r]; ++v) {
+    double pooled = 0.0;
+    for (int l = 0; l < k_; ++l) pooled += count(l, r, v);
+    out[static_cast<std::size_t>(v)] = pooled / mass;
+  }
+  return mass;
+}
+
 }  // namespace mcdc::core

@@ -192,6 +192,15 @@ class ProfileSet {
   // for consumers that serialise or keep the nested representation.
   ClusterProfile profile(int l) const;
 
+  // Pooled per-feature value distribution across every cluster:
+  // out[v] = sum_l count(l, r, v) / sum_l non_null(l, r) for v in
+  // [0, cardinality(r)). Returns the pooled non-null mass (out is zeroed
+  // when it is 0 — an all-NULL or empty bank carries no distribution).
+  // Accumulated in ascending cluster order; a k = 1 bank over window rows
+  // is exactly a per-feature window histogram, which is how the serving
+  // drift detectors compare traffic against a published model's profiles.
+  double marginal_distribution(std::size_t r, std::vector<double>& out) const;
+
  private:
   bool in_domain(std::size_t r, data::Value v) const {
     return v >= 0 && v < cardinalities_[r];

@@ -1,0 +1,277 @@
+#include "serve/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/profile_set.h"
+
+namespace mcdc::serve {
+
+// --- mean ------------------------------------------------------------------
+
+DriftVerdict MeanDriftDetector::evaluate(const DriftContext& ctx) {
+  DriftVerdict verdict;
+  if (!baseline_set_) {
+    // First evaluated tick after a publish that saw an empty window: the
+    // current window anchors the baseline, exactly as the PR 7 loop did.
+    baseline_ = ctx.mean_score;
+    baseline_set_ = true;
+  }
+  verdict.statistic = baseline_ - ctx.mean_score;
+  verdict.fired = verdict.statistic > threshold_;
+  return verdict;
+}
+
+void MeanDriftDetector::rebase(const DriftContext& ctx) {
+  if (ctx.rows > 0) {
+    baseline_ = ctx.mean_score;
+    baseline_set_ = true;
+  } else {
+    baseline_set_ = false;
+  }
+}
+
+namespace {
+
+// --- hist ------------------------------------------------------------------
+
+// Max-over-features TV / JS divergence between the window's per-feature
+// value distributions and the published snapshot's pooled ProfileSet
+// marginals. The window histogram is accumulated into a one-cluster
+// ProfileSet — integral counts, so the sums are order-independent and the
+// slot-order window is fine.
+class HistDivergenceDetector final : public DriftDetector {
+ public:
+  explicit HistDivergenceDetector(const DriftConfig& config)
+      : tv_threshold_(config.hist_tv_threshold),
+        js_threshold_(config.hist_js_threshold) {}
+
+  const char* name() const override { return "hist"; }
+
+  DriftVerdict evaluate(const DriftContext& ctx) override {
+    DriftVerdict verdict;
+    if (ctx.rows == 0 || ctx.snapshot == nullptr || !ctx.snapshot->fitted()) {
+      return verdict;
+    }
+    const core::ProfileSet& bank = ctx.snapshot->profile_bank();
+    if (bank.num_features() != ctx.d) return verdict;
+
+    core::ProfileSet window_hist(bank.cardinalities(), 1);
+    for (std::size_t j = 0; j < ctx.rows; ++j) {
+      window_hist.add(0, ctx.window + j * ctx.d);
+    }
+
+    double tv_max = 0.0;
+    double js_max = 0.0;
+    std::vector<double> p, q;
+    for (std::size_t r = 0; r < ctx.d; ++r) {
+      // Features with no non-null mass on either side carry no evidence.
+      if (window_hist.marginal_distribution(r, p) <= 0.0) continue;
+      if (bank.marginal_distribution(r, q) <= 0.0) continue;
+      double tv = 0.0;
+      double js = 0.0;
+      for (std::size_t v = 0; v < p.size(); ++v) {
+        tv += std::abs(p[v] - q[v]);
+        const double m = 0.5 * (p[v] + q[v]);
+        if (p[v] > 0.0) js += 0.5 * p[v] * std::log2(p[v] / m);
+        if (q[v] > 0.0) js += 0.5 * q[v] * std::log2(q[v] / m);
+      }
+      tv *= 0.5;
+      tv_max = std::max(tv_max, tv);
+      js_max = std::max(js_max, js);
+    }
+    verdict.statistic = std::max(tv_max, js_max);
+    verdict.fired = tv_max > tv_threshold_ || js_max > js_threshold_;
+    return verdict;
+  }
+
+  // Stateless against the snapshot: the baseline IS the published model's
+  // profiles, which rebasing replaces wholesale.
+  void rebase(const DriftContext& ctx) override { (void)ctx; }
+
+ private:
+  double tv_threshold_;
+  double js_threshold_;
+};
+
+// --- ph --------------------------------------------------------------------
+
+// Page-Hinkley test for a downward shift in the per-row score level:
+//   n += 1;  mean += (x - mean) / n
+//   m += mean - x - delta;  m_min = min(m_min, m)
+// alarm when m - m_min > lambda. Every update is closed-form arithmetic on
+// the stream, so replays reproduce the accumulator bit-exactly; a publish
+// resets the test (a fresh snapshot defines a fresh score level).
+class PageHinkleyDetector final : public DriftDetector {
+ public:
+  explicit PageHinkleyDetector(const DriftConfig& config)
+      : delta_(config.ph_delta), lambda_(config.ph_lambda) {}
+
+  const char* name() const override { return "ph"; }
+  bool needs_row_scores() const override { return true; }
+
+  void observe_score(double score) override {
+    ++n_;
+    mean_ += (score - mean_) / static_cast<double>(n_);
+    cum_ += mean_ - score - delta_;
+    cum_min_ = std::min(cum_min_, cum_);
+  }
+
+  DriftVerdict evaluate(const DriftContext& ctx) override {
+    (void)ctx;
+    DriftVerdict verdict;
+    if (n_ == 0) return verdict;
+    verdict.statistic = cum_ - cum_min_;
+    verdict.fired = verdict.statistic > lambda_;
+    return verdict;
+  }
+
+  void rebase(const DriftContext& ctx) override {
+    (void)ctx;
+    n_ = 0;
+    mean_ = 0.0;
+    cum_ = 0.0;
+    cum_min_ = 0.0;
+  }
+
+ private:
+  double delta_;
+  double lambda_;
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double cum_ = 0.0;
+  double cum_min_ = 0.0;
+};
+
+// --- quantile --------------------------------------------------------------
+
+// Score-quantile shift: the window's score quantiles (nearest-rank on a
+// sorted copy, so the slot-order context is fine) against the quantiles
+// captured at the last publish. statistic = the worst downward shift
+// across the tracked quantiles.
+class QuantileShiftDetector final : public DriftDetector {
+ public:
+  explicit QuantileShiftDetector(const DriftConfig& config)
+      : threshold_(config.quantile_threshold), quantiles_(config.quantiles) {}
+
+  const char* name() const override { return "quantile"; }
+
+  DriftVerdict evaluate(const DriftContext& ctx) override {
+    DriftVerdict verdict;
+    if (ctx.rows == 0 || ctx.scores == nullptr || quantiles_.empty()) {
+      return verdict;
+    }
+    const std::vector<double> current = quantiles_of(ctx);
+    if (baseline_.empty()) {
+      // Same first-sighting anchoring as the mean baseline: a publish that
+      // saw an empty window defers the yardstick to the first tick.
+      baseline_ = current;
+      return verdict;
+    }
+    double worst = 0.0;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      worst = std::max(worst, baseline_[i] - current[i]);
+    }
+    verdict.statistic = worst;
+    verdict.fired = worst > threshold_;
+    return verdict;
+  }
+
+  void rebase(const DriftContext& ctx) override {
+    baseline_.clear();
+    if (ctx.rows > 0 && ctx.scores != nullptr && !quantiles_.empty()) {
+      baseline_ = quantiles_of(ctx);
+    }
+  }
+
+ private:
+  std::vector<double> quantiles_of(const DriftContext& ctx) const {
+    std::vector<double> sorted(ctx.scores, ctx.scores + ctx.rows);
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> out(quantiles_.size());
+    for (std::size_t i = 0; i < quantiles_.size(); ++i) {
+      const double q = std::clamp(quantiles_[i], 0.0, 1.0);
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(ctx.rows - 1));
+      out[i] = sorted[idx];
+    }
+    return out;
+  }
+
+  double threshold_;
+  std::vector<double> quantiles_;
+  std::vector<double> baseline_;
+};
+
+}  // namespace
+
+std::unique_ptr<DriftDetector> make_hist_detector(const DriftConfig& config) {
+  return std::make_unique<HistDivergenceDetector>(config);
+}
+
+std::unique_ptr<DriftDetector> make_page_hinkley_detector(
+    const DriftConfig& config) {
+  return std::make_unique<PageHinkleyDetector>(config);
+}
+
+std::unique_ptr<DriftDetector> make_quantile_detector(
+    const DriftConfig& config) {
+  return std::make_unique<QuantileShiftDetector>(config);
+}
+
+DetectorBank make_drift_detectors(const std::string& spec,
+                                  double mean_threshold,
+                                  const DriftConfig& config) {
+  // Expand the spec into the requested name list.
+  std::vector<std::string> names;
+  if (spec == "ensemble") {
+    names = {"mean", "hist", "ph", "quantile"};
+  } else {
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+      const std::size_t comma = spec.find(',', start);
+      const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+      names.push_back(spec.substr(start, end - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+
+  DetectorBank bank;
+  // The mean detector always rides along (it owns the reported baseline
+  // and the drift trace); whether its verdict counts is decided below.
+  bank.detectors.push_back(std::make_unique<MeanDriftDetector>(mean_threshold));
+  bank.voting.push_back(0);
+
+  const auto index_of = [&bank](const char* name) {
+    for (std::size_t i = 0; i < bank.detectors.size(); ++i) {
+      if (std::string(bank.detectors[i]->name()) == name) return i;
+    }
+    return bank.detectors.size();
+  };
+  for (const std::string& name : names) {
+    if (name == "mean") {
+      bank.voting[0] = 1;
+      continue;
+    }
+    std::unique_ptr<DriftDetector> detector;
+    if (name == "hist") {
+      detector = make_hist_detector(config);
+    } else if (name == "ph") {
+      detector = make_page_hinkley_detector(config);
+    } else if (name == "quantile") {
+      detector = make_quantile_detector(config);
+    } else {
+      throw std::invalid_argument(
+          "drift detector: unknown kind \"" + name +
+          "\" (expected mean|hist|ph|quantile, a comma list, or ensemble)");
+    }
+    if (index_of(detector->name()) < bank.detectors.size()) continue;
+    bank.detectors.push_back(std::move(detector));
+    bank.voting.push_back(1);
+  }
+  return bank;
+}
+
+}  // namespace mcdc::serve

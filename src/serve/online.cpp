@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace mcdc::serve {
 
 namespace {
+
+// Capacity of the per-tick drift trace and the refit-trigger trace the
+// evidence reports (most recent entries win).
+constexpr std::size_t kTraceCapacity = 512;
 
 // Adapter over StreamingMgcpl (the default learner: the paper's
 // incremental MGCPL with closed-form winner/rival updates).
@@ -106,6 +111,34 @@ OnlineUpdater::OnlineUpdater(std::shared_ptr<ModelServer> server,
         "OnlineUpdater: window_capacity must be >= 1");
   }
   window_.resize(config_.window_capacity * learner_->num_features());
+
+  DetectorBank bank = make_drift_detectors(
+      config_.detector, config_.drift_threshold, config_.drift);
+  detectors_ = std::move(bank.detectors);
+  voting_ = std::move(bank.voting);
+  // make_drift_detectors puts the mean detector first unconditionally — it
+  // owns the baseline the evidence reports even when it does not vote.
+  mean_detector_ = static_cast<MeanDriftDetector*>(detectors_.front().get());
+  std::size_t voters = 0;
+  for (const char v : voting_) voters += (v != 0) ? 1 : 0;
+  trigger_needed_ = std::max<std::size_t>(config_.trigger_k, 1);
+  trigger_needed_ = std::min(trigger_needed_, std::max<std::size_t>(voters, 1));
+  for (const auto& detector : detectors_) {
+    need_row_scores_ = need_row_scores_ || detector->needs_row_scores();
+  }
+  verdicts_.resize(detectors_.size());
+  drift_ring_.resize(kTraceCapacity);
+  // Inherit whatever the server already publishes — the sequential tests
+  // score the row stream under it until the loop's first own publish.
+  published_snapshot_ = server_->snapshot();
+
+  evidence_.detectors.reserve(detectors_.size());
+  for (std::size_t i = 0; i < detectors_.size(); ++i) {
+    api::DriftDetectorEvidence detector_evidence;
+    detector_evidence.name = detectors_[i]->name();
+    detector_evidence.voting = voting_[i] != 0;
+    evidence_.detectors.push_back(std::move(detector_evidence));
+  }
 }
 
 std::vector<int> OnlineUpdater::observe(const data::Value* rows,
@@ -124,6 +157,16 @@ std::vector<int> OnlineUpdater::observe(const data::Value* rows,
   for (std::size_t i = 0; i < n; ++i) {
     const data::Value* row = rows + i * d;
     ids[i] = learner_->observe(row);
+    if (need_row_scores_ && published_snapshot_ &&
+        published_snapshot_->has_schema()) {
+      // Feed the sequential tests the row's score under the published
+      // snapshot, in stream order — the Page-Hinkley accumulator advances
+      // exactly once per observed row.
+      const double score = published_snapshot_->predict_score(row);
+      for (const auto& detector : detectors_) {
+        if (detector->needs_row_scores()) detector->observe_score(score);
+      }
+    }
     std::copy(row, row + d, window_.begin() + window_next_ * d);
     window_next_ = (window_next_ + 1) % cap;
     window_rows_ = std::min(window_rows_ + 1, cap);
@@ -139,90 +182,132 @@ std::vector<int> OnlineUpdater::observe(const data::Value* rows,
   return ids;
 }
 
-double OnlineUpdater::window_mean_score(const api::Model& model) const {
+double OnlineUpdater::window_mean_score(const api::Model& model,
+                                        std::vector<double>* scores) const {
   const std::size_t d = learner_->num_features();
+  if (scores != nullptr) scores->resize(window_rows_);
   double total = 0.0;
+  // Accumulated in ring-slot order — the summation order the PR 7 loop
+  // established; the gate and the mean detector both depend on these exact
+  // low-order bits, so the order never changes (order-sensitive consumers
+  // like the refit replay materialise their own oldest-first copy).
   for (std::size_t j = 0; j < window_rows_; ++j) {
-    total += model.predict_score(window_.data() + j * d);
+    const double score = model.predict_score(window_.data() + j * d);
+    if (scores != nullptr) (*scores)[j] = score;
+    total += score;
   }
   return window_rows_ == 0 ? 0.0 : total / static_cast<double>(window_rows_);
 }
 
+void OnlineUpdater::materialize_window() {
+  const std::size_t d = learner_->num_features();
+  const std::size_t cap = config_.window_capacity;
+  const std::size_t start = window_rows_ < cap ? 0 : window_next_;
+  scratch_rows_.resize(window_rows_ * d);
+  for (std::size_t j = 0; j < window_rows_; ++j) {
+    const data::Value* src = window_.data() + ((start + j) % cap) * d;
+    std::copy(src, src + d,
+              scratch_rows_.begin() + static_cast<std::ptrdiff_t>(j * d));
+  }
+}
+
 void OnlineUpdater::publish(api::Model model) {
   if (config_.compact_scorer && window_rows_ > 0 && model.fitted()) {
-    // Validate the compact float32 bank against the window in ring order
+    // Validate the compact float32 bank against the window oldest-first
     // (adopt only if every window row keeps its label; the f64 bank stays
-    // otherwise). Ring order matches the refit replay order, keeping the
-    // whole loop a function of the observed row stream.
-    const std::size_t d = learner_->num_features();
-    const std::size_t cap = config_.window_capacity;
-    const std::size_t start = window_rows_ < cap ? 0 : window_next_;
-    std::vector<data::Value> rows(window_rows_ * d);
-    for (std::size_t j = 0; j < window_rows_; ++j) {
-      const data::Value* src = window_.data() + ((start + j) % cap) * d;
-      std::copy(src, src + d, rows.begin() + static_cast<std::ptrdiff_t>(j * d));
-    }
-    model.try_compact_scorer(rows.data(), window_rows_);
+    // otherwise) — the same replay order the refit uses, keeping the whole
+    // loop a function of the observed row stream.
+    materialize_window();
+    model.try_compact_scorer(scratch_rows_.data(), window_rows_);
   }
   const auto next = std::make_shared<const api::Model>(std::move(model));
   server_->swap(next);
+  published_snapshot_ = next;
   rows_since_publish_ = 0;
-  // Re-baseline under the published snapshot: the detector measures shift
+  // Rebase every detector under the published snapshot: drift is measured
   // against what serving traffic actually scores on now, so each
-  // incremental swap resets the yardstick and only abrupt, unabsorbed
-  // shift accumulates into a trigger.
-  if (window_rows_ > 0) {
-    baseline_ = window_mean_score(*next);
-    baseline_set_ = true;
-  } else {
-    baseline_set_ = false;
-  }
+  // incremental swap resets the yardstick — sequential state restarts, the
+  // quantile baseline re-captures — and only abrupt, unabsorbed shift
+  // accumulates into a trigger.
+  const double mean =
+      window_rows_ > 0 ? window_mean_score(*next, &scratch_scores_) : 0.0;
+  DriftContext ctx;
+  ctx.window = window_.data();
+  ctx.rows = window_rows_;
+  ctx.d = learner_->num_features();
+  ctx.scores = window_rows_ > 0 ? scratch_scores_.data() : nullptr;
+  ctx.mean_score = mean;
+  ctx.snapshot = next.get();
+  for (const auto& detector : detectors_) detector->rebase(ctx);
   std::lock_guard<std::mutex> lock(evidence_mutex_);
   ++evidence_.generation;
-  evidence_.baseline_score = baseline_set_ ? baseline_ : 0.0;
+  evidence_.baseline_score =
+      mean_detector_->baseline_set() ? mean_detector_->baseline() : 0.0;
 }
 
 TickAction OnlineUpdater::tick() {
   learner_->end_chunk();
 
   const std::shared_ptr<const api::Model> published = server_->snapshot();
-  double drift = 0.0;
-  double published_mean = 0.0;
-  if (published && window_rows_ > 0) {
-    published_mean = window_mean_score(*published);
-    if (!baseline_set_) {
-      baseline_ = published_mean;
-      baseline_set_ = true;
-    }
-    drift = baseline_ - published_mean;
-  }
+  published_snapshot_ = published;
 
   TickAction action = TickAction::kHold;
-  std::size_t refit_rows = 0;
-  if (drift > config_.drift_threshold &&
-      window_rows_ >= config_.min_refit_rows) {
-    // The published structure no longer explains the recent window:
-    // rebuild from it instead of dragging stale clusters along.
-    action = TickAction::kRefit;
-    learner_->reset();
-    const std::size_t d = learner_->num_features();
-    const std::size_t cap = config_.window_capacity;
-    const std::size_t start = window_rows_ < cap ? 0 : window_next_;
-    for (std::size_t j = 0; j < window_rows_; ++j) {
-      learner_->observe(window_.data() + ((start + j) % cap) * d);
-    }
-    learner_->end_chunk();
-    refit_rows = window_rows_;
-    publish(learner_->to_model());
-  } else if (learner_->num_clusters() > 0 && rows_since_publish_ > 0) {
-    // Publish-if-better: the candidate only replaces the snapshot when it
-    // explains the recent window strictly better. A half-formed learner
-    // never displaces a fitted model the traffic still scores well on
-    // (and an empty learner's k = 0 model never displaces anything).
-    api::Model candidate = learner_->to_model();
-    if (window_mean_score(candidate) > published_mean) {
+  double drift = 0.0;
+  double published_mean = 0.0;
+  bool evaluated = false;
+  if (!published) {
+    // Empty server: the publish-if-better gate has nothing to compare
+    // against, and a zero-scoring candidate (e.g. off an all-missing
+    // warmup) would wedge a strict "beats 0" comparison forever. The first
+    // exported candidate with live clusters publishes unconditionally —
+    // anything beats nothing.
+    if (learner_->num_clusters() > 0 && rows_since_publish_ > 0) {
       action = TickAction::kSwap;
-      publish(std::move(candidate));
+      publish(learner_->to_model());
+    }
+  } else {
+    std::size_t votes = 0;
+    if (window_rows_ > 0) {
+      published_mean = window_mean_score(*published, &scratch_scores_);
+      DriftContext ctx;
+      ctx.window = window_.data();
+      ctx.rows = window_rows_;
+      ctx.d = learner_->num_features();
+      ctx.scores = scratch_scores_.data();
+      ctx.mean_score = published_mean;
+      ctx.snapshot = published.get();
+      for (std::size_t i = 0; i < detectors_.size(); ++i) {
+        verdicts_[i] = detectors_[i]->evaluate(ctx);
+        if (voting_[i] != 0 && verdicts_[i].fired) ++votes;
+      }
+      evaluated = true;
+      // The mean detector's statistic is the drift trace — bit-identical
+      // to the PR 7 baseline-minus-mean signal.
+      drift = verdicts_.front().statistic;
+    }
+    if (votes >= trigger_needed_ && window_rows_ >= config_.min_refit_rows) {
+      // The published structure no longer explains the recent window:
+      // rebuild from it instead of dragging stale clusters along.
+      action = TickAction::kRefit;
+      learner_->reset();
+      materialize_window();
+      const std::size_t d = learner_->num_features();
+      for (std::size_t j = 0; j < window_rows_; ++j) {
+        learner_->observe(scratch_rows_.data() + j * d);
+      }
+      learner_->end_chunk();
+      publish(learner_->to_model());
+    } else if (learner_->num_clusters() > 0 && rows_since_publish_ > 0) {
+      // Publish-if-better: the candidate only replaces the snapshot when
+      // it explains the recent window strictly better. A half-formed
+      // learner never displaces a fitted model the traffic still scores
+      // well on (and an empty learner's k = 0 model never displaces
+      // anything).
+      api::Model candidate = learner_->to_model();
+      if (window_mean_score(candidate) > published_mean) {
+        action = TickAction::kSwap;
+        publish(std::move(candidate));
+      }
     }
   }
   rows_since_tick_ = 0;
@@ -233,33 +318,68 @@ TickAction OnlineUpdater::tick() {
   switch (action) {
     case TickAction::kSwap: ++evidence_.swaps; break;
     case TickAction::kRefit:
+      // The refit replay re-observes window rows already counted when they
+      // streamed in — rows_absorbed counts distinct stream rows, so the
+      // replay does not increment it.
       ++evidence_.refits;
-      evidence_.rows_absorbed += refit_rows;
       if (evidence_.first_refit_tick == 0) {
         evidence_.first_refit_tick = evidence_.ticks;
       }
       break;
     case TickAction::kHold: ++evidence_.holds; break;
   }
+  if (evaluated) {
+    for (std::size_t i = 0; i < detectors_.size(); ++i) {
+      api::DriftDetectorEvidence& detector_evidence = evidence_.detectors[i];
+      detector_evidence.last_statistic = verdicts_[i].statistic;
+      detector_evidence.max_statistic =
+          std::max(detector_evidence.max_statistic, verdicts_[i].statistic);
+      if (verdicts_[i].fired) ++detector_evidence.fired_ticks;
+    }
+  }
+  if (action == TickAction::kRefit) {
+    std::string fired_names;
+    for (std::size_t i = 0; i < detectors_.size(); ++i) {
+      if (voting_[i] != 0 && verdicts_[i].fired) {
+        if (!fired_names.empty()) fired_names += '+';
+        fired_names += detectors_[i]->name();
+        ++evidence_.detectors[i].refits;
+      }
+    }
+    if (evidence_.refit_detectors.size() >= kTraceCapacity) {
+      evidence_.refit_detectors.erase(evidence_.refit_detectors.begin());
+    }
+    evidence_.refit_detectors.push_back(std::move(fired_names));
+  }
   evidence_.clusters = static_cast<int>(learner_->num_clusters());
-  if (baseline_set_) evidence_.baseline_score = baseline_;
+  if (mean_detector_->baseline_set()) {
+    evidence_.baseline_score = mean_detector_->baseline();
+  }
   return action;
 }
 
 void OnlineUpdater::record(double drift) {
-  constexpr std::size_t kDriftRing = 512;
   std::lock_guard<std::mutex> lock(evidence_mutex_);
-  if (evidence_.drift_scores.size() >= kDriftRing) {
-    evidence_.drift_scores.erase(evidence_.drift_scores.begin());
-  }
-  evidence_.drift_scores.push_back(drift);
+  // O(1) ring write — evidence() materialises the trace oldest-first (the
+  // erase-from-front vector this replaced shifted the whole trace on every
+  // tick once full).
+  drift_ring_[drift_ring_next_] = drift;
+  drift_ring_next_ = (drift_ring_next_ + 1) % drift_ring_.size();
+  drift_ring_rows_ = std::min(drift_ring_rows_ + 1, drift_ring_.size());
   evidence_.last_drift = drift;
   evidence_.max_drift = std::max(evidence_.max_drift, drift);
 }
 
 api::OnlineEvidence OnlineUpdater::evidence() const {
   std::lock_guard<std::mutex> lock(evidence_mutex_);
-  return evidence_;
+  api::OnlineEvidence out = evidence_;
+  out.drift_scores.resize(drift_ring_rows_);
+  const std::size_t size = drift_ring_.size();
+  const std::size_t start = drift_ring_rows_ < size ? 0 : drift_ring_next_;
+  for (std::size_t j = 0; j < drift_ring_rows_; ++j) {
+    out.drift_scores[j] = drift_ring_[(start + j) % size];
+  }
+  return out;
 }
 
 }  // namespace mcdc::serve

@@ -21,19 +21,31 @@
 //            \         |
 //          ModelServer::swap(snapshot)   -> generation++
 //                 |
-//          baseline re-measured under the new snapshot
+//          detectors rebased under the new snapshot
 //
 // Swaps are gated on merit — publish-if-better. Each tick exports the
 // learner and compares how the candidate and the published snapshot score
 // the recent window; the server only moves forward, so a half-formed
 // learner never replaces a fitted model that still explains the traffic.
-// Gradual drift stays below the threshold: as the published snapshot
-// slowly loses the window, the tracking learner overtakes it, the swap
-// lands, and the baseline re-measures under the new snapshot before the
-// gap ever widens. An abrupt shift outruns that escape hatch — the window
-// fills with rows the published snapshot cannot explain, its mean
-// best-score sinks past the threshold in ticks, and the learner refits
-// from the recent window instead of dragging stale structure along.
+// (One exception: while the server holds NO snapshot at all, the first
+// exported candidate with live clusters publishes unconditionally — a
+// candidate whose window score is 0, e.g. off an all-missing warmup,
+// must still beat "nothing".) Gradual drift stays below the threshold:
+// as the published snapshot slowly loses the window, the tracking learner
+// overtakes it, the swap lands, and the baselines re-measure under the
+// new snapshot before the gap ever widens. An abrupt shift outruns that
+// escape hatch — the window fills with rows the published snapshot cannot
+// explain, the drift detectors fire, and the learner refits from the
+// recent window instead of dragging stale structure along.
+//
+// Drift is judged by a bank of detectors (serve/drift.h): the PR 7 mean
+// best-score drop, per-feature histogram divergence against the
+// snapshot's profiles, a Page-Hinkley sequential test over the per-row
+// score stream, and a score-quantile-shift test. OnlineConfig::detector
+// selects which of them vote ("mean" by default — bit-identical to the
+// PR 7 loop) and trigger_k sets the k-of-n policy; the evidence reports
+// every constructed detector's statistics and which ones fired each
+// refit.
 //
 // Determinism contract: every decision is a function of the rows observed
 // and their order — the cadence is counted in rows, the drift signal is
@@ -62,6 +74,7 @@
 #include "api/report.h"
 #include "core/rgcl.h"
 #include "core/streaming.h"
+#include "serve/drift.h"
 #include "serve/server.h"
 
 namespace mcdc::serve {
@@ -96,10 +109,22 @@ struct OnlineConfig {
   std::size_t tick_every = 256;
   // Recent rows retained for drift measurement and refits.
   std::size_t window_capacity = 1024;
-  // A tick refits when (baseline - window mean score) exceeds this.
+  // The mean detector fires when (baseline - window mean score) exceeds
+  // this — the PR 7 knob, unchanged.
   double drift_threshold = 0.08;
-  // ... but only once the window holds enough rows to refit from.
+  // ... but a refit only happens once the window holds enough rows.
   std::size_t min_refit_rows = 64;
+  // Which drift detectors vote: "mean" (default, the PR 7 behaviour),
+  // "hist", "ph", "quantile", a comma list of those, or "ensemble" (all
+  // four). The mean detector is always constructed for the drift trace
+  // and baseline evidence; only selected detectors vote.
+  std::string detector = "mean";
+  // Trigger policy over the voting detectors: refit when at least
+  // trigger_k of them fire on one tick (clamped to the voting count;
+  // 1 = any-of, voting count = all-of).
+  std::size_t trigger_k = 1;
+  // Thresholds for the hist/ph/quantile detectors (serve/drift.h).
+  DriftConfig drift;
   // Try to adopt the compact float32 scoring bank on every published
   // snapshot, validated against the current drift window (adopted only
   // when every window row keeps its label — Model::try_compact_scorer).
@@ -146,11 +171,15 @@ class OnlineUpdater {
   api::OnlineEvidence evidence() const;
 
  private:
-  // Mean best-cluster score of the window under `model` — the
-  // score-distribution signal the baseline, the drift check and the
-  // publish-if-better gate all use.
-  double window_mean_score(const api::Model& model) const;
-  // Publishes the exported model; re-measures the baseline under it.
+  // Mean best-cluster score of the window under `model`, accumulated in
+  // ring-slot order — the publish-if-better gate's signal. With `scores`,
+  // also writes each row's score (same slot order) for the detectors.
+  double window_mean_score(const api::Model& model,
+                           std::vector<double>* scores = nullptr) const;
+  // Copies the window into scratch_rows_ oldest-first — the order the
+  // refit replay and the compact-scorer validation need.
+  void materialize_window();
+  // Publishes the exported model; rebases every detector under it.
   void publish(api::Model model);
   void record(double drift);
 
@@ -158,19 +187,41 @@ class OnlineUpdater {
   std::unique_ptr<OnlineLearner> learner_;
   OnlineConfig config_;
 
+  // The drift-detector bank (serve/drift.h): detectors_[0] is always the
+  // mean detector; voting_[i] marks the verdicts the trigger policy
+  // counts. trigger_needed_ is trigger_k clamped into [1, #voting].
+  std::vector<std::unique_ptr<DriftDetector>> detectors_;
+  std::vector<char> voting_;
+  std::size_t trigger_needed_ = 1;
+  MeanDriftDetector* mean_detector_ = nullptr;  // owned by detectors_[0]
+  bool need_row_scores_ = false;  // any detector consumes the score stream
+  // The snapshot the loop itself published last (or inherited at
+  // construction) — the model the per-row score stream is measured under.
+  // Single-writer like observe()/tick(); external swaps behind the
+  // updater's back are not part of the replay contract.
+  std::shared_ptr<const api::Model> published_snapshot_;
+
   // Drift window: a ring of the last window_capacity rows, flat row-major.
   std::vector<data::Value> window_;
   std::size_t window_rows_ = 0;  // rows currently held (<= capacity)
   std::size_t window_next_ = 0;  // ring write position
   std::size_t rows_since_tick_ = 0;
   std::size_t rows_since_publish_ = 0;
-  // Mean window score measured under the snapshot at its publish (or at
-  // the first tick after it); unset while the window was empty then.
-  double baseline_ = 0.0;
-  bool baseline_set_ = false;
+  // Tick scratch (member-owned so steady-state ticks allocate nothing):
+  // the oldest-first window copy, the per-row score buffer and the
+  // per-detector verdicts of the last evaluated tick.
+  std::vector<data::Value> scratch_rows_;
+  std::vector<double> scratch_scores_;
+  std::vector<DriftVerdict> verdicts_;
 
   mutable std::mutex evidence_mutex_;
   api::OnlineEvidence evidence_;
+  // Per-tick drift trace as a real ring (index + fixed buffer, O(1) per
+  // record); evidence() materialises it oldest-first into
+  // OnlineEvidence::drift_scores.
+  std::vector<double> drift_ring_;
+  std::size_t drift_ring_next_ = 0;
+  std::size_t drift_ring_rows_ = 0;
 };
 
 }  // namespace mcdc::serve

@@ -320,6 +320,10 @@ TEST(ThreadDeterminism, OnlineLoopIsWidthInvariant) {
     out.push_back(static_cast<int>(evidence.swaps));
     out.push_back(static_cast<int>(evidence.refits));
     out.push_back(static_cast<int>(evidence.holds));
+    // rows_absorbed counts distinct stream rows (refit replays do not
+    // re-count), so both counters equal the 2n rows this replay feeds.
+    out.push_back(static_cast<int>(evidence.rows_observed));
+    out.push_back(static_cast<int>(evidence.rows_absorbed));
     out.push_back(static_cast<int>(evidence.generation));
     out.push_back(static_cast<int>(evidence.first_refit_tick));
     out.push_back(evidence.clusters);
@@ -327,7 +331,10 @@ TEST(ThreadDeterminism, OnlineLoopIsWidthInvariant) {
     return out;
   });
 #if defined(__linux__) && defined(__GLIBC__)
-  EXPECT_EQ(fnv1a(kFnvSeed, outcome), 0x839d096886eab629ULL)
+  // Golden re-pinned when rows_observed/rows_absorbed joined the outcome
+  // vector (and the absorb counter stopped double-counting refit replays);
+  // the decision sequence itself is unchanged from the previous pin.
+  EXPECT_EQ(fnv1a(kFnvSeed, outcome), 0x010924e709361159ULL)
       << "single-thread online loop drifted";
 #endif
 }

@@ -291,6 +291,303 @@ TEST(DriftDetector, RecoveredSnapshotMatchesFromScratchRefit) {
   updater->server()->stop();
 }
 
+// --- drift bookkeeping (trace ring, absorb counter, empty server) ---------
+
+TEST(DriftBookkeeping, TraceRingKeepsMostRecent512OldestFirst) {
+  const data::Dataset ds = fixture_dataset();
+  const std::vector<data::Value> rows = gather_rows(ds);
+  const std::size_t n = ds.num_objects();
+  const std::size_t d = ds.num_features();
+
+  api::Engine engine;
+  ASSERT_TRUE(fit_fixture(ds, engine).ok());
+  serve::OnlineConfig config = tight_online_config();
+  config.tick_every = 1;  // every row is a tick: >512 ticks in one pass
+  const auto updater = engine.serve_online(config);
+
+  // Shadow trace: last_drift after every tick, trimmed like the ring.
+  constexpr std::size_t kTrace = 512;
+  std::vector<double> shadow;
+  const std::size_t total = kTrace + 150;
+  for (std::size_t t = 0; t < total; ++t) {
+    updater->observe(rows.data() + (t % n) * d, 1);
+    shadow.push_back(updater->evidence().last_drift);
+  }
+  ASSERT_EQ(updater->evidence().ticks, total);
+  shadow.erase(shadow.begin(),
+               shadow.begin() + static_cast<std::ptrdiff_t>(total - kTrace));
+
+  const api::OnlineEvidence evidence = updater->evidence();
+  ASSERT_EQ(evidence.drift_scores.size(), kTrace);
+  // Oldest-first and bit-exact: a ring that mis-rotated or dropped the
+  // wrong end diverges somewhere in these 512 values.
+  EXPECT_EQ(evidence.drift_scores, shadow);
+  updater->server()->stop();
+}
+
+TEST(DriftBookkeeping, RefitReplayDoesNotDoubleCountAbsorbedRows) {
+  const data::Dataset ds = fixture_dataset();
+  const std::size_t n = ds.num_objects();
+  const std::vector<data::Value> rows = gather_rows(ds);
+  const std::vector<data::Value> shifted =
+      shift_codes(rows, ds.cardinalities());
+
+  api::Engine engine;
+  ASSERT_TRUE(fit_fixture(ds, engine).ok());
+  const auto updater = engine.serve_online(tight_online_config());
+  updater->observe(rows.data(), n);
+  updater->observe(shifted.data(), n);
+  updater->tick();
+
+  const api::OnlineEvidence evidence = updater->evidence();
+  ASSERT_GE(evidence.refits, 1u) << "fixture must exercise the refit replay";
+  // Exact pins: 400 clean + 400 shifted rows. rows_absorbed counts each
+  // distinct stream row once — the refit replay re-observes window rows
+  // already counted and must not inflate it past rows_observed.
+  EXPECT_EQ(evidence.rows_observed, 2 * n);
+  EXPECT_EQ(evidence.rows_absorbed, 2 * n);
+  EXPECT_EQ(evidence.rows_absorbed, evidence.rows_observed);
+  updater->server()->stop();
+}
+
+TEST(DriftBookkeeping, EmptyServerPublishesZeroScoringCandidate) {
+  // An updater over a server with NO snapshot, warmed up on all-missing
+  // rows: the exported candidate scores the window 0.0, which the strict
+  // publish-if-better gate (candidate > published, with no published mean
+  // to beat) used to hold back forever. The first candidate with live
+  // clusters must publish unconditionally — generation reaches 1 and the
+  // server stops answering from nothing.
+  const data::Dataset ds = fixture_dataset();
+  const std::size_t d = ds.num_features();
+
+  serve::OnlineConfig config = tight_online_config();
+  config.tick_every = 16;
+  config.window_capacity = 32;
+  // All-missing rows score 0 against everything, so with the default
+  // novelty threshold each would spawn a cluster that consolidation
+  // immediately starves. Zero it so they pool into one surviving cluster —
+  // whose exported candidate still scores the window 0.0, the exact
+  // zero-beats-nothing case the publish gate used to wedge on.
+  config.streaming.novelty_threshold = 0.0;
+  auto server = std::make_shared<serve::ModelServer>();
+  serve::OnlineUpdater updater(
+      server, serve::make_online_learner(config, ds.cardinalities()), config);
+  ASSERT_EQ(server->snapshot(), nullptr);
+
+  std::vector<data::Value> missing(config.tick_every * d, data::kMissing);
+  updater.observe(missing.data(), config.tick_every);
+
+  const api::OnlineEvidence evidence = updater.evidence();
+  EXPECT_GE(evidence.ticks, 1u);
+  EXPECT_GE(evidence.generation, 1u) << "all-missing warmup never published";
+  EXPECT_EQ(evidence.swaps, 1u);
+  const std::shared_ptr<const api::Model> snapshot = server->snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_TRUE(snapshot->has_schema());
+  server->stop();
+}
+
+// --- drift detectors -------------------------------------------------------
+
+// Deterministic 2-cardinality stream with skewed cluster masses: 7 of
+// every 10 rows are the all-zeros pattern, 3 the all-ones. A bijective
+// code flip (v -> 1 - v) maps the clusters onto each other, so every row
+// still scores 1.0 against SOME cluster and the mean alarm sees nothing —
+// but the pooled per-feature marginal moves from p(0) = 0.7 to 0.3, which
+// the histogram detector must catch at its DEFAULT thresholds.
+std::vector<data::Value> skewed_binary_rows(std::size_t n, std::size_t d,
+                                            bool flipped) {
+  std::vector<data::Value> rows(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const data::Value v = (i % 10 < 7) ? 0 : 1;
+    std::fill(rows.begin() + static_cast<std::ptrdiff_t>(i * d),
+              rows.begin() + static_cast<std::ptrdiff_t>((i + 1) * d),
+              flipped ? static_cast<data::Value>(1 - v) : v);
+  }
+  return rows;
+}
+
+TEST(DriftDetectorBank, HistCatchesBijectiveFlipTheMeanAlarmMisses) {
+  const std::size_t d = 4;
+  const std::vector<int> cardinalities(d, 2);
+  const std::size_t n = 200;
+  const std::vector<data::Value> clean = skewed_binary_rows(n, d, false);
+  const std::vector<data::Value> flipped = skewed_binary_rows(n, d, true);
+
+  serve::OnlineConfig config = tight_online_config();
+  config.detector = "hist";  // mean rides along passively
+  // Default OnlineConfig/DriftConfig thresholds — the point of the test.
+  config.drift_threshold = serve::OnlineConfig{}.drift_threshold;
+  auto server = std::make_shared<serve::ModelServer>();
+  serve::OnlineUpdater updater(
+      server, serve::make_online_learner(config, cardinalities), config);
+
+  updater.observe(clean.data(), n);
+  ASSERT_NE(server->snapshot(), nullptr);
+  ASSERT_EQ(updater.evidence().refits, 0u);
+
+  updater.observe(flipped.data(), n);
+  updater.tick();
+
+  const api::OnlineEvidence evidence = updater.evidence();
+  ASSERT_EQ(evidence.detectors.size(), 2u);
+  const api::DriftDetectorEvidence& mean = evidence.detectors[0];
+  const api::DriftDetectorEvidence& hist = evidence.detectors[1];
+  EXPECT_EQ(mean.name, "mean");
+  EXPECT_FALSE(mean.voting);
+  EXPECT_EQ(hist.name, "hist");
+  EXPECT_TRUE(hist.voting);
+
+  // The blind spot, pinned: the flip leaves the mean statistic at ~0 (every
+  // row still scores 1.0 against the complementary cluster) while the
+  // pooled marginal moves 0.7 -> 0.3 (TV = 0.4 > the 0.25 default).
+  EXPECT_EQ(mean.fired_ticks, 0u) << "mean alarm should sleep through a flip";
+  EXPECT_LT(mean.max_statistic, serve::OnlineConfig{}.drift_threshold);
+  EXPECT_GE(hist.fired_ticks, 1u) << "hist detector missed the flip";
+  EXPECT_GT(hist.max_statistic, serve::DriftConfig{}.hist_tv_threshold);
+  ASSERT_GE(evidence.refits, 1u);
+  ASSERT_FALSE(evidence.refit_detectors.empty());
+  EXPECT_EQ(evidence.refit_detectors.front(), "hist");
+  server->stop();
+}
+
+TEST(DriftDetectorBank, TriggerPolicyKOfNHoldsWhenOnlyOneFires) {
+  // Same flip stream, but the bank is "mean,hist" with trigger_k = 2:
+  // hist fires, the mean never does, so 1 < 2 votes and no refit may land.
+  const std::size_t d = 4;
+  const std::vector<int> cardinalities(d, 2);
+  const std::size_t n = 200;
+  const std::vector<data::Value> clean = skewed_binary_rows(n, d, false);
+  const std::vector<data::Value> flipped = skewed_binary_rows(n, d, true);
+
+  serve::OnlineConfig config = tight_online_config();
+  config.detector = "mean,hist";
+  config.trigger_k = 2;
+  config.drift_threshold = serve::OnlineConfig{}.drift_threshold;
+  auto server = std::make_shared<serve::ModelServer>();
+  serve::OnlineUpdater updater(
+      server, serve::make_online_learner(config, cardinalities), config);
+
+  updater.observe(clean.data(), n);
+  updater.observe(flipped.data(), n);
+  updater.tick();
+
+  const api::OnlineEvidence evidence = updater.evidence();
+  ASSERT_EQ(evidence.detectors.size(), 2u);
+  EXPECT_TRUE(evidence.detectors[0].voting);
+  EXPECT_TRUE(evidence.detectors[1].voting);
+  EXPECT_GE(evidence.detectors[1].fired_ticks, 1u);
+  EXPECT_EQ(evidence.detectors[0].fired_ticks, 0u);
+  EXPECT_EQ(evidence.refits, 0u)
+      << "2-of-2 policy refitted on a single detector's vote";
+  server->stop();
+}
+
+TEST(DriftDetectorBank, PageHinkleyFiresOnPersistentSmallDrop) {
+  const serve::DriftConfig config;  // delta 0.005, lambda 1.5
+  const auto detector = serve::make_page_hinkley_detector(config);
+  EXPECT_TRUE(detector->needs_row_scores());
+
+  serve::DriftContext ctx;  // PH ignores the window — sequential state only
+  for (int i = 0; i < 200; ++i) detector->observe_score(0.9);
+  EXPECT_FALSE(detector->evaluate(ctx).fired)
+      << "constant score level must not alarm";
+
+  // A persistent 0.05 drop accumulates ~(0.05 - delta) per row once the
+  // running mean settles; well under 200 rows cross lambda = 1.5.
+  for (int i = 0; i < 200; ++i) detector->observe_score(0.85);
+  EXPECT_TRUE(detector->evaluate(ctx).fired)
+      << "persistent small drop never crossed lambda";
+
+  // rebase resets the sequential state — a fresh snapshot, a fresh test.
+  detector->rebase(ctx);
+  EXPECT_FALSE(detector->evaluate(ctx).fired);
+}
+
+TEST(DriftDetectorBank, QuantileDetectorSeesSinkingLowerTail) {
+  const serve::DriftConfig config;  // quantiles {0.10, 0.25, 0.50}
+  const auto detector = serve::make_quantile_detector(config);
+
+  std::vector<double> healthy(100, 0.9);
+  serve::DriftContext ctx;
+  ctx.rows = healthy.size();
+  ctx.scores = healthy.data();
+  detector->rebase(ctx);
+  EXPECT_FALSE(detector->evaluate(ctx).fired);
+
+  // 10% of the rows collapse to 0.3: the q10 quantile sinks 0.6 while the
+  // mean moves only 0.06 — below the mean alarm's default threshold.
+  std::vector<double> tailed(healthy);
+  for (std::size_t i = 0; i < 10; ++i) tailed[i] = 0.3;
+  ctx.scores = tailed.data();
+  const serve::DriftVerdict verdict = detector->evaluate(ctx);
+  EXPECT_TRUE(verdict.fired) << "sinking lower tail went unseen";
+  EXPECT_GT(verdict.statistic, 0.5);
+}
+
+TEST(DriftDetectorBank, SpecParsingBuildsTheRequestedBank) {
+  const serve::DriftConfig config;
+  const serve::DetectorBank ensemble =
+      serve::make_drift_detectors("ensemble", 0.1, config);
+  ASSERT_EQ(ensemble.detectors.size(), 4u);
+  EXPECT_STREQ(ensemble.detectors[0]->name(), "mean");
+  EXPECT_STREQ(ensemble.detectors[1]->name(), "hist");
+  EXPECT_STREQ(ensemble.detectors[2]->name(), "ph");
+  EXPECT_STREQ(ensemble.detectors[3]->name(), "quantile");
+  for (const char voting : ensemble.voting) EXPECT_NE(voting, 0);
+
+  // A non-mean spec still constructs the mean detector, passively.
+  const serve::DetectorBank hist_only =
+      serve::make_drift_detectors("hist", 0.1, config);
+  ASSERT_EQ(hist_only.detectors.size(), 2u);
+  EXPECT_STREQ(hist_only.detectors[0]->name(), "mean");
+  EXPECT_EQ(hist_only.voting[0], 0);
+  EXPECT_NE(hist_only.voting[1], 0);
+
+  // Duplicates collapse; unknown names throw.
+  const serve::DetectorBank deduped =
+      serve::make_drift_detectors("hist,hist,mean", 0.1, config);
+  EXPECT_EQ(deduped.detectors.size(), 2u);
+  EXPECT_NE(deduped.voting[0], 0);
+  EXPECT_THROW(serve::make_drift_detectors("nope", 0.1, config),
+               std::invalid_argument);
+  EXPECT_THROW(serve::make_drift_detectors("", 0.1, config),
+               std::invalid_argument);
+}
+
+TEST(DriftDetectorBank, EvidenceJsonCarriesDetectorState) {
+  const std::size_t d = 4;
+  const std::vector<int> cardinalities(d, 2);
+  const std::size_t n = 200;
+  const std::vector<data::Value> clean = skewed_binary_rows(n, d, false);
+  const std::vector<data::Value> flipped = skewed_binary_rows(n, d, true);
+
+  serve::OnlineConfig config = tight_online_config();
+  config.detector = "hist";
+  auto server = std::make_shared<serve::ModelServer>();
+  serve::OnlineUpdater updater(
+      server, serve::make_online_learner(config, cardinalities), config);
+  updater.observe(clean.data(), n);
+  updater.observe(flipped.data(), n);
+  updater.tick();
+
+  api::RunReport report;
+  report.online = updater.evidence();
+  const api::Json json = report.to_json();
+  const api::Json& online = json.at("online");
+  ASSERT_TRUE(online.contains("detectors"));
+  const api::Json& detectors = online.at("detectors");
+  ASSERT_EQ(detectors.size(), 2u);
+  EXPECT_EQ(detectors.at(0).at("name").as_string(), "mean");
+  EXPECT_FALSE(detectors.at(0).at("voting").as_bool());
+  EXPECT_EQ(detectors.at(1).at("name").as_string(), "hist");
+  EXPECT_TRUE(detectors.at(1).at("voting").as_bool());
+  EXPECT_GE(detectors.at(1).at("fired_ticks").as_double(), 1.0);
+  ASSERT_TRUE(online.contains("refit_detectors"));
+  EXPECT_EQ(online.at("refit_detectors").at(0).as_string(), "hist");
+  server->stop();
+}
+
 // --- mcdc-online registry method ------------------------------------------
 
 TEST(McdcOnline, RegisteredWithOnlineFamilyAndFits) {

@@ -25,7 +25,8 @@
 //              [--producers N] [--batch B] [--repeat R] [--swap-every-ms M]
 //              [--learn] [--learner streaming|mcdc-online] [--tick-every T]
 //              [--window W] [--drift-threshold F] [--drift-inject F]
-//              [--out labels.csv] [--json report.json]
+//              [--drift-strength S] [--detector SPEC] [--trigger-k K]
+//              [--expect-no-refit] [--out labels.csv] [--json report.json]
 //       Spins up the concurrent serving layer on a saved model (a .json
 //       report or .bin artifact) or on a fresh fit of <data> (then
 //       --method/--k/--seed/--params apply) and replays the rows of the
@@ -44,12 +45,20 @@
 //       snapshot, then fed to a serve::OnlineUpdater whose drift-triggered
 //       refits and incremental swaps publish back mid-traffic. --learner
 //       picks the learner behind the loop, --tick-every/--window/
-//       --drift-threshold tune the detector, and --drift-inject F shifts
-//       every value code (v -> (v+1) mod cardinality) after the first F
-//       fraction of requests — an abrupt, deterministic concept drift the
-//       detector must catch; the exit code then reports whether the served
-//       snapshot recovered (refitted, and re-partitioned the drifted
-//       window like a from-scratch refit would).
+//       --drift-threshold tune the cadence, and --detector SPEC selects
+//       the drift-detector bank (mean|hist|ph|quantile, a comma list, or
+//       ensemble; --trigger-k K refits when K of the voting detectors
+//       fire on one tick). --drift-inject F shifts value codes
+//       (v -> (v+1) mod cardinality) after the first F fraction of
+//       requests — an abrupt, deterministic concept drift the detectors
+//       must catch — and --drift-strength S confines the shift to the
+//       first ceil(S * d) features, so a weak injection can prove which
+//       detectors actually see it. The exit code reports whether the
+//       served snapshot recovered (refitted, and re-partitioned the
+//       drifted window like a from-scratch refit would); with
+//       --expect-no-refit the verdict inverts — the run passes only if
+//       the configured bank slept through the injection (the sensitivity
+//       control the acceptance tests pair with an ensemble run).
 //   mcdc explore  <data> [--seed S] [--newick]
 //       Prints the granularity staircase kappa, per-stage internal validity
 //       and the nested-cluster dendrogram.
@@ -66,6 +75,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -351,10 +361,16 @@ int run_serve_learn(const Cli& cli, std::shared_ptr<const api::Model> model,
       std::min(online.window_capacity,
                static_cast<std::size_t>(
                    std::max(1L, cli.get_int("min-refit-rows", 64))));
+  online.detector = cli.get("detector", "mean");
+  online.trigger_k =
+      static_cast<std::size_t>(std::max(1L, cli.get_int("trigger-k", 1)));
   online.serve = shard_config;
 
   const int repeat = std::max(1, static_cast<int>(cli.get_int("repeat", 1)));
   const double inject = cli.get_double("drift-inject", 0.0);
+  const double strength =
+      std::clamp(cli.get_double("drift-strength", 1.0), 0.0, 1.0);
+  const bool expect_no_refit = cli.has("expect-no-refit");
   const std::vector<int>& cardinalities = model->cardinalities();
 
   auto server = std::make_shared<serve::ModelServer>(model, online.serve);
@@ -365,18 +381,25 @@ int run_serve_learn(const Cli& cli, std::shared_ptr<const api::Model> model,
       online);
 
   const std::size_t total = n * static_cast<std::size_t>(repeat);
-  // --drift-inject F: from request floor(F * total) on, every value code
-  // shifts deterministically (v -> (v+1) mod cardinality) — an abrupt
-  // concept drift that keeps the cluster geometry but moves it to codes
-  // the published snapshot has never counted.
+  // --drift-inject F: from request floor(F * total) on, value codes shift
+  // deterministically (v -> (v+1) mod cardinality) — an abrupt concept
+  // drift that keeps the cluster geometry but moves it to codes the
+  // published snapshot has never counted. --drift-strength S scales how
+  // many features shift (the first ceil(S * d); default 1.0 = all of
+  // them), so acceptance runs can dial the injection down to where the
+  // mean alarm alone no longer catches it.
   const std::size_t inject_at =
       inject > 0.0 && inject < 1.0
           ? static_cast<std::size_t>(inject * static_cast<double>(total))
           : total;
+  const std::size_t drift_features =
+      strength >= 1.0 ? d
+                      : static_cast<std::size_t>(
+                            std::ceil(strength * static_cast<double>(d)));
   const auto drifted_row = [&](std::size_t i, data::Value* out) {
     for (std::size_t r = 0; r < d; ++r) {
       data::Value v = rows[i * d + r];
-      if (v != data::kMissing && cardinalities[r] > 1) {
+      if (r < drift_features && v != data::kMissing && cardinalities[r] > 1) {
         v = (v + 1) % cardinalities[r];
       }
       out[r] = v;
@@ -412,8 +435,9 @@ int run_serve_learn(const Cli& cli, std::shared_ptr<const api::Model> model,
 
   std::printf(
       "online replay: %zu request(s) over %zu rows in %.3fs (%s learner, "
-      "tick every %zu)\n",
-      total, n, seconds, online.learner.c_str(), online.tick_every);
+      "tick every %zu, detector %s, trigger k=%zu)\n",
+      total, n, seconds, online.learner.c_str(), online.tick_every,
+      online.detector.c_str(), online.trigger_k);
   std::printf(
       "ticks %llu: %llu swap(s), %llu refit(s), %llu hold(s); generation "
       "%llu, %d live cluster(s)\n",
@@ -426,16 +450,39 @@ int run_serve_learn(const Cli& cli, std::shared_ptr<const api::Model> model,
   std::printf("baseline %.3f, last drift %+.3f, max drift %+.3f\n",
               report.online.baseline_score, report.online.last_drift,
               report.online.max_drift);
+  for (const api::DriftDetectorEvidence& det : report.online.detectors) {
+    std::printf(
+        "detector %-8s %s: fired %llu tick(s), %llu refit(s), last %+.4f, "
+        "max %+.4f\n",
+        det.name.c_str(), det.voting ? "voting " : "passive",
+        static_cast<unsigned long long>(det.fired_ticks),
+        static_cast<unsigned long long>(det.refits), det.last_statistic,
+        det.max_statistic);
+  }
   std::printf("latency p50 %.1fus  p99 %.1fus  p99.9 %.1fus\n",
               report.serve.p50_latency_us, report.serve.p99_latency_us,
               report.serve.p999_latency_us);
 
   bool ok = true;
-  if (inject_at < total) {
-    std::printf("drift injected at request %zu; first refit at tick %llu%s\n",
+  if (inject_at < total && expect_no_refit) {
+    // Sensitivity control: this configuration is expected to sleep through
+    // the injection (e.g. the mean alarm alone at a low --drift-strength);
+    // a refit here means the detector setup is MORE sensitive than claimed.
+    std::printf("drift injected at request %zu; refits %llu (expected none)\n",
                 inject_at,
-                static_cast<unsigned long long>(report.online.first_refit_tick),
-                report.online.refits == 0 ? " (NONE)" : "");
+                static_cast<unsigned long long>(report.online.refits));
+    if (report.online.refits != 0) ok = false;
+  } else if (inject_at < total) {
+    const std::string triggered =
+        report.online.refit_detectors.empty()
+            ? std::string("none")
+            : report.online.refit_detectors.front();
+    std::printf(
+        "drift injected at request %zu; first refit at tick %llu%s "
+        "(trigger: %s)\n",
+        inject_at,
+        static_cast<unsigned long long>(report.online.first_refit_tick),
+        report.online.refits == 0 ? " (NONE)" : "", triggered.c_str());
     if (report.online.refits == 0) ok = false;
 
     // Recovery: the served snapshot must partition the drifted tail the
@@ -495,7 +542,9 @@ int cmd_serve(const Cli& cli) {
                  "[--repeat R] [--swap-every-ms M] [--learn] "
                  "[--learner streaming|mcdc-online] [--tick-every T] "
                  "[--window W] [--drift-threshold F] [--drift-inject F] "
-                 "[--out labels.csv] [--json report.json]\n");
+                 "[--drift-strength S] [--detector SPEC] [--trigger-k K] "
+                 "[--expect-no-refit] [--out labels.csv] "
+                 "[--json report.json]\n");
     return 2;
   }
   const std::string& source = cli.positional()[1];
